@@ -1,0 +1,93 @@
+// Ablation for §3.5 (irregular intervals): detection probability of mobile
+// malware vs. dwell time, under three schedule/adversary pairings:
+//
+//   1. regular schedule, random-phase malware      (closed form: d / T_M)
+//   2. regular schedule, schedule-AWARE malware    (0 until d >= T_M)
+//   3. irregular schedule U[L,U], schedule-aware   ((d-L)/(U-L))
+//
+// Each point is reported three ways: closed form, Monte-Carlo estimator,
+// and a full-device simulation (real prover + ScheduleAwareMalware +
+// verifier collections), demonstrating all three layers agree.
+#include <cstdio>
+
+#include "analysis/detection.h"
+#include "analysis/table.h"
+#include "attest/prover.h"
+#include "attest/qoa.h"
+#include "attest/verifier.h"
+#include "malware/malware.h"
+
+using namespace erasmus;
+using sim::Duration;
+using sim::Time;
+
+namespace {
+
+constexpr size_t kRecord = 1 + 8 + 32 + 32;
+
+Bytes key() { return bytes_of("ablation-device-key-0123456789ab"); }
+
+// Full-device simulation: schedule-aware malware against the given
+// scheduler; returns the fraction of dwell cycles captured by >= 1
+// measurement.
+double simulate_schedule_aware(std::unique_ptr<attest::Scheduler> sched,
+                               Duration dwell, Duration horizon) {
+  sim::EventQueue queue;
+  hw::SmartPlusArch arch(key(), 4096, 1024, 64 * kRecord);
+  attest::Prover prover(queue, arch, arch.app_region(), arch.store_region(),
+                        std::move(sched), attest::ProverConfig{});
+  prover.start();
+  malware::ScheduleAwareMalware malware(queue, prover, dwell);
+  malware.activate(Time::zero(), Time::zero() + horizon);
+  queue.run_until(Time::zero() + horizon);
+  const auto& history = malware.history();
+  if (history.empty()) return 0.0;
+  size_t measured = 0;
+  for (const auto& rec : history) measured += rec.was_measured();
+  return static_cast<double>(measured) / static_cast<double>(history.size());
+}
+
+}  // namespace
+
+int main() {
+  const Duration tm = Duration::minutes(10);
+  const Duration lo = Duration::minutes(5);
+  const Duration hi = Duration::minutes(15);
+  const size_t kTrials = 200'000;
+
+  std::printf("=== Ablation (Sect. 3.5): regular vs irregular scheduling ===\n");
+  std::printf("T_M = 10 min; irregular intervals U[5 min, 15 min) (same "
+              "mean).\n\n");
+
+  analysis::Series series(
+      "Dwell (min)",
+      {"reg/random-phase", "reg/schedule-aware", "irreg/schedule-aware",
+       "irreg/aware MC", "irreg/aware device-sim"});
+  for (uint64_t dwell_min : {2ull, 4ull, 6ull, 8ull, 10ull, 12ull, 14ull}) {
+    const Duration dwell = Duration::minutes(dwell_min);
+    series.add_point(
+        static_cast<double>(dwell_min),
+        {attest::detection_prob_regular(dwell, tm),
+         attest::detection_prob_schedule_aware_regular(dwell, tm),
+         attest::detection_prob_schedule_aware_irregular(dwell, lo, hi),
+         analysis::mc_detection_schedule_aware_irregular(
+             dwell, lo, hi, kTrials, /*seed=*/dwell_min),
+         simulate_schedule_aware(
+             std::make_unique<attest::IrregularScheduler>(key(), lo, hi),
+             dwell, Duration::hours(24 * 14))});
+  }
+  std::printf("%s\n", series.render().c_str());
+
+  std::printf("Headline: schedule-aware malware with dwell < T_M dodges a "
+              "regular schedule forever\n");
+  const double regular_sim = simulate_schedule_aware(
+      std::make_unique<attest::RegularScheduler>(tm), Duration::minutes(8),
+      Duration::hours(24 * 14));
+  const double irregular_sim = simulate_schedule_aware(
+      std::make_unique<attest::IrregularScheduler>(key(), lo, hi),
+      Duration::minutes(8), Duration::hours(24 * 14));
+  std::printf("  device-sim capture rate, dwell 8 min: regular %.3f vs "
+              "irregular %.3f (analytic 0.0 vs 0.3)\n\n",
+              regular_sim, irregular_sim);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces paper Table 2: "Run-Time (in ms) of Collection Phase on
+// I.MX6-Sabre Lite" -- the breakdown of ERASMUS vs. ERASMUS+OD collection:
+//
+//            Operation            ERASMUS   ERASMUS+OD
+//            Verify Request       N/A       0.005
+//            Compute Measurement  N/A       285.6      (10 MB, BLAKE2S)
+//            Construct UDP        0.003     0.003
+//            Send UDP             0.012     0.012
+//            Total                0.015     285.6
+//
+// The numbers come from driving the REAL prover stack (HYDRA architecture,
+// 10 MB attested memory, keyed BLAKE2s) through both protocol paths and
+// decomposing the charged virtual time.
+#include <cstdio>
+
+#include "analysis/table.h"
+#include "attest/prover.h"
+#include "attest/verifier.h"
+#include "sim/device_profile.h"
+
+using namespace erasmus;
+
+int main() {
+  const Bytes key = bytes_of("table2-device-key-0123456789abcd");
+  const auto profile = sim::DeviceProfile::imx6_1ghz();
+  constexpr size_t kMemBytes = 10ull * 1024 * 1024;  // paper: 10 MB
+
+  sim::EventQueue queue;
+  hw::HydraArch arch(key, kMemBytes, 4096);
+  arch.secure_boot();
+  attest::ProverConfig pc;
+  pc.algo = crypto::MacAlgo::kKeyedBlake2s;
+  pc.profile = profile;
+  attest::Prover prover(queue, arch, arch.app_region(), arch.store_region(),
+                        std::make_unique<attest::RegularScheduler>(
+                            sim::Duration::minutes(10)),
+                        pc);
+  attest::VerifierConfig vc;
+  vc.algo = pc.algo;
+  vc.key = key;
+  vc.golden_digest = crypto::Hash::digest(
+      attest::hash_for(pc.algo), arch.memory().view(arch.app_region(), true));
+  attest::Verifier verifier(std::move(vc));
+
+  prover.start();
+  // Let a few scheduled self-measurements accumulate; stop on an idle
+  // instant so the collection does not queue behind a measurement.
+  queue.run_until(sim::Time::zero() + sim::Duration::minutes(45));
+
+  // --- ERASMUS collection ----------------------------------------------------
+  const auto collect = prover.handle_collect(attest::CollectRequest{4});
+  const auto report =
+      verifier.verify_collection(collect.response, queue.now());
+
+  // --- ERASMUS+OD --------------------------------------------------------------
+  const auto req = verifier.make_od_request(prover.rroc().read(), 4);
+  const auto od = prover.handle_od(req);
+
+  const double verify_req_ms = profile.request_auth_time().to_millis();
+  const double measure_ms =
+      profile.mac_time(pc.algo, kMemBytes).to_millis();
+  const double construct_ms = profile.packet_construct.to_millis();
+  const double send_ms = profile.packet_send.to_millis();
+
+  std::printf("=== Table 2: Collection-phase run-time (ms) on I.MX6 ===\n");
+  std::printf("(10 MB attested memory, keyed BLAKE2S)\n\n");
+  analysis::Table table({"Operations", "ERASMUS", "ERASMUS+OD"});
+  table.add_row({"Verify Request", "N/A", analysis::fmt(verify_req_ms, 3)});
+  table.add_row({"Compute Measurement", "N/A", analysis::fmt(measure_ms, 1)});
+  table.add_row({"Construct UDP Packet", analysis::fmt(construct_ms, 3),
+                 analysis::fmt(construct_ms, 3)});
+  table.add_row({"Send UDP Packet", analysis::fmt(send_ms, 3),
+                 analysis::fmt(send_ms, 3)});
+  table.add_row({"Total Collection Run-time",
+                 analysis::fmt(collect.processing.to_millis(), 3),
+                 analysis::fmt(od.processing.to_millis(), 1)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Paper reference: totals 0.015 (ERASMUS) vs 285.6 (ERASMUS+OD); "
+              "factor >= 3000.\n");
+  std::printf("Measured factor: %.0fx\n\n",
+              od.processing.to_millis() / collect.processing.to_millis());
+
+  std::printf("Verifier-side check of the collected history: %s "
+              "(%zu records, freshness %s)\n",
+              report.device_trustworthy() ? "trustworthy" : "ANOMALOUS",
+              report.verdicts.size(),
+              report.freshness
+                  ? sim::to_string(*report.freshness).c_str()
+                  : "n/a");
+  const bool od_ok = od.response.has_value();
+  std::printf("ERASMUS+OD response: %s (fresh measurement + %zu stored)\n\n",
+              od_ok ? "accepted" : "rejected",
+              od_ok ? od.response->history.size() : 0);
+  return 0;
+}

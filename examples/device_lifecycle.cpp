@@ -1,0 +1,114 @@
+// Scenario: the full lifecycle of an unattended device.
+//
+// Exercises the operational APIs around the core protocol:
+//   1. provisioning -- per-device keys derived from a fleet master secret
+//      with HKDF (no key database needed);
+//   2. steady state -- the Collector daemon gathers history every T_C over
+//      a lossy link and feeds the AuditLog;
+//   3. software update -- attest-before / install / attest-after, golden-
+//      digest epoch rotation (pre-update history keeps verifying);
+//   4. incident -- malware detected through the daemon path;
+//   5. decommissioning -- authenticated secure erasure + proof of erasure.
+#include <cstdio>
+
+#include "attest/collector.h"
+#include "attest/maintenance.h"
+#include "attest/prover.h"
+#include "crypto/hkdf.h"
+
+using namespace erasmus;
+using sim::Duration;
+using sim::Time;
+
+int main() {
+  constexpr size_t kRecordBytes = 1 + 8 + 32 + 32;
+
+  // --- 1. Provisioning ---------------------------------------------------------
+  const Bytes master = bytes_of("fleet master secret: keep in HSM!");
+  const Bytes k_device = crypto::hkdf(master, bytes_of("device-0042"),
+                                      bytes_of("erasmus/device-key"), 32);
+  std::printf("provisioned device-0042 with K = HKDF(master, id) "
+              "(%zu-byte key)\n", k_device.size());
+
+  sim::EventQueue sim;
+  hw::SmartPlusArch device(k_device, 8 * 1024, 4 * 1024, 32 * kRecordBytes);
+  attest::Prover prover(sim, device, device.app_region(),
+                        device.store_region(),
+                        std::make_unique<attest::RegularScheduler>(
+                            Duration::minutes(10)),
+                        attest::ProverConfig{});
+
+  attest::VerifierConfig vc;
+  vc.key = k_device;
+  vc.golden_digest = crypto::Hash::digest(
+      crypto::HashAlgo::kSha256,
+      device.memory().view(device.app_region(), true));
+  attest::Verifier verifier(std::move(vc));
+
+  // --- 2. Steady state: collector daemon over a lossy link --------------------
+  net::Network network(sim, Duration::millis(20), /*loss=*/0.15, /*seed=*/3);
+  const net::NodeId hq = network.add_node({});
+  const net::NodeId dev_node = network.add_node({});
+  prover.bind(network, dev_node);
+
+  attest::AuditLog log;
+  attest::CollectorConfig cc;
+  cc.tc = Duration::hours(1);
+  cc.k = 8;
+  cc.response_timeout = Duration::seconds(5);
+  cc.max_retries = 3;
+  attest::Collector collector(sim, network, hq, dev_node, verifier, log, cc);
+
+  prover.start();
+  collector.start();
+  sim.run_until(Time::zero() + Duration::hours(24));
+  std::printf("day 1: %llu rounds, %llu responses, %llu retries "
+              "(15%% packet loss), trustworthy %.0f%%\n",
+              static_cast<unsigned long long>(collector.stats().rounds),
+              static_cast<unsigned long long>(collector.stats().responses),
+              static_cast<unsigned long long>(collector.stats().retries),
+              100.0 * log.trustworthy_fraction());
+
+  // --- 3. Software update --------------------------------------------------------
+  attest::MaintenanceAuthority authority(verifier, sim);
+  const auto update =
+      authority.run_update(prover, bytes_of("firmware v2.0 image"));
+  std::printf("software update: attest-before=%s install=%s attest-after=%s "
+              "(golden digest rotated)\n",
+              update.pre_attestation_ok ? "ok" : "FAIL",
+              update.request_accepted ? "ok" : "FAIL",
+              update.post_attestation_ok ? "ok" : "FAIL");
+
+  // --- 4. Incident ------------------------------------------------------------------
+  sim.schedule_at(sim.now() + Duration::hours(5), [&] {
+    prover.memory().write(prover.attested_region(), 99, bytes_of("IMPLANT"),
+                          false);
+  });
+  sim.run_until(sim.now() + Duration::hours(24));
+  if (const auto first = log.first_infection_seen()) {
+    std::printf("incident: infection first reported at t=%.1f h "
+                "(empirical mean freshness %s over %zu rounds)\n",
+                first->to_seconds() / 3600.0,
+                sim::to_string(log.empirical_qoa().mean_freshness).c_str(),
+                log.empirical_qoa().rounds);
+  } else {
+    std::printf("incident: NOT detected (unexpected)\n");
+  }
+
+  // --- 5. Decommissioning --------------------------------------------------------------
+  // Note the asymmetry: updates require a healthy device (attest-before),
+  // but secure erasure is exactly what you do to a COMPROMISED device --
+  // it needs only an authentic command, and the erased state is then
+  // proven with a fresh on-demand measurement.
+  collector.stop();
+  const auto blocked =
+      authority.run_update(prover, bytes_of("recovery image"));
+  const auto erase = authority.run_erase(prover);
+  std::printf("decommission: update on infected device blocked=%s "
+              "(attest-before failed), erase accepted=%s, erased state "
+              "proven=%s\n",
+              blocked.pre_attestation_ok ? "NO (!)" : "yes",
+              erase.request_accepted ? "yes" : "no",
+              erase.erased_state_proven ? "yes" : "no");
+  return 0;
+}

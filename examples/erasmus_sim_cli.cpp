@@ -1,0 +1,172 @@
+// erasmus_sim_cli: a scriptable scenario driver for the library.
+//
+//   ./erasmus_sim_cli [--tm MIN] [--tc MIN] [--horizon HOURS]
+//                     [--infections N] [--dwell MIN] [--seed S]
+//                     [--irregular LO,HI] [--loss P] [--slots N]
+//
+// Builds one SMART+ device + collector daemon over a (optionally lossy)
+// network, runs a mobile-malware campaign, and prints the audit summary --
+// a quick way to explore QoA parameter choices without writing code.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "attest/collector.h"
+#include "attest/prover.h"
+#include "attest/qoa.h"
+#include "malware/campaign.h"
+
+using namespace erasmus;
+using sim::Duration;
+using sim::Time;
+
+namespace {
+
+struct Options {
+  uint64_t tm_min = 10;
+  uint64_t tc_min = 60;
+  uint64_t horizon_hours = 48;
+  size_t infections = 20;
+  uint64_t dwell_min = 15;
+  uint64_t seed = 1;
+  bool irregular = false;
+  uint64_t irr_lo_min = 5;
+  uint64_t irr_hi_min = 15;
+  double loss = 0.0;
+  size_t slots = 64;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](uint64_t& out) {
+      if (i + 1 >= argc) return false;
+      out = std::strtoull(argv[++i], nullptr, 10);
+      return true;
+    };
+    if (arg == "--tm" && next(opt.tm_min)) continue;
+    if (arg == "--tc" && next(opt.tc_min)) continue;
+    if (arg == "--horizon" && next(opt.horizon_hours)) continue;
+    if (arg == "--dwell" && next(opt.dwell_min)) continue;
+    if (arg == "--seed" && next(opt.seed)) continue;
+    if (arg == "--infections") {
+      uint64_t v;
+      if (next(v)) {
+        opt.infections = static_cast<size_t>(v);
+        continue;
+      }
+    }
+    if (arg == "--slots") {
+      uint64_t v;
+      if (next(v)) {
+        opt.slots = static_cast<size_t>(v);
+        continue;
+      }
+    }
+    if (arg == "--loss" && i + 1 < argc) {
+      opt.loss = std::strtod(argv[++i], nullptr);
+      continue;
+    }
+    if (arg == "--irregular" && i + 1 < argc) {
+      opt.irregular = true;
+      const std::string spec = argv[++i];
+      const auto comma = spec.find(',');
+      if (comma == std::string::npos) return false;
+      opt.irr_lo_min = std::strtoull(spec.substr(0, comma).c_str(), nullptr,
+                                     10);
+      opt.irr_hi_min = std::strtoull(spec.substr(comma + 1).c_str(), nullptr,
+                                     10);
+      continue;
+    }
+    std::fprintf(stderr, "unknown or malformed argument: %s\n", arg.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::fprintf(stderr,
+                 "usage: %s [--tm MIN] [--tc MIN] [--horizon HOURS] "
+                 "[--infections N]\n          [--dwell MIN] [--seed S] "
+                 "[--irregular LO,HI] [--loss P] [--slots N]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  constexpr size_t kRecordBytes = 1 + 8 + 32 + 32;
+  const Bytes key = bytes_of("cli-device-key-0123456789abcdef!");
+
+  sim::EventQueue sim;
+  hw::SmartPlusArch device(key, 8 * 1024, 4 * 1024,
+                           opt.slots * kRecordBytes);
+  std::unique_ptr<attest::Scheduler> sched;
+  if (opt.irregular) {
+    sched = std::make_unique<attest::IrregularScheduler>(
+        key, Duration::minutes(opt.irr_lo_min),
+        Duration::minutes(opt.irr_hi_min));
+  } else {
+    sched = std::make_unique<attest::RegularScheduler>(
+        Duration::minutes(opt.tm_min));
+  }
+  attest::Prover prover(sim, device, device.app_region(),
+                        device.store_region(), std::move(sched),
+                        attest::ProverConfig{});
+  attest::VerifierConfig vc;
+  vc.key = key;
+  vc.golden_digest = crypto::Hash::digest(
+      crypto::HashAlgo::kSha256,
+      device.memory().view(device.app_region(), true));
+  attest::Verifier verifier(std::move(vc));
+  prover.start();
+
+  const attest::QoAParams qoa{Duration::minutes(opt.tm_min),
+                              Duration::minutes(opt.tc_min)};
+  std::printf("ERASMUS scenario: T_M=%llu min (%s), T_C=%llu min, "
+              "horizon=%llu h, %zu infections of %llu min, loss=%.0f%%\n",
+              static_cast<unsigned long long>(opt.tm_min),
+              opt.irregular ? "irregular" : "regular",
+              static_cast<unsigned long long>(opt.tc_min),
+              static_cast<unsigned long long>(opt.horizon_hours),
+              opt.infections,
+              static_cast<unsigned long long>(opt.dwell_min),
+              100.0 * opt.loss);
+  std::printf("QoA: k=%zu records/collection, expected freshness %s, "
+              "min buffer %zu slots (configured %zu)\n",
+              qoa.measurements_per_collection(),
+              sim::to_string(qoa.expected_freshness()).c_str(),
+              qoa.min_buffer_slots(), opt.slots);
+  if (!qoa.buffer_safe(opt.slots)) {
+    std::printf("WARNING: T_C > n*T_M -- measurements will be overwritten "
+                "before collection!\n");
+  }
+
+  malware::CampaignConfig cc;
+  cc.horizon = Duration::hours(opt.horizon_hours);
+  cc.tc = Duration::minutes(opt.tc_min);
+  cc.infection_count = opt.infections;
+  cc.dwell = Duration::minutes(opt.dwell_min);
+  cc.seed = opt.seed;
+  const auto result = malware::run_mobile_campaign(sim, prover, verifier, cc);
+
+  std::printf("\nresults over %llu h:\n",
+              static_cast<unsigned long long>(opt.horizon_hours));
+  std::printf("  measurements taken:    %llu\n",
+              static_cast<unsigned long long>(prover.stats().measurements));
+  std::printf("  collections:           %zu\n", result.collections);
+  std::printf("  infections (ground):   %zu\n", result.infections);
+  std::printf("  measured while present:%zu\n", result.measured);
+  std::printf("  detected by verifier:  %zu  (rate %.2f)\n", result.detected,
+              result.detection_rate());
+  std::printf("  mean detection latency:%s\n",
+              sim::to_string(result.mean_detection_latency()).c_str());
+  const double analytic = attest::detection_prob_regular(
+      Duration::minutes(opt.dwell_min), Duration::minutes(opt.tm_min));
+  std::printf("  analytic d/T_M bound:  %.2f\n",
+              analytic > 1.0 ? 1.0 : analytic);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Scenario: a safety-critical, time-sensitive industrial sensor (§5).
+//
+// A pressure controller on an 8 MHz MSP430-class MCU runs a hard-real-time
+// control task every 15 minutes. A full self-measurement of its 10 KB
+// memory takes ~7 s (Fig. 6) -- unacceptable inside a control window. This
+// example contrasts the three conflict policies over a simulated week and
+// shows why the paper proposes lenient scheduling (w * T_M windows), then
+// demonstrates that QoA survives: an infection striking mid-week is still
+// caught.
+#include <cstdio>
+
+#include "attest/prover.h"
+#include "attest/verifier.h"
+#include "malware/malware.h"
+
+using namespace erasmus;
+using sim::Duration;
+using sim::Time;
+
+namespace {
+
+constexpr size_t kRecordBytes = 1 + 8 + 32 + 32;
+const Bytes kKey = bytes_of("plant-sensor-key-0123456789abcde");
+
+struct PlantRun {
+  uint64_t measurements = 0;
+  uint64_t deferred = 0;
+  uint64_t skipped = 0;
+  double interference_s = 0.0;
+  bool infection_detected = false;
+};
+
+PlantRun run_week(attest::ConflictPolicy policy, double window_factor) {
+  sim::EventQueue sim;
+  hw::SmartPlusArch device(kKey, 8 * 1024, 10 * 1024, 64 * kRecordBytes);
+
+  attest::ProverConfig pc;
+  pc.conflict_policy = policy;
+
+  std::unique_ptr<attest::Scheduler> sched =
+      std::make_unique<attest::RegularScheduler>(Duration::minutes(20));
+  if (policy == attest::ConflictPolicy::kAbortAndReschedule) {
+    sched = std::make_unique<attest::LenientScheduler>(std::move(sched),
+                                                       window_factor);
+  }
+  attest::Prover prover(sim, device, device.app_region(),
+                        device.store_region(), std::move(sched), pc);
+
+  attest::VerifierConfig vc;
+  vc.key = kKey;
+  vc.golden_digest = crypto::Hash::digest(
+      crypto::HashAlgo::kSha256,
+      device.memory().view(device.app_region(), true));
+  attest::Verifier verifier(std::move(vc));
+
+  prover.start();
+
+  // Control task: 2 minutes of hard-real-time work every 20 minutes,
+  // phased so the nominal measurement instants (multiples of 20 min) land
+  // inside the control windows [19, 21) -- the worst case for a strict
+  // schedule.
+  const Duration horizon = Duration::hours(24 * 7);
+  for (Time at = Time::zero() + Duration::minutes(19);
+       at < Time::zero() + horizon; at = at + Duration::minutes(20)) {
+    prover.add_critical_task(at, Duration::minutes(2));
+  }
+
+  // Mid-week infection: persistent for 90 minutes, then covers its tracks.
+  malware::MobileMalware intruder(sim, prover);
+  intruder.schedule(Time::zero() + Duration::hours(80),
+                    Duration::minutes(90));
+
+  // Maintenance crew collects twice a day.
+  PlantRun result;
+  for (Time at = Time::zero() + Duration::hours(12);
+       at <= Time::zero() + horizon; at = at + Duration::hours(12)) {
+    sim.schedule_at(at, [&] {
+      const auto res = prover.handle_collect(attest::CollectRequest{40});
+      const auto report =
+          verifier.verify_collection(res.response, sim.now());
+      result.infection_detected |= report.infection_detected;
+    });
+  }
+
+  sim.run_until(Time::zero() + horizon);
+  result.measurements = prover.stats().measurements;
+  result.deferred = prover.stats().aborted;
+  result.skipped = prover.stats().skipped;
+  result.interference_s = prover.stats().task_interference.to_seconds();
+  return result;
+}
+
+const char* policy_name(attest::ConflictPolicy p) {
+  switch (p) {
+    case attest::ConflictPolicy::kMeasureAnyway:
+      return "measure-anyway (strict)";
+    case attest::ConflictPolicy::kSkip:
+      return "skip";
+    case attest::ConflictPolicy::kAbortAndReschedule:
+      return "lenient (w=2)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Industrial sensor, one simulated week: T_M = 20 min, 2-min "
+              "control task every 20 min\n(phased onto the measurement "
+              "instants), 10 KB memory @ 8 MHz (~7 s per\nmeasurement), "
+              "collections every 12 h.\n\n");
+  std::printf("%-24s %13s %9s %8s %18s %10s\n", "policy", "measurements",
+              "deferred", "skipped", "interference (s)", "infection");
+  for (const auto policy : {attest::ConflictPolicy::kMeasureAnyway,
+                            attest::ConflictPolicy::kSkip,
+                            attest::ConflictPolicy::kAbortAndReschedule}) {
+    const auto r = run_week(policy, 2.0);
+    std::printf("%-24s %13llu %9llu %8llu %18.1f %10s\n", policy_name(policy),
+                static_cast<unsigned long long>(r.measurements),
+                static_cast<unsigned long long>(r.deferred),
+                static_cast<unsigned long long>(r.skipped),
+                r.interference_s, r.infection_detected ? "DETECTED" : "-");
+  }
+  std::printf(
+      "\nTakeaway: the lenient window removes every second of interference\n"
+      "with the control loop while keeping the measurement count -- and the\n"
+      "mid-week 90-minute infection is still caught at the next collection.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "analysis/detection.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace erasmus::analysis {
+
+double mc_detection_regular(sim::Duration dwell, sim::Duration tm,
+                            size_t trials, uint64_t seed) {
+  if (tm.is_zero() || trials == 0) {
+    throw std::invalid_argument("mc_detection_regular: bad parameters");
+  }
+  sim::Rng rng(seed);
+  size_t detected = 0;
+  for (size_t i = 0; i < trials; ++i) {
+    // Arrival phase within the period; the next measurement is at tm.
+    const uint64_t phase = rng.next_below(tm.ns());
+    if (phase + dwell.ns() >= tm.ns()) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(trials);
+}
+
+double mc_detection_schedule_aware_irregular(sim::Duration dwell,
+                                             sim::Duration lower,
+                                             sim::Duration upper,
+                                             size_t trials, uint64_t seed) {
+  if (upper <= lower || trials == 0) {
+    throw std::invalid_argument(
+        "mc_detection_schedule_aware_irregular: bad parameters");
+  }
+  sim::Rng rng(seed);
+  size_t detected = 0;
+  for (size_t i = 0; i < trials; ++i) {
+    const uint64_t interval =
+        lower.ns() + rng.next_below((upper - lower).ns());
+    if (interval <= dwell.ns()) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(trials);
+}
+
+double mc_detection_random_phase_irregular(sim::Duration dwell,
+                                           sim::Duration lower,
+                                           sim::Duration upper,
+                                           size_t trials, uint64_t seed) {
+  if (upper <= lower || trials == 0) {
+    throw std::invalid_argument(
+        "mc_detection_random_phase_irregular: bad parameters");
+  }
+  sim::Rng rng(seed);
+
+  // Build one long realised schedule, then drop dwell windows on it.
+  const size_t kIntervals = 4096;
+  std::vector<uint64_t> boundaries;  // measurement instants
+  boundaries.reserve(kIntervals);
+  uint64_t t = 0;
+  for (size_t i = 0; i < kIntervals; ++i) {
+    t += lower.ns() + rng.next_below((upper - lower).ns());
+    boundaries.push_back(t);
+  }
+  const uint64_t span = boundaries.back() - dwell.ns();
+
+  size_t detected = 0;
+  for (size_t i = 0; i < trials; ++i) {
+    const uint64_t a = rng.next_below(span);
+    const uint64_t b = a + dwell.ns();
+    // Binary search: is there a measurement instant in [a, b)?
+    auto it = std::lower_bound(boundaries.begin(), boundaries.end(), a);
+    if (it != boundaries.end() && *it < b) ++detected;
+  }
+  return static_cast<double>(detected) / static_cast<double>(trials);
+}
+
+}  // namespace erasmus::analysis

@@ -1,0 +1,37 @@
+// Monte-Carlo detection-probability estimators.
+//
+// Independent validation of the closed forms in attest/qoa.h: instead of
+// algebra, draw random malware arrivals/dwells against a measurement
+// schedule and count captures. Tests assert the two agree; benches use both
+// to plot §3.5's regular-vs-irregular comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace erasmus::analysis {
+
+/// Malware arrives at a uniformly random phase of a regular schedule with
+/// period tm and dwells for `dwell`. Returns the fraction of `trials` in
+/// which at least one measurement instant fell inside the dwell interval.
+double mc_detection_regular(sim::Duration dwell, sim::Duration tm,
+                            size_t trials, uint64_t seed);
+
+/// Schedule-aware malware vs. an IRREGULAR schedule: it enters immediately
+/// after a measurement; the next measurement fires after an interval drawn
+/// uniformly from [lower, upper). Caught iff interval <= dwell.
+double mc_detection_schedule_aware_irregular(sim::Duration dwell,
+                                             sim::Duration lower,
+                                             sim::Duration upper,
+                                             size_t trials, uint64_t seed);
+
+/// Random-phase malware vs. an IRREGULAR schedule (no closed form in the
+/// paper): simulates a long run of intervals uniform on [lower, upper) and
+/// drops random dwell windows onto it.
+double mc_detection_random_phase_irregular(sim::Duration dwell,
+                                           sim::Duration lower,
+                                           sim::Duration upper,
+                                           size_t trials, uint64_t seed);
+
+}  // namespace erasmus::analysis

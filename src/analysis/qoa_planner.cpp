@@ -1,0 +1,83 @@
+#include "analysis/qoa_planner.h"
+
+#include <vector>
+
+namespace erasmus::analysis {
+
+namespace {
+
+const std::vector<sim::Duration>& grid() {
+  static const std::vector<sim::Duration> kGrid = {
+      sim::Duration::minutes(1),  sim::Duration::minutes(2),
+      sim::Duration::minutes(5),  sim::Duration::minutes(10),
+      sim::Duration::minutes(15), sim::Duration::minutes(20),
+      sim::Duration::minutes(30), sim::Duration::minutes(45),
+      sim::Duration::hours(1),    sim::Duration::hours(2),
+      sim::Duration::hours(4),    sim::Duration::hours(8),
+      sim::Duration::hours(12),   sim::Duration::hours(24),
+  };
+  return kGrid;
+}
+
+}  // namespace
+
+QoAPlan evaluate_qoa(sim::Duration tm, sim::Duration tc,
+                     const DeviceSpec& spec) {
+  QoAPlan plan;
+  plan.tm = tm;
+  plan.tc = tc;
+  const attest::QoAParams qoa{tm, tc};
+  plan.buffer_slots = qoa.min_buffer_slots();
+  plan.worst_case_latency = qoa.worst_case_detection_delay();
+  plan.battery_days = sim::battery_life_days(
+      spec.profile, spec.energy, spec.algo, spec.attested_bytes,
+      spec.record_bytes, tm, tc, /*battery_mwh=*/2400.0);
+  const sim::Duration measure_time =
+      spec.profile.measurement_time(spec.algo, spec.attested_bytes);
+  plan.measurement_duty = static_cast<double>(measure_time.ns()) /
+                          static_cast<double>(tm.ns());
+  return plan;
+}
+
+std::optional<QoAPlan> plan_qoa(const QoAGoal& goal, const DeviceSpec& spec) {
+  std::optional<QoAPlan> best;
+  double best_energy = 0.0;
+
+  for (const sim::Duration tm : grid()) {
+    const double p = attest::detection_prob_regular(goal.min_dwell, tm);
+    if (p < goal.min_detection_prob) continue;
+    // A measurement must fit comfortably inside T_M.
+    const sim::Duration measure_time =
+        spec.profile.measurement_time(spec.algo, spec.attested_bytes);
+    if (measure_time * 2 > tm) continue;
+
+    for (const sim::Duration tc : grid()) {
+      if (tc < tm) continue;  // collecting faster than measuring is wasted
+      if ((tm + tc) > goal.max_detection_latency) continue;
+
+      QoAPlan plan = evaluate_qoa(tm, tc, spec);
+      plan.detection_prob = p;
+      plan.battery_days = sim::battery_life_days(
+          spec.profile, spec.energy, spec.algo, spec.attested_bytes,
+          spec.record_bytes, tm, tc, goal.battery_mwh);
+      if (goal.min_battery_days > 0.0 &&
+          plan.battery_days < goal.min_battery_days) {
+        continue;
+      }
+
+      const double energy =
+          sim::attestation_energy(spec.profile, spec.energy, spec.algo,
+                                  spec.attested_bytes, spec.record_bytes, tm,
+                                  tc, sim::Duration::hours(24))
+              .total()
+              .microjoules;
+      if (!best || energy < best_energy) {
+        best = plan;
+        best_energy = energy;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace erasmus::analysis

@@ -1,0 +1,47 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace erasmus::analysis {
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double sq = 0.0;
+    for (double v : values) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  s.p50 = quantile(values, 0.50);
+  s.p95 = quantile(values, 0.95);
+  return s;
+}
+
+double relative_error(double measured, double reference) {
+  const double denom = std::max(std::abs(reference), 1e-12);
+  return std::abs(measured - reference) / denom;
+}
+
+}  // namespace erasmus::analysis

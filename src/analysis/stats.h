@@ -1,0 +1,29 @@
+// Summary statistics for experiment outputs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace erasmus::analysis {
+
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes all summary statistics in one pass (plus a sort for quantiles).
+Summary summarize(const std::vector<double>& values);
+
+/// Linear-interpolated quantile, q in [0, 1]. Empty input returns 0.
+double quantile(std::vector<double> values, double q);
+
+/// Relative error |a - b| / max(|b|, eps); used to compare measured vs.
+/// paper-reported values in EXPERIMENTS.md checks.
+double relative_error(double measured, double reference);
+
+}  // namespace erasmus::analysis

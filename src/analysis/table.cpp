@@ -1,0 +1,83 @@
+#include "analysis/table.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace erasmus::analysis {
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: at least one column required");
+  }
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::string cell = row[c];
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < row.size()) line += " | ";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) out += "-+-";
+  }
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+Series::Series(std::string x_label, std::vector<std::string> y_labels)
+    : x_label_(std::move(x_label)), y_labels_(std::move(y_labels)) {}
+
+void Series::add_point(double x, std::vector<double> ys) {
+  if (ys.size() != y_labels_.size()) {
+    throw std::invalid_argument("Series: point width mismatch");
+  }
+  xs_.push_back(x);
+  ys_.push_back(std::move(ys));
+}
+
+std::string Series::render() const {
+  Table t([&] {
+    std::vector<std::string> headers{x_label_};
+    headers.insert(headers.end(), y_labels_.begin(), y_labels_.end());
+    return headers;
+  }());
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    std::vector<std::string> row{fmt(xs_[i])};
+    for (double y : ys_[i]) row.push_back(fmt(y));
+    t.add_row(std::move(row));
+  }
+  return t.render();
+}
+
+}  // namespace erasmus::analysis

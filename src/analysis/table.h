@@ -1,0 +1,53 @@
+// ASCII rendering of tables and data series for the bench harness.
+//
+// Every bench binary prints the same rows/series the paper reports; these
+// helpers keep the output uniform and machine-greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace erasmus::analysis {
+
+/// Fixed-column table: header row + data rows, padded to column widths.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column separators, e.g.
+  ///   MAC Impl.     | On-Demand | ERASMUS
+  ///   --------------+-----------+--------
+  ///   HMAC-SHA256   | 5.1 KB    | 4.9 KB
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// (x, y_1..y_m) series for figure reproduction; renders a column-aligned
+/// block with one line per x.
+class Series {
+ public:
+  Series(std::string x_label, std::vector<std::string> y_labels);
+
+  void add_point(double x, std::vector<double> ys);
+
+  std::string render() const;
+
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<std::vector<double>>& ys() const { return ys_; }
+
+ private:
+  std::string x_label_;
+  std::vector<std::string> y_labels_;
+  std::vector<double> xs_;
+  std::vector<std::vector<double>> ys_;
+};
+
+/// Formats a double with `digits` decimals.
+std::string fmt(double value, int digits = 3);
+
+}  // namespace erasmus::analysis

@@ -1,0 +1,79 @@
+#include "attest/audit.h"
+
+#include <algorithm>
+
+namespace erasmus::attest {
+
+void AuditLog::record(sim::Time at, CollectionReport report) {
+  entries_.push_back(AuditEntry{at, true, std::move(report)});
+}
+
+void AuditLog::record_unreachable(sim::Time at) {
+  entries_.push_back(AuditEntry{at, false, {}});
+}
+
+std::optional<sim::Time> AuditLog::first_infection_seen() const {
+  for (const auto& e : entries_) {
+    if (e.reachable && e.report.infection_detected) return e.at;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::Time> AuditLog::first_tampering_seen() const {
+  for (const auto& e : entries_) {
+    if (e.reachable && e.report.tampering_detected) return e.at;
+  }
+  return std::nullopt;
+}
+
+double AuditLog::trustworthy_fraction() const {
+  if (entries_.empty()) return 0.0;
+  const auto n = std::count_if(entries_.begin(), entries_.end(),
+                               [](const AuditEntry& e) {
+                                 return e.reachable &&
+                                        e.report.device_trustworthy();
+                               });
+  return static_cast<double>(n) / static_cast<double>(entries_.size());
+}
+
+double AuditLog::reachable_fraction() const {
+  if (entries_.empty()) return 0.0;
+  const auto n = std::count_if(entries_.begin(), entries_.end(),
+                               [](const AuditEntry& e) { return e.reachable; });
+  return static_cast<double>(n) / static_cast<double>(entries_.size());
+}
+
+AuditLog::EmpiricalQoA AuditLog::empirical_qoa() const {
+  EmpiricalQoA q;
+  uint64_t freshness_sum = 0;
+  uint64_t freshness_max = 0;
+  size_t freshness_count = 0;
+  std::optional<sim::Time> prev;
+  uint64_t interval_sum = 0;
+  size_t interval_count = 0;
+
+  for (const auto& e : entries_) {
+    if (!e.reachable) continue;
+    ++q.rounds;
+    if (e.report.freshness) {
+      freshness_sum += e.report.freshness->ns();
+      freshness_max = std::max(freshness_max, e.report.freshness->ns());
+      ++freshness_count;
+    }
+    if (prev) {
+      interval_sum += (e.at - *prev).ns();
+      ++interval_count;
+    }
+    prev = e.at;
+  }
+  if (freshness_count > 0) {
+    q.mean_freshness = sim::Duration(freshness_sum / freshness_count);
+    q.max_freshness = sim::Duration(freshness_max);
+  }
+  if (interval_count > 0) {
+    q.mean_collection_interval = sim::Duration(interval_sum / interval_count);
+  }
+  return q;
+}
+
+}  // namespace erasmus::attest

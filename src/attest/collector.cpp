@@ -1,0 +1,86 @@
+#include "attest/collector.h"
+
+namespace erasmus::attest {
+
+Collector::Collector(sim::EventQueue& queue, net::Network& network,
+                     net::NodeId self, net::NodeId prover_node,
+                     Verifier& verifier, AuditLog& log, CollectorConfig config)
+    : queue_(queue), network_(network), self_(self),
+      prover_node_(prover_node), verifier_(verifier), log_(log),
+      config_(config) {
+  network_.set_handler(self_,
+                       [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+void Collector::start() {
+  running_ = true;
+  next_round_event_ =
+      queue_.schedule_after(config_.tc, [this] { begin_round(); });
+}
+
+void Collector::stop() {
+  running_ = false;
+  if (timeout_event_) queue_.cancel(*timeout_event_);
+  if (next_round_event_) queue_.cancel(*next_round_event_);
+  timeout_event_.reset();
+  next_round_event_.reset();
+}
+
+void Collector::begin_round() {
+  if (!running_) return;
+  ++stats_.rounds;
+  attempts_this_round_ = 0;
+  awaiting_response_ = true;
+  send_request();
+}
+
+void Collector::send_request() {
+  ++attempts_this_round_;
+  network_.send(self_, prover_node_,
+                frame(MsgType::kCollectRequest,
+                      CollectRequest{config_.k}.serialize()));
+  timeout_event_ = queue_.schedule_after(config_.response_timeout,
+                                         [this] { on_timeout(); });
+}
+
+void Collector::on_timeout() {
+  timeout_event_.reset();
+  if (!running_ || !awaiting_response_) return;
+  if (attempts_this_round_ <= config_.max_retries) {
+    ++stats_.retries;
+    send_request();
+    return;
+  }
+  // Retry budget exhausted: the device is unreachable this round. For an
+  // unattended prover this itself is a QoA event worth logging.
+  awaiting_response_ = false;
+  ++stats_.unreachable_rounds;
+  log_.record_unreachable(queue_.now());
+  finish_round();
+}
+
+void Collector::on_datagram(const net::Datagram& dgram) {
+  if (!awaiting_response_ || dgram.src != prover_node_) return;
+  const auto framed = unframe(dgram.payload);
+  if (!framed || framed->first != MsgType::kCollectResponse) return;
+  const auto resp = CollectResponse::deserialize(framed->second);
+  if (!resp) return;
+
+  awaiting_response_ = false;
+  if (timeout_event_) {
+    queue_.cancel(*timeout_event_);
+    timeout_event_.reset();
+  }
+  ++stats_.responses;
+  log_.record(queue_.now(),
+              verifier_.verify_collection(*resp, queue_.now(), config_.k));
+  finish_round();
+}
+
+void Collector::finish_round() {
+  if (!running_) return;
+  next_round_event_ =
+      queue_.schedule_after(config_.tc, [this] { begin_round(); });
+}
+
+}  // namespace erasmus::attest

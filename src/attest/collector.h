@@ -1,0 +1,68 @@
+// Verifier-side collection daemon.
+//
+// Runs the Fig. 2 collection loop over the (unreliable) network: every T_C
+// it requests the k freshest measurements, retries on timeout, verifies
+// whatever comes back and appends the report to an AuditLog. A device that
+// stays silent past the retry budget is recorded as an unreachable round --
+// for an unattended device that is itself actionable information.
+#pragma once
+
+#include "attest/audit.h"
+#include "attest/protocol.h"
+#include "attest/verifier.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace erasmus::attest {
+
+struct CollectorConfig {
+  sim::Duration tc = sim::Duration::hours(1);  // collection period
+  uint32_t k = 8;                              // records per request
+  sim::Duration response_timeout = sim::Duration::seconds(2);
+  int max_retries = 2;  // per round, after the first attempt
+};
+
+class Collector {
+ public:
+  /// `self` must already be registered on the network; the collector
+  /// installs its own datagram handler.
+  Collector(sim::EventQueue& queue, net::Network& network, net::NodeId self,
+            net::NodeId prover_node, Verifier& verifier, AuditLog& log,
+            CollectorConfig config);
+
+  /// Schedules the first round one T_C from now.
+  void start();
+  void stop();
+
+  struct Stats {
+    uint64_t rounds = 0;
+    uint64_t responses = 0;
+    uint64_t retries = 0;
+    uint64_t unreachable_rounds = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void begin_round();
+  void send_request();
+  void on_timeout();
+  void on_datagram(const net::Datagram& dgram);
+  void finish_round();
+
+  sim::EventQueue& queue_;
+  net::Network& network_;
+  net::NodeId self_;
+  net::NodeId prover_node_;
+  Verifier& verifier_;
+  AuditLog& log_;
+  CollectorConfig config_;
+
+  bool running_ = false;
+  bool awaiting_response_ = false;
+  int attempts_this_round_ = 0;
+  std::optional<sim::EventId> timeout_event_;
+  std::optional<sim::EventId> next_round_event_;
+  Stats stats_;
+};
+
+}  // namespace erasmus::attest

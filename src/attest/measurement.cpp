@@ -1,0 +1,109 @@
+#include "attest/measurement.h"
+
+#include "common/serde.h"
+#include "crypto/blake2s.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace erasmus::attest {
+
+namespace {
+
+size_t digest_size_for(crypto::MacAlgo algo) {
+  switch (algo) {
+    case crypto::MacAlgo::kHmacSha1:
+      return crypto::Sha1::kDigestSize;
+    case crypto::MacAlgo::kHmacSha256:
+      return crypto::Sha256::kDigestSize;
+    case crypto::MacAlgo::kKeyedBlake2s:
+      return crypto::Blake2s::kMaxDigestSize;
+  }
+  return 0;
+}
+
+size_t tag_size_for(crypto::MacAlgo algo) {
+  switch (algo) {
+    case crypto::MacAlgo::kHmacSha1:
+      return crypto::Sha1::kDigestSize;
+    case crypto::MacAlgo::kHmacSha256:
+      return crypto::Sha256::kDigestSize;
+    case crypto::MacAlgo::kKeyedBlake2s:
+      return crypto::Blake2s::kMaxDigestSize;
+  }
+  return 0;
+}
+
+}  // namespace
+
+crypto::HashAlgo hash_for(crypto::MacAlgo algo) {
+  switch (algo) {
+    case crypto::MacAlgo::kHmacSha1:
+      return crypto::HashAlgo::kSha1;
+    case crypto::MacAlgo::kHmacSha256:
+      return crypto::HashAlgo::kSha256;
+    case crypto::MacAlgo::kKeyedBlake2s:
+      return crypto::HashAlgo::kBlake2s;
+  }
+  return crypto::HashAlgo::kSha256;
+}
+
+Bytes Measurement::serialize() const {
+  ByteWriter w;
+  w.u64(timestamp);
+  w.var_bytes(digest);
+  w.var_bytes(mac);
+  return w.take();
+}
+
+std::optional<Measurement> Measurement::deserialize(ByteView data) {
+  ByteReader r(data);
+  Measurement m;
+  m.timestamp = r.u64();
+  m.digest = r.var_bytes();
+  m.mac = r.var_bytes();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+size_t Measurement::wire_size(crypto::MacAlgo algo) {
+  return 8 + 4 + digest_size_for(algo) + 4 + tag_size_for(algo);
+}
+
+Bytes measurement_mac_input(uint64_t t, ByteView digest) {
+  ByteWriter w;
+  w.u64(t);
+  w.raw(digest);
+  return w.take();
+}
+
+Measurement compute_measurement(crypto::MacAlgo algo, ByteView key,
+                                ByteView memory, uint64_t t) {
+  Measurement m;
+  m.timestamp = t;
+  m.digest = crypto::Hash::digest(hash_for(algo), memory);
+  m.mac = crypto::Mac::compute(algo, key,
+                               measurement_mac_input(t, m.digest));
+  return m;
+}
+
+Measurement compute_measurement_protected(hw::SecurityArch& arch,
+                                          crypto::MacAlgo algo,
+                                          hw::RegionId attested_region,
+                                          uint64_t t) {
+  Measurement m;
+  arch.run_protected([&](hw::SecurityArch::ProtectedContext& ctx) {
+    const ByteView mem = ctx.memory().view(attested_region,
+                                           /*privileged=*/true);
+    m = compute_measurement(algo, ctx.key(), mem, t);
+  });
+  return m;
+}
+
+bool verify_measurement(crypto::MacAlgo algo, ByteView key,
+                        const Measurement& m) {
+  return crypto::Mac::verify(algo, key,
+                             measurement_mac_input(m.timestamp, m.digest),
+                             m.mac);
+}
+
+}  // namespace erasmus::attest

@@ -1,0 +1,61 @@
+// ERASMUS self-measurement record (paper §3):
+//
+//     M_t = < t, H(mem_t), MAC_K(t, H(mem_t)) >
+//
+// `t` is the RROC value when the measurement was taken, H is the hash
+// paired with the MAC construction, and MAC_K binds the timestamp to the
+// memory digest under the device key K. Measurements are not secret and are
+// stored/transmitted in the clear; their integrity rests entirely on MAC_K.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/mac.h"
+#include "hw/arch.h"
+
+namespace erasmus::attest {
+
+struct Measurement {
+  uint64_t timestamp = 0;  // RROC ticks
+  Bytes digest;            // H(mem_t)
+  Bytes mac;               // MAC_K(t, H(mem_t))
+
+  bool operator==(const Measurement&) const = default;
+
+  /// Wire encoding: u64 t | var digest | var mac.
+  Bytes serialize() const;
+  static std::optional<Measurement> deserialize(ByteView data);
+
+  /// Serialized size for a given algorithm (fixed: all fields fixed-width).
+  static size_t wire_size(crypto::MacAlgo algo);
+};
+
+/// The hash paired with each MAC construction (H in M_t). HMAC-X uses X;
+/// keyed BLAKE2s uses unkeyed BLAKE2s for the memory digest.
+crypto::HashAlgo hash_for(crypto::MacAlgo algo);
+
+/// Canonical MAC input: u64 t (little-endian) followed by the digest.
+Bytes measurement_mac_input(uint64_t t, ByteView digest);
+
+/// Computes M_t over `memory` with key `key` (host-side primitive; no
+/// architecture involvement -- used by the verifier to derive expected
+/// values and by tests).
+Measurement compute_measurement(crypto::MacAlgo algo, ByteView key,
+                                ByteView memory, uint64_t t);
+
+/// Computes M_t *inside* the security architecture's protected environment:
+/// the attested region is read with privileged access and K is obtained
+/// through the ProtectedContext -- the only legal path to it. This is the
+/// code path the prover uses (paper: "The computation of H(mem_t) and MAC is
+/// done in the context of the security architecture").
+Measurement compute_measurement_protected(hw::SecurityArch& arch,
+                                          crypto::MacAlgo algo,
+                                          hw::RegionId attested_region,
+                                          uint64_t t);
+
+/// Verifies MAC_K(t, H(mem_t)) in constant time.
+bool verify_measurement(crypto::MacAlgo algo, ByteView key,
+                        const Measurement& m);
+
+}  // namespace erasmus::attest

@@ -1,0 +1,128 @@
+#include "attest/protocol.h"
+
+#include "common/serde.h"
+
+namespace erasmus::attest {
+
+namespace {
+
+void write_measurement(ByteWriter& w, const Measurement& m) {
+  w.u64(m.timestamp);
+  w.var_bytes(m.digest);
+  w.var_bytes(m.mac);
+}
+
+std::optional<Measurement> read_measurement(ByteReader& r) {
+  Measurement m;
+  m.timestamp = r.u64();
+  m.digest = r.var_bytes();
+  m.mac = r.var_bytes();
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+}  // namespace
+
+Bytes CollectRequest::serialize() const {
+  ByteWriter w;
+  w.u32(k);
+  return w.take();
+}
+
+std::optional<CollectRequest> CollectRequest::deserialize(ByteView data) {
+  ByteReader r(data);
+  CollectRequest req;
+  req.k = r.u32();
+  if (!r.done()) return std::nullopt;
+  return req;
+}
+
+Bytes CollectResponse::serialize() const {
+  ByteWriter w;
+  w.u32(static_cast<uint32_t>(measurements.size()));
+  for (const auto& m : measurements) write_measurement(w, m);
+  return w.take();
+}
+
+std::optional<CollectResponse> CollectResponse::deserialize(ByteView data) {
+  ByteReader r(data);
+  const uint32_t count = r.u32();
+  CollectResponse resp;
+  // The count is attacker-controlled: never pre-allocate from it. Each
+  // iteration consumes >= 16 bytes, so a lying header fails fast below.
+  for (uint32_t i = 0; i < count; ++i) {
+    auto m = read_measurement(r);
+    if (!m) return std::nullopt;
+    resp.measurements.push_back(std::move(*m));
+  }
+  if (!r.done()) return std::nullopt;
+  return resp;
+}
+
+Bytes OdRequest::mac_input(uint64_t treq, uint32_t k) {
+  ByteWriter w;
+  w.u64(treq);
+  w.u32(k);
+  return w.take();
+}
+
+Bytes OdRequest::serialize() const {
+  ByteWriter w;
+  w.u64(treq);
+  w.u32(k);
+  w.var_bytes(mac);
+  return w.take();
+}
+
+std::optional<OdRequest> OdRequest::deserialize(ByteView data) {
+  ByteReader r(data);
+  OdRequest req;
+  req.treq = r.u64();
+  req.k = r.u32();
+  req.mac = r.var_bytes();
+  if (!r.done()) return std::nullopt;
+  return req;
+}
+
+Bytes OdResponse::serialize() const {
+  ByteWriter w;
+  write_measurement(w, fresh);
+  w.u32(static_cast<uint32_t>(history.size()));
+  for (const auto& m : history) write_measurement(w, m);
+  return w.take();
+}
+
+std::optional<OdResponse> OdResponse::deserialize(ByteView data) {
+  ByteReader r(data);
+  OdResponse resp;
+  auto fresh = read_measurement(r);
+  if (!fresh) return std::nullopt;
+  resp.fresh = std::move(*fresh);
+  const uint32_t count = r.u32();
+  for (uint32_t i = 0; i < count; ++i) {
+    auto m = read_measurement(r);
+    if (!m) return std::nullopt;
+    resp.history.push_back(std::move(*m));
+  }
+  if (!r.done()) return std::nullopt;
+  return resp;
+}
+
+Bytes frame(MsgType type, ByteView body) {
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(type));
+  w.raw(body);
+  return w.take();
+}
+
+std::optional<std::pair<MsgType, ByteView>> unframe(ByteView data) {
+  if (data.empty()) return std::nullopt;
+  const uint8_t tag = data[0];
+  if (tag < static_cast<uint8_t>(MsgType::kCollectRequest) ||
+      tag > static_cast<uint8_t>(MsgType::kOdResponse)) {
+    return std::nullopt;
+  }
+  return std::make_pair(static_cast<MsgType>(tag), data.subspan(1));
+}
+
+}  // namespace erasmus::attest

@@ -1,0 +1,76 @@
+// Wire messages for the three protocols the paper specifies:
+//
+//  * ERASMUS collection (Fig. 2):    Vrf -> Prv: "collect k"
+//                                    Prv -> Vrf: k stored measurements
+//    -- carries NO authentication: collection triggers no computation, so
+//    there is no DoS surface and verifier requests need no MAC (§3).
+//
+//  * ERASMUS+OD (Fig. 4):            Vrf -> Prv: t_req, k, MAC_K(t_req)
+//                                    Prv -> Vrf: fresh M_0 plus k stored
+//    -- the request is authenticated and freshness-checked (SMART+ anti-DoS)
+//    because it triggers a real measurement.
+//
+//  * Pure on-demand baseline (SMART+ [5]): same request, response is the
+//    single fresh measurement.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "attest/measurement.h"
+#include "common/bytes.h"
+
+namespace erasmus::attest {
+
+enum class MsgType : uint8_t {
+  kCollectRequest = 1,
+  kCollectResponse = 2,
+  kOdRequest = 3,       // authenticated; k == 0 -> pure on-demand
+  kOdResponse = 4,
+};
+
+/// Fig. 2 request: "collect k" (k = number of most recent measurements).
+struct CollectRequest {
+  uint32_t k = 1;
+
+  Bytes serialize() const;
+  static std::optional<CollectRequest> deserialize(ByteView data);
+};
+
+/// Fig. 2 response: the stored measurements, newest first.
+struct CollectResponse {
+  std::vector<Measurement> measurements;
+
+  Bytes serialize() const;
+  static std::optional<CollectResponse> deserialize(ByteView data);
+};
+
+/// Fig. 4 request (also the SMART+ on-demand request when k == 0).
+struct OdRequest {
+  uint64_t treq = 0;  // verifier RROC-aligned timestamp
+  uint32_t k = 0;     // how many stored measurements to include
+  Bytes mac;          // MAC_K(treq | k)
+
+  /// The MAC input binds both the timestamp and k (so a MITM cannot
+  /// truncate the requested history).
+  static Bytes mac_input(uint64_t treq, uint32_t k);
+
+  Bytes serialize() const;
+  static std::optional<OdRequest> deserialize(ByteView data);
+};
+
+/// Fig. 4 response: fresh measurement M_0 plus history M.
+struct OdResponse {
+  Measurement fresh;
+  std::vector<Measurement> history;
+
+  Bytes serialize() const;
+  static std::optional<OdResponse> deserialize(ByteView data);
+};
+
+/// Frames a message with its type tag for transport over the network.
+Bytes frame(MsgType type, ByteView body);
+/// Splits a framed datagram payload into (type, body view into `data`).
+std::optional<std::pair<MsgType, ByteView>> unframe(ByteView data);
+
+}  // namespace erasmus::attest

@@ -1,0 +1,49 @@
+#include "attest/qoa.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace erasmus::attest {
+
+namespace {
+uint64_t ceil_div(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+size_t QoAParams::measurements_per_collection() const {
+  if (tm.is_zero()) throw std::invalid_argument("QoAParams: T_M must be > 0");
+  return static_cast<size_t>(ceil_div(tc.ns(), tm.ns()));
+}
+
+bool QoAParams::buffer_safe(size_t n) const {
+  return tc.ns() <= tm.ns() * static_cast<uint64_t>(n);
+}
+
+size_t QoAParams::min_buffer_slots() const {
+  if (tm.is_zero()) throw std::invalid_argument("QoAParams: T_M must be > 0");
+  return static_cast<size_t>(ceil_div(tc.ns(), tm.ns()));
+}
+
+double detection_prob_regular(sim::Duration dwell, sim::Duration tm) {
+  if (tm.is_zero()) throw std::invalid_argument("tm must be > 0");
+  const double p = static_cast<double>(dwell.ns()) /
+                   static_cast<double>(tm.ns());
+  return std::min(1.0, p);
+}
+
+double detection_prob_schedule_aware_regular(sim::Duration dwell,
+                                             sim::Duration tm) {
+  if (tm.is_zero()) throw std::invalid_argument("tm must be > 0");
+  return dwell >= tm ? 1.0 : 0.0;
+}
+
+double detection_prob_schedule_aware_irregular(sim::Duration dwell,
+                                               sim::Duration lower,
+                                               sim::Duration upper) {
+  if (upper <= lower) throw std::invalid_argument("need lower < upper");
+  if (dwell <= lower) return 0.0;
+  if (dwell >= upper) return 1.0;
+  return static_cast<double>((dwell - lower).ns()) /
+         static_cast<double>((upper - lower).ns());
+}
+
+}  // namespace erasmus::attest

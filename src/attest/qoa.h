@@ -1,0 +1,65 @@
+// Quality of Attestation (QoA), the paper's new metric (§3.1).
+//
+// QoA is determined by (1) T_M, the time between successive self-
+// measurements, and (2) T_C, the time between successive collections, plus
+// the derived quantities: k = ceil(T_C / T_M) measurements per collection,
+// freshness f in [0, T_M] (expected T_M / 2), and the buffer-safety
+// condition T_C <= n * T_M.
+//
+// This header also provides the closed-form mobile-malware detection
+// probabilities used by the ablation benches; the Monte-Carlo counterparts
+// live in analysis/detection.h and the tests check they agree.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/time.h"
+
+namespace erasmus::attest {
+
+struct QoAParams {
+  sim::Duration tm;  // measurement period
+  sim::Duration tc;  // collection period
+
+  /// k = ceil(T_C / T_M): measurements per collection so each is collected
+  /// exactly once (paper §3.1).
+  size_t measurements_per_collection() const;
+
+  /// Expected freshness of the newest measurement at a random collection
+  /// instant: T_M / 2.
+  sim::Duration expected_freshness() const { return tm / 2; }
+
+  /// Worst-case delay from infection (of persistent malware) to detection:
+  /// the malware must first be measured (<= T_M) and the measurement then
+  /// collected (<= T_C).
+  sim::Duration worst_case_detection_delay() const { return tm + tc; }
+
+  /// True when a buffer of n slots never overwrites an uncollected
+  /// measurement: T_C <= n * T_M (paper §3.2).
+  bool buffer_safe(size_t n) const;
+
+  /// Smallest n satisfying buffer_safe.
+  size_t min_buffer_slots() const;
+};
+
+/// P(detection) of mobile malware that dwells for `dwell` and arrives at a
+/// uniformly random phase of a REGULAR schedule with period tm:
+/// min(1, dwell / tm).
+double detection_prob_regular(sim::Duration dwell, sim::Duration tm);
+
+/// P(detection) for *schedule-aware* malware against a REGULAR schedule: it
+/// enters immediately after an observed measurement, so it is caught iff
+/// dwell >= tm. This is the paper's motivation for irregular intervals.
+double detection_prob_schedule_aware_regular(sim::Duration dwell,
+                                             sim::Duration tm);
+
+/// P(detection) for schedule-aware malware against an IRREGULAR schedule
+/// with intervals uniform on [lower, upper): even entering right after a
+/// measurement, the next one fires after an unpredictable interval T, and
+/// the malware is caught iff T <= dwell:
+///   P = clamp((dwell - lower) / (upper - lower), 0, 1).
+double detection_prob_schedule_aware_irregular(sim::Duration dwell,
+                                               sim::Duration lower,
+                                               sim::Duration upper);
+
+}  // namespace erasmus::attest

@@ -1,0 +1,111 @@
+// Measurement scheduling policies (paper §3.1, §3.5 and §5).
+//
+// * RegularScheduler: fixed T_M between measurements -- the baseline.
+// * IrregularScheduler (§3.5): the next interval is
+//       T_M^next = map(CSPRNG_K(t_i)),  map: x -> x mod (U - L) + L
+//   realised with an HMAC-DRBG keyed by the device key K and the timestamp
+//   of the just-completed measurement. Malware cannot read K, so it cannot
+//   predict when the next measurement fires; the verifier CAN replay the
+//   whole expected schedule from K.
+// * LenientScheduler (§5): wraps a base policy with a window w*T_M; a
+//   measurement aborted by a time-critical task is retried and must land by
+//   the end of the current window.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "sim/time.h"
+
+namespace erasmus::attest {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Interval between the measurement taken at RROC value `t_ticks` and the
+  /// next one.
+  virtual sim::Duration next_interval(uint64_t t_ticks) const = 0;
+
+  /// Nominal period (T_M for regular; midpoint of [L, U] for irregular).
+  /// Used for buffer sizing and QoA math.
+  virtual sim::Duration nominal_period() const = 0;
+
+  /// True when the schedule is a deterministic function of public
+  /// information (regular schedules) -- i.e. when schedule-aware malware
+  /// can dodge it (paper §3.5).
+  virtual bool predictable_without_key() const = 0;
+};
+
+class RegularScheduler final : public Scheduler {
+ public:
+  explicit RegularScheduler(sim::Duration tm);
+
+  sim::Duration next_interval(uint64_t) const override { return tm_; }
+  sim::Duration nominal_period() const override { return tm_; }
+  bool predictable_without_key() const override { return true; }
+
+  sim::Duration tm() const { return tm_; }
+
+ private:
+  sim::Duration tm_;
+};
+
+class IrregularScheduler final : public Scheduler {
+ public:
+  /// `key`: the device key K (shared with the verifier, who replays the
+  /// schedule). Interval bounds L <= interval < U, at `tick` granularity.
+  IrregularScheduler(Bytes key, sim::Duration lower, sim::Duration upper,
+                     sim::Duration tick = sim::Duration::seconds(1));
+
+  sim::Duration next_interval(uint64_t t_ticks) const override;
+  sim::Duration nominal_period() const override;
+  bool predictable_without_key() const override { return false; }
+
+  sim::Duration lower() const { return lower_; }
+  sim::Duration upper() const { return upper_; }
+
+ private:
+  Bytes key_;
+  sim::Duration lower_;
+  sim::Duration upper_;
+  sim::Duration tick_;
+};
+
+class LenientScheduler final : public Scheduler {
+ public:
+  /// `window_factor` is w >= 1: a measurement nominally due at t may slip
+  /// anywhere inside [t, t + (w-1)*T_M] when the device is busy with
+  /// time-critical work.
+  LenientScheduler(std::unique_ptr<Scheduler> base, double window_factor);
+
+  sim::Duration next_interval(uint64_t t_ticks) const override {
+    return base_->next_interval(t_ticks);
+  }
+  sim::Duration nominal_period() const override {
+    return base_->nominal_period();
+  }
+  bool predictable_without_key() const override {
+    return base_->predictable_without_key();
+  }
+
+  /// Extra slack available past the nominal due time.
+  sim::Duration window_slack() const;
+  double window_factor() const { return window_factor_; }
+
+ private:
+  std::unique_ptr<Scheduler> base_;
+  double window_factor_;
+};
+
+/// Replays the expected measurement times from an anchor: t_0, t_1 = t_0 +
+/// interval(t_0)/tick, ... up to and including the last time <= t_end.
+/// This is the verifier-side counterpart of the prover's timer programming
+/// (both sides share K, so irregular schedules replay identically).
+std::vector<uint64_t> expected_schedule(const Scheduler& sched,
+                                        uint64_t t0_ticks, uint64_t t_end_ticks,
+                                        sim::Duration tick);
+
+}  // namespace erasmus::attest

@@ -1,0 +1,118 @@
+// The ERASMUS verifier.
+//
+// Holds the device key K and the golden (expected) memory digest; validates
+// collected measurement histories (Fig. 2, right side), builds and checks
+// ERASMUS+OD exchanges (Fig. 4), and derives the QoA facts a collection
+// establishes: infection evidence, tampering evidence, freshness.
+//
+// Per §3.4, *any* inconsistency in the returned history -- a bad MAC, an
+// off-schedule timestamp, a gap, a reordering, or fewer records than
+// requested -- is treated as evidence of malware: benign operation never
+// produces it (the store is only written by protected code).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attest/protocol.h"
+#include "attest/schedule.h"
+#include "sim/time.h"
+
+namespace erasmus::attest {
+
+enum class MeasurementStatus : uint8_t {
+  kHealthy,     // authentic and digest matches the golden state
+  kInfected,    // authentic but digest differs: malware was resident at t
+  kBadMac,      // forged or corrupted record
+  kOffSchedule, // authentic MAC but timestamp not on the expected schedule
+};
+
+std::string to_string(MeasurementStatus s);
+
+struct MeasurementVerdict {
+  Measurement m;
+  MeasurementStatus status = MeasurementStatus::kBadMac;
+};
+
+struct CollectionReport {
+  std::vector<MeasurementVerdict> verdicts;  // newest first
+  /// Authentic digest mismatch in some measurement: malware was present at
+  /// that time (detected even if it has since left -- the mobile-malware
+  /// win over on-demand RA).
+  bool infection_detected = false;
+  /// Evidence of history manipulation: bad MAC, schedule gap/violation,
+  /// reordering, or a short response.
+  bool tampering_detected = false;
+  /// now - timestamp of the newest *authentic* measurement; nullopt when
+  /// nothing authentic came back.
+  std::optional<sim::Duration> freshness;
+  /// Expected-but-missing measurements (when a schedule is configured).
+  size_t missing = 0;
+  std::string note;
+
+  bool device_trustworthy() const {
+    return !infection_detected && !tampering_detected;
+  }
+};
+
+struct VerifierConfig {
+  crypto::MacAlgo algo = crypto::MacAlgo::kHmacSha256;
+  Bytes key;             // K, shared with the prover
+  Bytes golden_digest;   // H(mem) of the known-good software state
+  sim::Duration tick = sim::Duration::seconds(1);  // RROC granularity
+};
+
+class Verifier {
+ public:
+  explicit Verifier(VerifierConfig config);
+
+  /// Registers the prover's measurement schedule so timestamps can be
+  /// cross-checked. `t0_ticks` anchors the first expected measurement.
+  /// Works for both regular and irregular schedules -- the verifier owns K
+  /// and replays CSPRNG_K exactly as the prover does.
+  void set_schedule(const Scheduler* scheduler, uint64_t t0_ticks);
+
+  /// Replaces the reference state wholesale (all epochs).
+  void set_golden_digest(Bytes digest);
+  /// Rotates the reference state at `from_ticks`: measurements with
+  /// timestamp >= from_ticks are judged against `digest`, earlier ones
+  /// against the previous epoch (so a software update does not turn the
+  /// legitimate pre-update history into false "infections").
+  void rotate_golden_digest(Bytes digest, uint64_t from_ticks);
+  /// The digest a measurement taken at `t_ticks` must match.
+  const Bytes& golden_digest_at(uint64_t t_ticks) const;
+  /// Current (latest-epoch) golden digest.
+  const Bytes& golden_digest() const;
+
+  /// Validates a collection response. `expected_k` is the k the verifier
+  /// asked for (0 = don't check the count). `now` is collection time.
+  CollectionReport verify_collection(const CollectResponse& resp,
+                                     sim::Time now,
+                                     size_t expected_k = 0) const;
+
+  /// Builds an authenticated ERASMUS+OD / on-demand request (Fig. 4).
+  OdRequest make_od_request(uint64_t now_ticks, uint32_t k) const;
+
+  struct OdReport {
+    MeasurementVerdict fresh;
+    CollectionReport history;
+    /// Fresh measurement authentic and its timestamp plausibly current.
+    bool fresh_valid = false;
+  };
+  OdReport verify_od_response(const OdResponse& resp, sim::Time now,
+                              uint64_t treq) const;
+
+  const VerifierConfig& config() const { return config_; }
+
+ private:
+  MeasurementVerdict judge(const Measurement& m) const;
+
+  VerifierConfig config_;
+  /// Golden-digest epochs: (first valid RROC tick, digest), sorted by tick.
+  std::vector<std::pair<uint64_t, Bytes>> goldens_;
+  const Scheduler* scheduler_ = nullptr;  // not owned
+  uint64_t schedule_t0_ = 0;
+};
+
+}  // namespace erasmus::attest

@@ -1,0 +1,50 @@
+// Byte-buffer primitives shared by every module.
+//
+// The whole code base manipulates raw octet strings (memory images, digests,
+// MACs, packets). We standardise on std::vector<uint8_t> for owning buffers
+// and std::span<const uint8_t> for views, and provide small helpers that the
+// C++ standard library lacks.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erasmus {
+
+/// Owning byte buffer.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using ByteView = std::span<const uint8_t>;
+
+/// Builds a Bytes buffer from a string literal / std::string payload.
+inline Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Concatenates two byte ranges into a fresh buffer.
+inline Bytes concat(ByteView a, ByteView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Value-equality between a view and a buffer (non constant-time; use
+/// crypto::ct_equal for secret-dependent comparisons).
+inline bool equal(ByteView a, ByteView b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+}  // namespace erasmus

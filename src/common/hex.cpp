@@ -1,0 +1,50 @@
+#include "common/hex.h"
+
+namespace erasmus {
+
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    hex.remove_prefix(2);
+  }
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble_value(hex[i]);
+    const int lo = nibble_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string hex_abbrev(ByteView data) {
+  const std::string full = to_hex(data);
+  if (full.size() <= 6) return "0x" + full;
+  return "0x" + full.substr(0, 3) + "..." + full.substr(full.size() - 2);
+}
+
+}  // namespace erasmus

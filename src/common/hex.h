@@ -1,0 +1,26 @@
+// Hexadecimal encoding/decoding of byte buffers.
+//
+// Used by tests (known-answer vectors), by logging, and by the bench harness
+// when printing digests in the same abbreviated form as the paper's Figure 3
+// (e.g. "0xe4b...ce").
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace erasmus {
+
+/// Lower-case hex encoding ("deadbeef").
+std::string to_hex(ByteView data);
+
+/// Decodes a hex string; returns std::nullopt on odd length or non-hex chars.
+/// Accepts upper- and lower-case digits and an optional "0x" prefix.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Abbreviated rendering used in figures: "0xe4b...ce" (first 3 and last 2
+/// nibbles). Buffers of 3 bytes or fewer are printed in full.
+std::string hex_abbrev(ByteView data);
+
+}  // namespace erasmus

@@ -1,0 +1,112 @@
+#include "crypto/chacha20.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace erasmus::crypto {
+
+namespace {
+
+inline uint32_t load_le32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline void store_le32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void quarter_round(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = std::rotl(d ^ a, 16);
+  c += d;
+  b = std::rotl(b ^ c, 12);
+  a += b;
+  d = std::rotl(d ^ a, 8);
+  c += d;
+  b = std::rotl(b ^ c, 7);
+}
+
+}  // namespace
+
+ChaCha20Rng::ChaCha20Rng(ByteView key, ByteView nonce) {
+  if (key.size() > kKeySize) {
+    throw std::invalid_argument("ChaCha20Rng: key longer than 32 bytes");
+  }
+  if (nonce.size() > kNonceSize) {
+    throw std::invalid_argument("ChaCha20Rng: nonce longer than 12 bytes");
+  }
+  std::array<uint8_t, kKeySize> k{};
+  std::copy(key.begin(), key.end(), k.begin());
+  std::array<uint8_t, kNonceSize> n{};
+  std::copy(nonce.begin(), nonce.end(), n.begin());
+
+  state_[0] = 0x61707865u;  // "expa"
+  state_[1] = 0x3320646eu;  // "nd 3"
+  state_[2] = 0x79622d32u;  // "2-by"
+  state_[3] = 0x6b206574u;  // "te k"
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(k.data() + 4 * i);
+  state_[12] = 0;  // block counter
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(n.data() + 4 * i);
+}
+
+void ChaCha20Rng::refill() {
+  std::array<uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(block_.data() + 4 * i, x[i] + state_[i]);
+  }
+  state_[12] += 1;  // 32-bit counter; 256 GiB per nonce is ample here
+  block_pos_ = 0;
+}
+
+void ChaCha20Rng::generate(std::span<uint8_t> out) {
+  size_t produced = 0;
+  while (produced < out.size()) {
+    if (block_pos_ == block_.size()) refill();
+    const size_t take = std::min(block_.size() - block_pos_,
+                                 out.size() - produced);
+    std::copy_n(block_.data() + block_pos_, take, out.data() + produced);
+    block_pos_ += take;
+    produced += take;
+  }
+}
+
+Bytes ChaCha20Rng::generate(size_t n) {
+  Bytes out(n);
+  generate(std::span<uint8_t>(out));
+  return out;
+}
+
+uint64_t ChaCha20Rng::next_u64() {
+  uint8_t buf[8];
+  generate(std::span<uint8_t>(buf, 8));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  return v;
+}
+
+uint64_t ChaCha20Rng::next_below(uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("next_below: bound must be > 0");
+  const uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+}  // namespace erasmus::crypto

@@ -1,0 +1,35 @@
+// ChaCha20 block function (RFC 8439) used as a fast deterministic CSPRNG.
+//
+// Alternative CSPRNG backend for irregular scheduling on devices where
+// HMAC-DRBG's two HMAC passes per output are too slow. Also used by tests to
+// produce large pseudo-random memory images cheaply and reproducibly.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+
+namespace erasmus::crypto {
+
+class ChaCha20Rng {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+
+  /// `key` must be 32 bytes; shorter keys are zero-padded, longer rejected.
+  explicit ChaCha20Rng(ByteView key, ByteView nonce = {});
+
+  void generate(std::span<uint8_t> out);
+  Bytes generate(size_t n);
+  uint64_t next_u64();
+  uint64_t next_below(uint64_t bound);
+
+ private:
+  void refill();
+
+  std::array<uint32_t, 16> state_{};
+  std::array<uint8_t, 64> block_{};
+  size_t block_pos_ = 64;  // forces refill on first use
+};
+
+}  // namespace erasmus::crypto

@@ -1,0 +1,41 @@
+#include "crypto/hash.h"
+
+#include <stdexcept>
+
+#include "crypto/blake2s.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace erasmus::crypto {
+
+std::string to_string(HashAlgo algo) {
+  switch (algo) {
+    case HashAlgo::kSha1:
+      return "SHA-1";
+    case HashAlgo::kSha256:
+      return "SHA-256";
+    case HashAlgo::kBlake2s:
+      return "BLAKE2s";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Hash> Hash::create(HashAlgo algo) {
+  switch (algo) {
+    case HashAlgo::kSha1:
+      return std::make_unique<Sha1>();
+    case HashAlgo::kSha256:
+      return std::make_unique<Sha256>();
+    case HashAlgo::kBlake2s:
+      return std::make_unique<Blake2s>();
+  }
+  throw std::invalid_argument("Hash::create: unknown algorithm");
+}
+
+Bytes Hash::digest(HashAlgo algo, ByteView data) {
+  auto h = create(algo);
+  h->update(data);
+  return h->finalize();
+}
+
+}  // namespace erasmus::crypto

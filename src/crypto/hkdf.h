@@ -1,0 +1,23 @@
+// HKDF (RFC 5869) over SHA-256.
+//
+// Key-derivation substrate: a deployment provisions each device's K from a
+// fleet master secret (K_i = HKDF(master, salt=device_id)), and ERASMUS
+// sub-keys (measurement MAC key vs. schedule CSPRNG seed) can be separated
+// by `info` labels without new provisioning.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace erasmus::crypto {
+
+/// HKDF-Extract: PRK = HMAC-SHA256(salt, ikm).
+Bytes hkdf_extract(ByteView salt, ByteView ikm);
+
+/// HKDF-Expand: `length` bytes of output keyed by PRK, separated by `info`.
+/// length <= 255 * 32.
+Bytes hkdf_expand(ByteView prk, ByteView info, size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(ByteView ikm, ByteView salt, ByteView info, size_t length);
+
+}  // namespace erasmus::crypto

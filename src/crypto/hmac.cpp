@@ -1,0 +1,46 @@
+#include "crypto/hmac.h"
+
+namespace erasmus::crypto {
+
+Hmac::Hmac(HashAlgo algo, ByteView key)
+    : inner_(Hash::create(algo)), outer_(Hash::create(algo)) {
+  const size_t block = inner_->block_size();
+  Bytes k(key.begin(), key.end());
+  if (k.size() > block) {
+    k = Hash::digest(algo, k);
+  }
+  k.resize(block, 0x00);
+
+  ipad_block_.resize(block);
+  opad_block_.resize(block);
+  for (size_t i = 0; i < block; ++i) {
+    ipad_block_[i] = k[i] ^ 0x36;
+    opad_block_[i] = k[i] ^ 0x5c;
+  }
+  reset();
+}
+
+void Hmac::reset() {
+  inner_->reset();
+  inner_->update(ipad_block_);
+}
+
+void Hmac::update(ByteView data) { inner_->update(data); }
+
+Bytes Hmac::finalize() {
+  const Bytes inner_digest = inner_->finalize();
+  outer_->reset();
+  outer_->update(opad_block_);
+  outer_->update(inner_digest);
+  Bytes tag = outer_->finalize();
+  reset();
+  return tag;
+}
+
+Bytes Hmac::compute(HashAlgo algo, ByteView key, ByteView message) {
+  Hmac mac(algo, key);
+  mac.update(message);
+  return mac.finalize();
+}
+
+}  // namespace erasmus::crypto

@@ -1,0 +1,33 @@
+// HMAC (RFC 2104 / FIPS 198-1), generic over any crypto::Hash.
+#pragma once
+
+#include <memory>
+
+#include "crypto/hash.h"
+
+namespace erasmus::crypto {
+
+/// Streaming HMAC. The key may be any length; keys longer than the hash
+/// block size are hashed first, per the RFC.
+class Hmac {
+ public:
+  Hmac(HashAlgo algo, ByteView key);
+
+  void update(ByteView data);
+  /// Returns the tag and resets for a new message under the same key.
+  Bytes finalize();
+  void reset();
+
+  size_t tag_size() const { return inner_->digest_size(); }
+
+  /// One-shot convenience.
+  static Bytes compute(HashAlgo algo, ByteView key, ByteView message);
+
+ private:
+  std::unique_ptr<Hash> inner_;
+  std::unique_ptr<Hash> outer_;
+  Bytes ipad_block_;
+  Bytes opad_block_;
+};
+
+}  // namespace erasmus::crypto

@@ -1,0 +1,83 @@
+#include "crypto/hmac_drbg.h"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace erasmus::crypto {
+
+namespace {
+constexpr size_t kOutLen = Sha256::kDigestSize;
+}
+
+HmacDrbg::HmacDrbg(ByteView seed, ByteView personalization)
+    : key_(kOutLen, 0x00), v_(kOutLen, 0x01) {
+  Bytes material(seed.begin(), seed.end());
+  append(material, personalization);
+  update(material);
+}
+
+void HmacDrbg::update(ByteView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  {
+    Hmac mac(HashAlgo::kSha256, key_);
+    mac.update(v_);
+    const uint8_t zero = 0x00;
+    mac.update(ByteView(&zero, 1));
+    mac.update(provided);
+    key_ = mac.finalize();
+  }
+  v_ = Hmac::compute(HashAlgo::kSha256, key_, v_);
+  if (provided.empty()) return;
+  {
+    Hmac mac(HashAlgo::kSha256, key_);
+    mac.update(v_);
+    const uint8_t one = 0x01;
+    mac.update(ByteView(&one, 1));
+    mac.update(provided);
+    key_ = mac.finalize();
+  }
+  v_ = Hmac::compute(HashAlgo::kSha256, key_, v_);
+}
+
+void HmacDrbg::generate(std::span<uint8_t> out) {
+  size_t produced = 0;
+  while (produced < out.size()) {
+    v_ = Hmac::compute(HashAlgo::kSha256, key_, v_);
+    const size_t take = std::min(kOutLen, out.size() - produced);
+    std::copy_n(v_.data(), take, out.data() + produced);
+    produced += take;
+  }
+  update({});
+}
+
+Bytes HmacDrbg::generate(size_t n) {
+  Bytes out(n);
+  generate(std::span<uint8_t>(out));
+  return out;
+}
+
+uint64_t HmacDrbg::next_u64() {
+  uint8_t buf[8];
+  generate(std::span<uint8_t>(buf, 8));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  return v;
+}
+
+uint64_t HmacDrbg::next_below(uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("next_below: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+void HmacDrbg::reseed(ByteView input) { update(input); }
+
+}  // namespace erasmus::crypto

@@ -1,0 +1,43 @@
+// HMAC-DRBG (NIST SP 800-90A) over SHA-256.
+//
+// The paper's irregular-interval extension (§3.5) schedules the next
+// measurement at map(CSPRNG_K(t_i)). We realise CSPRNG_K as an HMAC-DRBG
+// instantiated with the device key K, so prover and verifier derive the same
+// unpredictable-but-reproducible interval sequence while malware (which
+// cannot read K) cannot predict it.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/hmac.h"
+
+namespace erasmus::crypto {
+
+class HmacDrbg {
+ public:
+  /// Instantiates with `seed` as entropy input (the paper seeds with K).
+  /// `personalization` separates independent streams under the same key.
+  explicit HmacDrbg(ByteView seed, ByteView personalization = {});
+
+  /// Fills `out` with pseudo-random bytes.
+  void generate(std::span<uint8_t> out);
+
+  /// Convenience: next `n` bytes as a buffer.
+  Bytes generate(size_t n);
+
+  /// Next 64-bit value (little-endian from the stream).
+  uint64_t next_u64();
+
+  /// Uniform value in [0, bound) via rejection sampling (bound > 0).
+  uint64_t next_below(uint64_t bound);
+
+  /// Mixes additional entropy/state into the DRBG (SP 800-90A reseed).
+  void reseed(ByteView input);
+
+ private:
+  void update(ByteView provided);
+
+  Bytes key_;  // K in SP 800-90A terms (not the device key)
+  Bytes v_;
+};
+
+}  // namespace erasmus::crypto

@@ -1,0 +1,57 @@
+// MAC abstraction over the three constructions evaluated in the paper
+// (Table 1): HMAC-SHA1, HMAC-SHA256 and keyed BLAKE2s.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/hash.h"
+
+namespace erasmus::crypto {
+
+/// Identifies a MAC construction. Wire-stable values.
+enum class MacAlgo : uint8_t {
+  kHmacSha1 = 1,    // comparison only; deprecated (SHAttered)
+  kHmacSha256 = 2,  // paper's default
+  kKeyedBlake2s = 3,
+};
+
+std::string to_string(MacAlgo algo);
+
+/// All supported algorithms, in Table 1 order.
+const std::vector<MacAlgo>& all_mac_algos();
+
+/// True for algorithms the paper excludes from real deployments
+/// (HMAC-SHA1, due to the SHA-1 collision attack).
+bool deprecated_for_deployment(MacAlgo algo);
+
+/// Streaming MAC with a fixed key.
+class Mac {
+ public:
+  virtual ~Mac() = default;
+
+  virtual void update(ByteView data) = 0;
+  /// Produces the tag and resets for a new message under the same key.
+  virtual Bytes finalize() = 0;
+  virtual void reset() = 0;
+
+  virtual size_t tag_size() const = 0;
+  virtual MacAlgo algo() const = 0;
+
+  /// Factory. `key` is the device key K shared between Prv and Vrf.
+  static std::unique_ptr<Mac> create(MacAlgo algo, ByteView key);
+
+  /// One-shot convenience.
+  static Bytes compute(MacAlgo algo, ByteView key, ByteView message);
+
+  /// Constant-time verification of `tag` over `message`.
+  static bool verify(MacAlgo algo, ByteView key, ByteView message,
+                     ByteView tag);
+};
+
+/// Constant-time equality of two byte strings (length leak only).
+bool ct_equal(ByteView a, ByteView b);
+
+}  // namespace erasmus::crypto

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-2).
+//
+// Primary hash for ERASMUS measurements (H(mem_t)) and for HMAC-SHA256, the
+// default MAC in the paper's SMART+ and HYDRA implementations. Also backs
+// the HMAC-DRBG CSPRNG used for irregular measurement intervals (paper §3.5).
+#pragma once
+
+#include <array>
+
+#include "crypto/hash.h"
+
+namespace erasmus::crypto {
+
+class Sha256 final : public Hash {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { reset(); }
+
+  void update(ByteView data) override;
+  Bytes finalize() override;
+  void reset() override;
+
+  size_t digest_size() const override { return kDigestSize; }
+  size_t block_size() const override { return kBlockSize; }
+  HashAlgo algo() const override { return HashAlgo::kSha256; }
+
+ private:
+  void process_block(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_{};
+  std::array<uint8_t, kBlockSize> buffer_{};
+  uint64_t total_bytes_ = 0;
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace erasmus::crypto

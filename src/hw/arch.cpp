@@ -1,0 +1,149 @@
+#include "hw/arch.h"
+
+#include "crypto/hash.h"
+
+namespace erasmus::hw {
+
+namespace {
+
+// Fills a region with deterministic pseudo-content standing in for a binary
+// image (kernel, PrAtt, ROM code). Content only matters for integrity
+// digests, so a cheap LCG byte stream suffices.
+void fill_image(DeviceMemory& mem, RegionId region, uint32_t tag) {
+  const size_t size = mem.region_size(region);
+  Bytes image(size);
+  uint32_t x = 0x12345678u ^ tag;
+  for (auto& b : image) {
+    x = x * 1664525u + 1013904223u;
+    b = static_cast<uint8_t>(x >> 24);
+  }
+  mem.provision(region, 0, image);
+}
+
+}  // namespace
+
+ByteView SecurityArch::ProtectedContext::key() const {
+  return arch_.key_for(*this);
+}
+
+void SecurityArch::run_protected(
+    const std::function<void(ProtectedContext&)>& fn) {
+  if (in_protected_) {
+    throw SecurityViolation(
+        "run_protected: atomic section re-entered (attestation code must "
+        "run from first to last instruction)");
+  }
+  pre_protected_check();
+  in_protected_ = true;
+  ProtectedContext ctx(*this);
+  try {
+    fn(ctx);
+  } catch (...) {
+    // Models the architecture's cleanup-on-exit guarantee: the protected
+    // flag (and thus key access) is revoked even on abnormal exit.
+    in_protected_ = false;
+    throw;
+  }
+  in_protected_ = false;
+}
+
+ByteView SecurityArch::key_for(const ProtectedContext&) const {
+  if (!in_protected_) {
+    throw SecurityViolation(
+        "key access outside the protected attestation environment");
+  }
+  return key_;
+}
+
+// --- SMART+ ---------------------------------------------------------------
+
+SmartPlusArch::SmartPlusArch(Bytes key, size_t rom_bytes, size_t app_ram_bytes,
+                             size_t store_bytes)
+    : SecurityArch(std::move(key)) {
+  rom_ = memory_.add_region("rom", rom_bytes, policy::kRom);
+  key_region_ = memory_.add_region("key", key_.size(), policy::kKey);
+  app_ = memory_.add_region("app_ram", app_ram_bytes, policy::kAppRam);
+  store_ = memory_.add_region("measurement_store", store_bytes,
+                              policy::kMeasurementStore);
+  // The ROM image and K are burned in at manufacture (provision bypasses the
+  // run-time policy; kRom/kKey forbid even privileged writes afterwards).
+  fill_image(memory_, rom_, /*tag=*/0x534d4152u);  // "SMAR"
+  memory_.provision(key_region_, 0, key_);
+}
+
+const std::string& SmartPlusArch::name() const {
+  static const std::string kName = "SMART+";
+  return kName;
+}
+
+// --- HYDRA ------------------------------------------------------------------
+
+HydraArch::HydraArch(Bytes key, size_t app_ram_bytes, size_t store_bytes)
+    : SecurityArch(std::move(key)) {
+  // Sizes follow the paper's Table 1 scale: the seL4 kernel plus PrAtt image
+  // is a couple hundred KB.
+  kernel_ = memory_.add_region("sel4_kernel", 160 * 1024,
+                               RegionPolicy{Access::kRead, Access::kReadWrite});
+  pratt_ = memory_.add_region("pratt", 72 * 1024,
+                              RegionPolicy{Access::kRead, Access::kReadWrite});
+  key_region_ = memory_.add_region("key", key_.size(), policy::kKey);
+  app_ = memory_.add_region("app_ram", app_ram_bytes, policy::kAppRam);
+  store_ = memory_.add_region("measurement_store", store_bytes,
+                              policy::kMeasurementStore);
+
+  fill_image(memory_, kernel_, /*tag=*/0x73654c34u);  // "seL4"
+  fill_image(memory_, pratt_, /*tag=*/0x50724174u);   // "PrAt"
+  memory_.provision(key_region_, 0, key_);
+  kernel_digest_ = crypto::Hash::digest(
+      crypto::HashAlgo::kSha256, memory_.view(kernel_, /*privileged=*/true));
+  pratt_digest_ = crypto::Hash::digest(
+      crypto::HashAlgo::kSha256, memory_.view(pratt_, /*privileged=*/true));
+
+  // HYDRA: PrAtt is the initial user-space process at top priority; all
+  // other processes are spawned by it at strictly lower priorities.
+  processes_.push_back(Process{"pratt", 255, /*spawned_by_pratt=*/false});
+}
+
+void HydraArch::secure_boot() {
+  const Bytes kd = crypto::Hash::digest(
+      crypto::HashAlgo::kSha256, memory_.view(kernel_, /*privileged=*/true));
+  const Bytes pd = crypto::Hash::digest(
+      crypto::HashAlgo::kSha256, memory_.view(pratt_, /*privileged=*/true));
+  if (!equal(kd, kernel_digest_)) {
+    throw SecurityViolation("secure boot: seL4 kernel image digest mismatch");
+  }
+  if (!equal(pd, pratt_digest_)) {
+    throw SecurityViolation("secure boot: PrAtt image digest mismatch");
+  }
+  booted_ = true;
+}
+
+void HydraArch::corrupt_pratt_image() {
+  Bytes b = memory_.read(pratt_, 0, 1, /*privileged=*/true);
+  b[0] ^= 0xff;
+  memory_.write(pratt_, 0, b, /*privileged=*/true);
+  booted_ = false;
+}
+
+void HydraArch::spawn_process(std::string name, int priority) {
+  if (priority >= 255) {
+    throw SecurityViolation(
+        "HYDRA: user processes must run below PrAtt's priority");
+  }
+  processes_.push_back(Process{std::move(name), priority,
+                               /*spawned_by_pratt=*/true});
+}
+
+const std::string& HydraArch::name() const {
+  static const std::string kName = "HYDRA";
+  return kName;
+}
+
+void HydraArch::pre_protected_check() const {
+  if (!booted_) {
+    throw SecurityViolation(
+        "HYDRA: secure boot has not validated the kernel and PrAtt images");
+  }
+}
+
+}  // namespace erasmus::hw

@@ -1,0 +1,86 @@
+#include "hw/memory.h"
+
+namespace erasmus::hw {
+
+RegionId DeviceMemory::add_region(std::string name, size_t size,
+                                  RegionPolicy policy) {
+  regions_.push_back(Region{std::move(name), Bytes(size, 0), policy});
+  return regions_.size() - 1;
+}
+
+const DeviceMemory::Region& DeviceMemory::region_at(RegionId id) const {
+  if (id >= regions_.size()) {
+    throw std::out_of_range("DeviceMemory: bad region id");
+  }
+  return regions_[id];
+}
+
+void DeviceMemory::check(const Region& r, bool privileged, bool write,
+                         size_t offset, size_t len) const {
+  if (offset + len > r.data.size()) {
+    throw AccessViolation("DeviceMemory: out-of-bounds access to region '" +
+                          r.name + "'");
+  }
+  const Access granted = privileged ? r.policy.privileged
+                                    : r.policy.unprivileged;
+  const bool ok = write ? (granted == Access::kReadWrite)
+                        : (granted != Access::kNone);
+  if (!ok) {
+    throw AccessViolation(std::string("DeviceMemory: ") +
+                          (write ? "write" : "read") + " to region '" +
+                          r.name + "' denied for " +
+                          (privileged ? "privileged" : "unprivileged") +
+                          " code");
+  }
+}
+
+Bytes DeviceMemory::read(RegionId region, size_t offset, size_t len,
+                         bool privileged) const {
+  const Region& r = region_at(region);
+  check(r, privileged, /*write=*/false, offset, len);
+  return Bytes(r.data.begin() + offset, r.data.begin() + offset + len);
+}
+
+void DeviceMemory::write(RegionId region, size_t offset, ByteView data,
+                         bool privileged) {
+  if (region >= regions_.size()) {
+    throw std::out_of_range("DeviceMemory: bad region id");
+  }
+  Region& r = regions_[region];
+  check(r, privileged, /*write=*/true, offset, data.size());
+  std::copy(data.begin(), data.end(), r.data.begin() + offset);
+}
+
+void DeviceMemory::provision(RegionId region, size_t offset, ByteView data) {
+  if (region >= regions_.size()) {
+    throw std::out_of_range("DeviceMemory: bad region id");
+  }
+  Region& r = regions_[region];
+  if (offset + data.size() > r.data.size()) {
+    throw AccessViolation("DeviceMemory: provision out of bounds in region '" +
+                          r.name + "'");
+  }
+  std::copy(data.begin(), data.end(), r.data.begin() + offset);
+}
+
+ByteView DeviceMemory::view(RegionId region, bool privileged) const {
+  const Region& r = region_at(region);
+  check(r, privileged, /*write=*/false, 0, r.data.size());
+  return ByteView(r.data);
+}
+
+size_t DeviceMemory::region_size(RegionId region) const {
+  return region_at(region).data.size();
+}
+
+const std::string& DeviceMemory::region_name(RegionId region) const {
+  return region_at(region).name;
+}
+
+size_t DeviceMemory::total_size() const {
+  size_t total = 0;
+  for (const auto& r : regions_) total += r.data.size();
+  return total;
+}
+
+}  // namespace erasmus::hw

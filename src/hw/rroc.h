@@ -1,0 +1,69 @@
+// RROC: Reliable Read-Only Clock.
+//
+// SMART+ (and therefore ERASMUS) requires a clock that software cannot
+// modify. On the OpenMSP430 implementation it is a 64-bit register
+// incremented every cycle with the write-enable wire physically removed; on
+// HYDRA it is the GPT counter plus clock code private to the attestation
+// process. We model it as a tick counter derived from virtual time.
+//
+// §3.4 of the paper describes the attack enabled by a *writable* clock:
+// malware skews the counter so its dwell interval is covered by a
+// measurement taken before it arrived. To let tests and benches demonstrate
+// that attack, the model can be built with the write line intact
+// (kWritableForAttackDemo); production configuration rejects all writes.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace erasmus::hw {
+
+class Rroc {
+ public:
+  enum class WriteLine {
+    kRemoved,             // production: hardware write-enable wire cut
+    kWritableForAttackDemo,  // deliberately vulnerable, for §3.4 experiments
+  };
+
+  /// `tick` is the clock granularity; the paper's protocol timestamps are
+  /// seconds (Fig. 3 shows a UNIX-time-like value).
+  Rroc(const sim::EventQueue& clock, sim::Duration tick,
+       WriteLine write_line = WriteLine::kRemoved)
+      : clock_(clock), tick_(tick), write_line_(write_line) {}
+
+  /// Current counter value (virtual time / tick, plus any attack skew).
+  uint64_t read() const {
+    const uint64_t raw = clock_.now().ns() / tick_.ns();
+    return static_cast<uint64_t>(static_cast<int64_t>(raw) + skew_ticks_);
+  }
+
+  /// Attempts to overwrite the counter, as §3.4's malware would. Returns
+  /// false (no effect) when the write line is removed; applies the skew and
+  /// returns true on the deliberately vulnerable configuration.
+  bool try_write(uint64_t new_value) {
+    if (write_line_ == WriteLine::kRemoved) return false;
+    const uint64_t raw = clock_.now().ns() / tick_.ns();
+    skew_ticks_ = static_cast<int64_t>(new_value) - static_cast<int64_t>(raw);
+    return true;
+  }
+
+  sim::Duration tick() const { return tick_; }
+  bool write_protected() const {
+    return write_line_ == WriteLine::kRemoved;
+  }
+
+  /// Converts a counter value back to virtual time (for verifier-side math).
+  sim::Time tick_to_time(uint64_t ticks) const {
+    return sim::Time(ticks * tick_.ns());
+  }
+
+ private:
+  const sim::EventQueue& clock_;
+  sim::Duration tick_;
+  WriteLine write_line_;
+  int64_t skew_ticks_ = 0;
+};
+
+}  // namespace erasmus::hw

@@ -1,0 +1,40 @@
+#include "hw/synthesis.h"
+
+namespace erasmus::hw {
+
+SynthesisReport unmodified_msp430() { return SynthesisReport{579, 1731}; }
+
+const std::vector<SynthesisComponent>& smartplus_additions() {
+  // Component split of the +76 registers / +238 LUTs the paper measures.
+  // The RROC dominates the register cost (a 64-bit counter register); the
+  // memory-backbone access-control comparators dominate the LUT cost.
+  static const std::vector<SynthesisComponent> kAdditions = {
+      {"rroc_64bit_counter", {64, 70}},
+      {"membackbone_access_control", {8, 130}},
+      {"rom_atomic_exec_guard", {4, 38}},
+  };
+  return kAdditions;
+}
+
+SynthesisReport modified_msp430() {
+  SynthesisReport total = unmodified_msp430();
+  for (const auto& c : smartplus_additions()) {
+    total.registers += c.cost.registers;
+    total.luts += c.cost.luts;
+  }
+  return total;
+}
+
+double register_overhead_pct() {
+  const auto base = unmodified_msp430();
+  const auto mod = modified_msp430();
+  return 100.0 * (mod.registers - base.registers) / base.registers;
+}
+
+double lut_overhead_pct() {
+  const auto base = unmodified_msp430();
+  const auto mod = modified_msp430();
+  return 100.0 * (mod.luts - base.luts) / base.luts;
+}
+
+}  // namespace erasmus::hw

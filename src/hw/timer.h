@@ -1,0 +1,76 @@
+// Hardware timer peripheral.
+//
+// Models omsp_timerA (SMART+) / EPIT (HYDRA): a one-shot compare timer that
+// raises an interrupt after a programmed delay. ERASMUS uses it to trigger
+// self-measurements autonomously. For irregular scheduling (paper §3.5) the
+// compare value must be *read-protected* so resident malware cannot learn
+// when the next measurement fires; the model enforces that.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+
+#include "sim/event_queue.h"
+
+namespace erasmus::hw {
+
+class HwTimer {
+ public:
+  /// `compare_readable`: whether ordinary software may read the remaining
+  /// time. Must be false when irregular scheduling is in use (§3.5).
+  explicit HwTimer(sim::EventQueue& queue, bool compare_readable = false)
+      : queue_(queue), compare_readable_(compare_readable) {}
+
+  ~HwTimer() { cancel(); }
+
+  HwTimer(const HwTimer&) = delete;
+  HwTimer& operator=(const HwTimer&) = delete;
+
+  /// Programs the timer to fire `delay` from now, replacing any pending
+  /// programming. The callback runs in interrupt context (event handler).
+  void arm(sim::Duration delay, std::function<void()> isr) {
+    cancel();
+    deadline_ = queue_.now() + delay;
+    pending_ = queue_.schedule_at(*deadline_, [this, isr = std::move(isr)] {
+      pending_.reset();
+      deadline_.reset();
+      isr();
+    });
+  }
+
+  /// Disarms the timer; a pending interrupt is dropped.
+  void cancel() {
+    if (pending_) {
+      queue_.cancel(*pending_);
+      pending_.reset();
+      deadline_.reset();
+    }
+  }
+
+  bool armed() const { return pending_.has_value(); }
+
+  /// Remaining time until the interrupt, as ordinary software would read the
+  /// compare register. Throws when the register is read-protected, which is
+  /// exactly what stops schedule-probing malware (§3.5).
+  sim::Duration remaining_unprivileged() const {
+    if (!compare_readable_) {
+      throw std::logic_error("HwTimer: compare register is read-protected");
+    }
+    return remaining_privileged();
+  }
+
+  /// Remaining time as seen from inside the protected attestation code.
+  sim::Duration remaining_privileged() const {
+    if (!deadline_) return sim::Duration(0);
+    return *deadline_ - queue_.now();
+  }
+
+ private:
+  sim::EventQueue& queue_;
+  bool compare_readable_;
+  std::optional<sim::EventId> pending_;
+  std::optional<sim::Time> deadline_;
+};
+
+}  // namespace erasmus::hw

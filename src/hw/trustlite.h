@@ -1,0 +1,72 @@
+// TrustLite / TyTAN security-architecture model.
+//
+// The paper (§2): TrustLite "differs from SMART in two ways: (1) interrupts
+// are allowed and handled securely by the CPU Exception Engine, and (2)
+// access control rules can be programmed using an Execution-Aware Memory
+// Protection Unit (EA-MPU)." TyTAN adds real-time guarantees and dynamic
+// configuration. The paper claims ERASMUS "should be equally applicable" to
+// these architectures -- this model substantiates the claim: it exposes the
+// same SecurityArch interface the prover uses, so the entire ERASMUS stack
+// runs unchanged on it (see tests/test_trustlite.cpp).
+//
+// Model specifics:
+//   * The EA-MPU is a programmable rule table: (executing trustlet ->
+//     region -> access). Rules are programmed at boot ("trustlet load
+//     time") and then LOCKED -- runtime reprogramming throws, which is what
+//     stops malware from granting itself key access.
+//   * Interrupts during measurement are permitted (the exception engine
+//     saves/clears state), so the architecture reports
+//     interrupts_allowed_during_measurement() = true.
+#pragma once
+
+#include <map>
+
+#include "hw/arch.h"
+
+namespace erasmus::hw {
+
+class TrustLiteArch final : public SecurityArch {
+ public:
+  /// Trustlet identifiers for the rule table.
+  enum class Trustlet : uint8_t {
+    kAttestation = 1,  // the ERASMUS measurement trustlet
+    kApplication = 2,  // ordinary software (and malware)
+  };
+
+  TrustLiteArch(Bytes key, size_t app_ram_bytes, size_t store_bytes);
+
+  /// Programs one EA-MPU rule. Only callable before lock_rules().
+  void program_rule(Trustlet who, RegionId region, Access access);
+  /// Locks the rule table (end of secure boot). Irreversible.
+  void lock_rules();
+  bool rules_locked() const { return locked_; }
+
+  /// Access granted to `who` for `region` under the programmed rules.
+  Access rule_for(Trustlet who, RegionId region) const;
+
+  const std::string& name() const override;
+  bool interrupts_allowed_during_measurement() const override {
+    return true;  // CPU Exception Engine handles interrupts securely
+  }
+  DeviceMemory& memory() override { return memory_; }
+  const DeviceMemory& memory() const override { return memory_; }
+
+  RegionId code_region() const { return code_; }
+  RegionId key_region() const { return key_region_; }
+  RegionId app_region() const { return app_; }
+  RegionId store_region() const { return store_; }
+
+ protected:
+  void pre_protected_check() const override;
+
+ private:
+  DeviceMemory memory_;
+  RegionId code_;
+  RegionId key_region_;
+  RegionId app_;
+  RegionId store_;
+  std::map<std::pair<uint8_t, RegionId>, Access> rules_;
+  bool locked_ = false;
+};
+
+}  // namespace erasmus::hw

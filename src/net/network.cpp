@@ -1,0 +1,39 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+namespace erasmus::net {
+
+NodeId Network::add_node(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  return static_cast<NodeId>(handlers_.size() - 1);
+}
+
+void Network::set_handler(NodeId node, Handler handler) {
+  if (node >= handlers_.size()) {
+    throw std::out_of_range("Network: unknown node");
+  }
+  handlers_[node] = std::move(handler);
+}
+
+void Network::send(NodeId src, NodeId dst, Bytes payload) {
+  if (src >= handlers_.size() || dst >= handlers_.size()) {
+    throw std::out_of_range("Network: unknown endpoint");
+  }
+  ++stats_.sent;
+  if (filter_ && !filter_(src, dst)) {
+    ++stats_.dropped_disconnected;
+    return;
+  }
+  if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  queue_.schedule_after(
+      latency_, [this, d = Datagram{src, dst, std::move(payload)}] {
+        ++stats_.delivered;
+        if (handlers_[d.dst]) handlers_[d.dst](d);
+      });
+}
+
+}  // namespace erasmus::net

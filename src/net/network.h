@@ -1,0 +1,79 @@
+// Simulated datagram network.
+//
+// Stands in for the paper's transports (UDP over Ethernet on the i.MX6;
+// serial/radio links on MSP430-class devices). Delivery is scheduled on the
+// shared EventQueue after a configurable latency; datagrams can be lost with
+// a configurable probability, and a link filter lets the swarm layer impose
+// a (time-varying) topology: a datagram is only delivered if the two nodes
+// are connected at SEND time.
+//
+// The transport is deliberately insecure -- ERASMUS measurements are
+// authenticated by MAC_K and need neither encryption nor a trusted channel
+// (paper §3.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace erasmus::net {
+
+using NodeId = uint32_t;
+
+struct Datagram {
+  NodeId src = 0;
+  NodeId dst = 0;
+  Bytes payload;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Datagram&)>;
+  /// Returns true when src->dst is currently connected.
+  using LinkFilter = std::function<bool(NodeId, NodeId)>;
+
+  Network(sim::EventQueue& queue, sim::Duration latency,
+          double loss_probability = 0.0, uint64_t seed = 1)
+      : queue_(queue), latency_(latency), loss_probability_(loss_probability),
+        rng_(seed) {}
+
+  /// Registers a node; the handler runs at delivery time.
+  NodeId add_node(Handler handler);
+
+  /// Replaces a node's handler (e.g. when a device reboots).
+  void set_handler(NodeId node, Handler handler);
+
+  /// Imposes a connectivity predicate evaluated at send time; nullptr means
+  /// full connectivity.
+  void set_link_filter(LinkFilter filter) { filter_ = std::move(filter); }
+
+  /// Queues a datagram for delivery after the network latency. Silently
+  /// drops it when the nodes are disconnected or the loss draw fires
+  /// (datagram networks do not report loss to the sender).
+  void send(NodeId src, NodeId dst, Bytes payload);
+
+  sim::Duration latency() const { return latency_; }
+
+  struct Stats {
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped_loss = 0;
+    uint64_t dropped_disconnected = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::EventQueue& queue_;
+  sim::Duration latency_;
+  double loss_probability_;
+  sim::Rng rng_;
+  LinkFilter filter_;
+  std::vector<Handler> handlers_;
+  Stats stats_;
+};
+
+}  // namespace erasmus::net

@@ -1,0 +1,78 @@
+// Energy model for attestation scheduling decisions.
+//
+// The paper (§3.1): "though low values [T_M, T_C] increase QoA, they also
+// increase Prv's overall burden, in terms of computation, power consumption
+// and communication." This module quantifies that burden so the QoA planner
+// (analysis/qoa_planner.h) can trade detection probability against battery
+// life.
+//
+// Model: the MCU draws `active_power` while measuring (hashing at full
+// speed), `radio_power` while transmitting, and `sleep_power` otherwise.
+// Constants are typical datasheet values for the two target platforms.
+#pragma once
+
+#include "crypto/mac.h"
+#include "sim/device_profile.h"
+#include "sim/time.h"
+
+namespace erasmus::sim {
+
+/// Energy in microjoules (uJ). 64-bit; ~584 kJ of range.
+struct Energy {
+  double microjoules = 0.0;
+
+  double millijoules() const { return microjoules / 1e3; }
+  double joules() const { return microjoules / 1e6; }
+
+  Energy operator+(Energy other) const {
+    return Energy{microjoules + other.microjoules};
+  }
+  Energy operator*(double k) const { return Energy{microjoules * k}; }
+};
+
+struct EnergyProfile {
+  std::string name;
+  double active_power_mw = 0.0;  // CPU busy (measurement)
+  double radio_power_mw = 0.0;   // TX/RX
+  double sleep_power_mw = 0.0;   // idle baseline
+
+  /// Energy to run the CPU flat-out for `d`.
+  Energy active_energy(Duration d) const;
+  /// Energy to keep the radio on for `d`.
+  Energy radio_energy(Duration d) const;
+  /// Baseline sleep energy over `d`.
+  Energy sleep_energy(Duration d) const;
+
+  /// MSP430-class MCU: ~1.8 mW active @ 3V, low-power radio, uA sleep.
+  static EnergyProfile msp430();
+  /// i.MX6-class application processor: hundreds of mW active.
+  static EnergyProfile imx6();
+};
+
+/// Attestation energy ledger for one prover over a horizon.
+struct AttestationEnergy {
+  Energy measurement;     // CPU time hashing
+  Energy communication;   // collection-phase packets
+  Energy baseline;        // sleep floor over the horizon
+
+  Energy total() const { return measurement + communication + baseline; }
+};
+
+/// Average attestation burden for a given configuration:
+/// measurements every `tm` (each costing measurement_time of CPU) and
+/// collections every `tc` (each transmitting k records).
+AttestationEnergy attestation_energy(const DeviceProfile& device,
+                                     const EnergyProfile& energy,
+                                     crypto::MacAlgo algo,
+                                     uint64_t attested_bytes,
+                                     size_t record_bytes, Duration tm,
+                                     Duration tc, Duration horizon);
+
+/// Battery-life estimate in days for a battery of `battery_mwh` milliwatt-
+/// hours under the above duty cycle.
+double battery_life_days(const DeviceProfile& device,
+                         const EnergyProfile& energy, crypto::MacAlgo algo,
+                         uint64_t attested_bytes, size_t record_bytes,
+                         Duration tm, Duration tc, double battery_mwh);
+
+}  // namespace erasmus::sim

@@ -1,0 +1,94 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace erasmus::sim {
+
+EventId EventQueue::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId EventQueue::schedule_after(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventQueue::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    auto cancelled_it = cancelled_.find(e.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    out = e;
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  assert(e.at >= now_);
+  now_ = e.at;
+  auto it = handlers_.find(e.id);
+  assert(it != handlers_.end());
+  auto fn = std::move(it->second);
+  handlers_.erase(it);
+  fn();
+  return true;
+}
+
+size_t EventQueue::run_until(Time limit) {
+  size_t executed = 0;
+  while (!heap_.empty()) {
+    // Peek for the next live event without executing it.
+    Entry e;
+    if (!pop_next(e)) break;
+    if (e.at > limit) {
+      // Push back and stop; the event stays pending.
+      heap_.push(e);
+      break;
+    }
+    now_ = e.at;
+    auto it = handlers_.find(e.id);
+    assert(it != handlers_.end());
+    auto fn = std::move(it->second);
+    handlers_.erase(it);
+    fn();
+    ++executed;
+  }
+  if (now_ < limit) now_ = limit;
+  return executed;
+}
+
+size_t EventQueue::run() {
+  size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+void EventQueue::advance_to(Time t) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue: cannot move time backwards");
+  }
+  now_ = t;
+}
+
+}  // namespace erasmus::sim

@@ -1,0 +1,77 @@
+// Discrete-event simulation core.
+//
+// A single EventQueue drives every timed component in an experiment: hardware
+// timers firing self-measurements, network packet deliveries, malware
+// entering and leaving provers, and verifier collection rounds. Events at
+// equal timestamps run in scheduling order (stable), which keeps runs
+// bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace erasmus::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  /// Current virtual time. Monotonically non-decreasing.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` after a relative delay.
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty or `limit` is reached; time stops
+  /// at the later of the last event and `limit` (if any event ran past it,
+  /// it does not). Returns the number of events executed.
+  size_t run_until(Time limit);
+
+  /// Runs until the queue is empty. Returns the number of events executed.
+  size_t run();
+
+  /// Executes at most one event. Returns false if the queue is empty.
+  bool step();
+
+  /// Advances the clock with no event execution (used by tests).
+  void advance_to(Time t);
+
+  size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    Time at;
+    uint64_t seq;
+    EventId id;
+    // Ordered as a min-heap: earliest time first, FIFO within a timestamp.
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  Time now_ = Time::zero();
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace erasmus::sim

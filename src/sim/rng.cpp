@@ -1,0 +1,68 @@
+#include "sim/rng.h"
+
+#include <bit>
+#include <cmath>
+
+namespace erasmus::sim {
+
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+}
+
+uint64_t Rng::next_u64() {
+  // xoshiro256**
+  const uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  if (bound == 0) return 0;
+  const uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::uniform(uint64_t lo, uint64_t hi) {
+  if (hi <= lo) return lo;
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace erasmus::sim

@@ -1,0 +1,95 @@
+#include "swarm/fleet.h"
+
+#include "attest/measurement.h"
+#include "common/serde.h"
+#include "crypto/hmac_drbg.h"
+
+namespace erasmus::swarm {
+
+namespace {
+
+// Per-device key: derived from the fleet seed; in reality each device is
+// provisioned with an independent K at manufacture.
+Bytes device_key(uint64_t seed, DeviceId id) {
+  ByteWriter w;
+  w.u64(seed);
+  w.u32(id);
+  crypto::HmacDrbg drbg(w.bytes(), bytes_of("erasmus-fleet-key"));
+  return drbg.generate(32);
+}
+
+}  // namespace
+
+Fleet::Fleet(sim::EventQueue& queue, FleetConfig config)
+    : queue_(queue), config_(config), mobility_([&] {
+        MobilityConfig m = config.mobility;
+        m.devices = config.devices;
+        return m;
+      }()) {
+  const size_t store_bytes =
+      config_.store_slots *
+      (1 + attest::Measurement::wire_size(config_.algo));  // flag + record
+
+  for (DeviceId id = 0; id < config_.devices; ++id) {
+    auto arch = std::make_unique<hw::SmartPlusArch>(
+        device_key(config_.key_seed, id), /*rom_bytes=*/8 * 1024,
+        config_.app_ram_bytes, store_bytes);
+
+    attest::ProverConfig pc;
+    pc.algo = config_.algo;
+    pc.profile = config_.profile;
+    auto prover = std::make_unique<attest::Prover>(
+        queue_, *arch, arch->app_region(), arch->store_region(),
+        std::make_unique<attest::RegularScheduler>(config_.tm), pc);
+
+    attest::VerifierConfig vc;
+    vc.algo = config_.algo;
+    vc.key = device_key(config_.key_seed, id);
+    vc.golden_digest = crypto::Hash::digest(
+        attest::hash_for(config_.algo),
+        arch->memory().view(arch->app_region(), /*privileged=*/true));
+    auto verifier = std::make_unique<attest::Verifier>(std::move(vc));
+
+    archs_.push_back(std::move(arch));
+    provers_.push_back(std::move(prover));
+    verifiers_.push_back(std::move(verifier));
+  }
+}
+
+void Fleet::start() {
+  for (DeviceId id = 0; id < provers_.size(); ++id) {
+    if (config_.staggered) {
+      const sim::Duration offset =
+          config_.tm * (id + 1) / static_cast<uint64_t>(provers_.size());
+      provers_[id]->start(offset);
+    } else {
+      provers_[id]->start();
+    }
+  }
+}
+
+std::vector<DeviceStatus> Fleet::collect_round(DeviceId root, size_t k) {
+  const sim::Time now = queue_.now();
+  const Topology topo = mobility_.snapshot(now);
+  const auto tree = topo.bfs_tree(root);
+
+  std::vector<DeviceStatus> statuses;
+  statuses.reserve(provers_.size());
+  for (DeviceId id = 0; id < provers_.size(); ++id) {
+    DeviceStatus status;
+    status.device = id;
+    status.attested = tree.parent[id].has_value();
+    if (status.attested) {
+      attest::CollectRequest req{static_cast<uint32_t>(k)};
+      const auto res = provers_[id]->handle_collect(req);
+      const auto report =
+          verifiers_[id]->verify_collection(res.response, now);
+      status.healthy = report.device_trustworthy() &&
+                       report.freshness.has_value();
+    }
+    statuses.push_back(status);
+  }
+  return statuses;
+}
+
+}  // namespace erasmus::swarm

@@ -1,0 +1,64 @@
+// A fleet: N full ERASMUS prover devices plus per-device verifier state,
+// wired to a shared event queue and a mobility model.
+//
+// Where protocols.h evaluates swarm *timing* analytically, Fleet runs the
+// real device stack -- per-device SMART+ architecture, keys, schedules
+// (staggered per §6), stores, malware -- and collects through the mobility
+// model's connectivity. Used by the swarm example and the mobility bench's
+// end-to-end mode.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "attest/prover.h"
+#include "attest/verifier.h"
+#include "swarm/mobility.h"
+#include "swarm/qosa.h"
+
+namespace erasmus::swarm {
+
+struct FleetConfig {
+  size_t devices = 10;
+  /// Per-device attested memory; kept small so fleet sims stay fast.
+  size_t app_ram_bytes = 4 * 1024;
+  size_t store_slots = 16;
+  crypto::MacAlgo algo = crypto::MacAlgo::kHmacSha256;
+  sim::Duration tm = sim::Duration::minutes(10);
+  /// Stagger first measurements at i * T_M / N (paper §6: bounds the
+  /// fraction of the swarm busy at any instant).
+  bool staggered = true;
+  sim::DeviceProfile profile = sim::DeviceProfile::msp430_8mhz();
+  MobilityConfig mobility;
+  uint64_t key_seed = 7;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(sim::EventQueue& queue, FleetConfig config);
+
+  /// Starts all provers (staggered or aligned).
+  void start();
+
+  size_t size() const { return provers_.size(); }
+  attest::Prover& prover(DeviceId id) { return *provers_[id]; }
+  attest::Verifier& verifier(DeviceId id) { return *verifiers_[id]; }
+  RandomWaypointMobility& mobility() { return mobility_; }
+
+  /// One collection round at the current virtual time: the (mobile)
+  /// verifier is co-located with device `root`; every device with a
+  /// multi-hop path to root at this instant is collected (k records each)
+  /// and verified. Reachability-at-an-instant is exactly what ERASMUS
+  /// collection needs -- no sustained topology (paper §6).
+  std::vector<DeviceStatus> collect_round(DeviceId root, size_t k);
+
+ private:
+  sim::EventQueue& queue_;
+  FleetConfig config_;
+  RandomWaypointMobility mobility_;
+  std::vector<std::unique_ptr<hw::SmartPlusArch>> archs_;
+  std::vector<std::unique_ptr<attest::Prover>> provers_;
+  std::vector<std::unique_ptr<attest::Verifier>> verifiers_;
+};
+
+}  // namespace erasmus::swarm

@@ -1,0 +1,94 @@
+#include "swarm/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace erasmus::swarm {
+
+double distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+RandomWaypointMobility::RandomWaypointMobility(MobilityConfig config)
+    : config_(config), rng_(config.seed), segments_(config.devices) {
+  if (config_.devices == 0) {
+    throw std::invalid_argument("RandomWaypointMobility: need >= 1 device");
+  }
+  if (config_.speed_max < config_.speed_min || config_.speed_min < 0.0) {
+    throw std::invalid_argument("RandomWaypointMobility: bad speed range");
+  }
+  // Initial positions: uniform over the field; a zero-length first segment
+  // anchors each trajectory at t = 0.
+  for (auto& segs : segments_) {
+    const Point p{rng_.next_double() * config_.field_size,
+                  rng_.next_double() * config_.field_size};
+    segs.push_back(Segment{sim::Time::zero(), sim::Time::zero(), p, p});
+  }
+}
+
+void RandomWaypointMobility::extend(DeviceId node, sim::Time until) {
+  auto& segs = segments_[node];
+  while (segs.back().end < until) {
+    const Segment& last = segs.back();
+    const Point from = last.to;
+    const Point to{rng_.next_double() * config_.field_size,
+                   rng_.next_double() * config_.field_size};
+    double speed = config_.speed_min +
+                   rng_.next_double() * (config_.speed_max - config_.speed_min);
+    const double dist = distance(from, to);
+    sim::Duration travel;
+    if (speed <= 1e-9) {
+      // Stationary model: park at the current spot for a long "segment".
+      travel = sim::Duration::hours(1000);
+      segs.push_back(Segment{last.end, last.end + travel, from, from});
+      continue;
+    }
+    travel = sim::Duration(
+        static_cast<uint64_t>(std::max(dist / speed, 1e-3) * 1e9));
+    segs.push_back(Segment{last.end, last.end + travel, from, to});
+  }
+}
+
+Point RandomWaypointMobility::position(DeviceId node, sim::Time t) {
+  if (node >= segments_.size()) {
+    throw std::out_of_range("RandomWaypointMobility: bad device id");
+  }
+  extend(node, t);
+  const auto& segs = segments_[node];
+  // Binary search for the segment containing t.
+  auto it = std::upper_bound(
+      segs.begin(), segs.end(), t,
+      [](sim::Time value, const Segment& s) { return value < s.end; });
+  if (it == segs.end()) it = segs.end() - 1;
+  const Segment& s = *it;
+  if (s.end == s.start) return s.to;
+  const double frac =
+      static_cast<double>((t - s.start).ns()) /
+      static_cast<double>((s.end - s.start).ns());
+  const double f = std::clamp(frac, 0.0, 1.0);
+  return Point{s.from.x + (s.to.x - s.from.x) * f,
+               s.from.y + (s.to.y - s.from.y) * f};
+}
+
+bool RandomWaypointMobility::connected(DeviceId a, DeviceId b, sim::Time t) {
+  return distance(position(a, t), position(b, t)) <= config_.radio_range;
+}
+
+Topology RandomWaypointMobility::snapshot(sim::Time t) {
+  Topology topo(config_.devices);
+  std::vector<Point> pos(config_.devices);
+  for (DeviceId v = 0; v < config_.devices; ++v) pos[v] = position(v, t);
+  for (DeviceId a = 0; a < config_.devices; ++a) {
+    for (DeviceId b = a + 1; b < config_.devices; ++b) {
+      if (distance(pos[a], pos[b]) <= config_.radio_range) {
+        topo.add_edge(a, b);
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace erasmus::swarm

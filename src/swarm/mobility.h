@@ -1,0 +1,68 @@
+// Random-waypoint mobility model over a square field.
+//
+// Each device moves toward a random waypoint at a random speed, picks a new
+// waypoint on arrival, and is connected to every device within radio range.
+// Trajectories are generated lazily and kept, so position(node, t) is
+// well-defined for any already-reached or future t and the model can be
+// queried out of order within a protocol round (hops at different times).
+//
+// The `speed` knob is the mobility-rate axis of the paper's §6 argument:
+// at speed 0 the topology is static and on-demand swarm RA works; as speed
+// grows, tree edges break mid-protocol and coverage collapses -- while
+// ERASMUS collection, needing only momentary per-hop connectivity, degrades
+// far more slowly.
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "swarm/topology.h"
+
+namespace erasmus::swarm {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(Point a, Point b);
+
+struct MobilityConfig {
+  size_t devices = 20;
+  double field_size = 100.0;   // square side, metres
+  double radio_range = 30.0;   // connectivity radius, metres
+  double speed_min = 0.5;      // metres/second
+  double speed_max = 2.0;
+  uint64_t seed = 42;
+};
+
+class RandomWaypointMobility {
+ public:
+  explicit RandomWaypointMobility(MobilityConfig config);
+
+  Point position(DeviceId node, sim::Time t);
+
+  bool connected(DeviceId a, DeviceId b, sim::Time t);
+
+  /// Full adjacency snapshot at time t.
+  Topology snapshot(sim::Time t);
+
+  const MobilityConfig& config() const { return config_; }
+
+ private:
+  struct Segment {
+    sim::Time start;
+    sim::Time end;
+    Point from;
+    Point to;
+  };
+
+  void extend(DeviceId node, sim::Time until);
+
+  MobilityConfig config_;
+  sim::Rng rng_;
+  std::vector<std::vector<Segment>> segments_;  // per node, time-ordered
+};
+
+}  // namespace erasmus::swarm

@@ -1,0 +1,70 @@
+// Swarm attestation protocols (paper §6).
+//
+// Two protocol families over a mobile swarm:
+//
+//  * On-demand swarm RA (SEDA/LISA-style baseline): the verifier's request
+//    floods down a spanning tree built at protocol start; every device
+//    computes a FRESH measurement (expensive), then reports aggregate back
+//    up the same tree. Every tree edge must still exist when a message
+//    crosses it -- over the protocol's long lifetime (dominated by
+//    per-device measurement time), mobility breaks edges and subtrees drop
+//    out.
+//
+//  * ERASMUS + LISA-alpha-style collection: the same flood/report pattern,
+//    but devices only read STORED self-measurements (microseconds), so the
+//    protocol completes orders of magnitude faster and tolerates mobility.
+//
+// Both are evaluated edge-by-edge against the mobility model at the virtual
+// time each message actually crosses each hop.
+#pragma once
+
+#include "sim/time.h"
+#include "swarm/mobility.h"
+#include "swarm/topology.h"
+
+namespace erasmus::swarm {
+
+struct SwarmProtocolConfig {
+  sim::Duration hop_latency = sim::Duration::millis(5);
+  /// Per-device fresh-measurement time (on-demand baseline). For a 10 MB
+  /// HYDRA device with BLAKE2s this is ~286 ms (Table 2).
+  sim::Duration measurement_time = sim::Duration::millis(286);
+  /// Per-device stored-measurement read + packet time (ERASMUS collection,
+  /// Table 2: ~0.015 ms).
+  sim::Duration collection_reply_time = sim::Duration::micros(15);
+};
+
+struct SwarmRoundResult {
+  size_t devices = 0;
+  /// Devices whose report made it back to the verifier's root device.
+  size_t attested = 0;
+  /// Wall-clock duration until the last report arrived at the root.
+  sim::Duration duration;
+
+  double coverage() const {
+    return devices == 0 ? 0.0
+                        : static_cast<double>(attested) /
+                              static_cast<double>(devices);
+  }
+};
+
+/// Runs one on-demand (SEDA-style) swarm attestation round starting at t0,
+/// rooted at device `root`.
+SwarmRoundResult run_ondemand_round(RandomWaypointMobility& mobility,
+                                    sim::Time t0, DeviceId root,
+                                    const SwarmProtocolConfig& config);
+
+/// Runs one ERASMUS collection round (LISA-alpha-style relay of stored
+/// self-measurements) starting at t0, rooted at `root`.
+SwarmRoundResult run_erasmus_collection_round(
+    RandomWaypointMobility& mobility, sim::Time t0, DeviceId root,
+    const SwarmProtocolConfig& config);
+
+/// §6, last paragraph: with ERASMUS it is trivial to stagger measurement
+/// schedules so only a bounded fraction of the swarm is busy at once.
+/// Returns the max number of devices simultaneously measuring over one
+/// full period, with offsets i*T_M/n (staggered) or all-zero (aligned).
+size_t max_concurrent_busy(size_t devices, sim::Duration tm,
+                           sim::Duration measurement_time, bool staggered);
+
+}  // namespace erasmus::swarm

@@ -1,0 +1,42 @@
+#include "swarm/qosa.h"
+
+#include <algorithm>
+
+namespace erasmus::swarm {
+
+std::string to_string(QosaLevel level) {
+  switch (level) {
+    case QosaLevel::kBinary:
+      return "binary";
+    case QosaLevel::kList:
+      return "list";
+    case QosaLevel::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+SwarmReport make_report(QosaLevel level,
+                        const std::vector<DeviceStatus>& statuses,
+                        const Topology& topo) {
+  SwarmReport report;
+  report.level = level;
+  report.all_healthy =
+      !statuses.empty() &&
+      std::all_of(statuses.begin(), statuses.end(), [](const DeviceStatus& s) {
+        return s.attested && s.healthy;
+      });
+  if (level == QosaLevel::kBinary) return report;
+
+  report.devices = statuses;
+  if (level == QosaLevel::kList) return report;
+
+  for (DeviceId a = 0; a < topo.size(); ++a) {
+    for (DeviceId b = a + 1; b < topo.size(); ++b) {
+      if (topo.connected(a, b)) report.edges.emplace_back(a, b);
+    }
+  }
+  return report;
+}
+
+}  // namespace erasmus::swarm

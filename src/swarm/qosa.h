@@ -1,0 +1,46 @@
+// Quality of Swarm Attestation (QoSA), from LISA [Carpent et al.,
+// ASIACCS'17], referenced by the paper's §6: the level of information the
+// verifier obtains from a swarm attestation round. QoSA is orthogonal to
+// QoA (per-device temporal quality); the paper argues they compose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "swarm/protocols.h"
+
+namespace erasmus::swarm {
+
+enum class QosaLevel : uint8_t {
+  kBinary,  // "is the whole swarm healthy?" -- one bit
+  kList,    // per-device health status
+  kFull,    // per-device status + topology information
+};
+
+std::string to_string(QosaLevel level);
+
+struct DeviceStatus {
+  DeviceId device = 0;
+  bool attested = false;  // report reached the verifier this round
+  bool healthy = false;   // report verified and matched the golden digest
+};
+
+struct SwarmReport {
+  QosaLevel level = QosaLevel::kBinary;
+  /// Binary summary: every device attested AND healthy.
+  bool all_healthy = false;
+  /// Populated for kList and kFull.
+  std::vector<DeviceStatus> devices;
+  /// Populated for kFull: edges observed during the round.
+  std::vector<std::pair<DeviceId, DeviceId>> edges;
+};
+
+/// Folds per-device outcomes into a report at the requested QoSA level
+/// (information not covered by the level is dropped, as a real protocol
+/// would never have transmitted it).
+SwarmReport make_report(QosaLevel level,
+                        const std::vector<DeviceStatus>& statuses,
+                        const Topology& topo);
+
+}  // namespace erasmus::swarm

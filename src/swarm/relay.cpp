@@ -1,0 +1,207 @@
+#include "swarm/relay.h"
+
+#include "common/serde.h"
+
+namespace erasmus::swarm {
+
+namespace {
+
+Bytes frame_relay(RelayMsg type, ByteView body) {
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(type));
+  w.raw(body);
+  return w.take();
+}
+
+std::optional<std::pair<RelayMsg, ByteView>> unframe_relay(ByteView data) {
+  if (data.empty()) return std::nullopt;
+  const uint8_t tag = data[0];
+  if (tag != static_cast<uint8_t>(RelayMsg::kCollectFlood) &&
+      tag != static_cast<uint8_t>(RelayMsg::kReport)) {
+    return std::nullopt;
+  }
+  return std::make_pair(static_cast<RelayMsg>(tag), data.subspan(1));
+}
+
+}  // namespace
+
+Bytes CollectFlood::serialize() const {
+  ByteWriter w;
+  w.u32(round);
+  w.u32(k);
+  w.u8(ttl);
+  return w.take();
+}
+
+std::optional<CollectFlood> CollectFlood::deserialize(ByteView data) {
+  ByteReader r(data);
+  CollectFlood f;
+  f.round = r.u32();
+  f.k = r.u32();
+  f.ttl = r.u8();
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+Bytes RelayReport::serialize() const {
+  ByteWriter w;
+  w.u32(round);
+  w.u32(device);
+  w.var_bytes(collect_response);
+  return w.take();
+}
+
+std::optional<RelayReport> RelayReport::deserialize(ByteView data) {
+  ByteReader r(data);
+  RelayReport report;
+  report.round = r.u32();
+  report.device = r.u32();
+  report.collect_response = r.var_bytes();
+  if (!r.done()) return std::nullopt;
+  return report;
+}
+
+// --- RelayAgent ---------------------------------------------------------------
+
+RelayAgent::RelayAgent(sim::EventQueue& queue, net::Network& network,
+                       net::NodeId self, uint32_t device_id,
+                       attest::Prover& prover, size_t swarm_size)
+    : queue_(queue), network_(network), self_(self), device_id_(device_id),
+      prover_(prover), swarm_size_(swarm_size) {
+  network_.set_handler(self_,
+                       [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+void RelayAgent::broadcast(ByteView payload, net::NodeId except) {
+  // Physical broadcast: offer the datagram to every node; the network's
+  // link filter delivers only to nodes in radio range right now.
+  for (net::NodeId node = 0; node < swarm_size_ + 1; ++node) {
+    if (node == self_ || node == except) continue;
+    network_.send(self_, node, Bytes(payload.begin(), payload.end()));
+  }
+}
+
+void RelayAgent::on_datagram(const net::Datagram& dgram) {
+  const auto framed = unframe_relay(dgram.payload);
+  if (!framed) return;
+  switch (framed->first) {
+    case RelayMsg::kCollectFlood: {
+      if (const auto flood = CollectFlood::deserialize(framed->second)) {
+        handle_flood(*flood, dgram.src);
+      }
+      break;
+    }
+    case RelayMsg::kReport: {
+      if (const auto report = RelayReport::deserialize(framed->second)) {
+        handle_report(*report, dgram.payload);
+      }
+      break;
+    }
+  }
+}
+
+void RelayAgent::handle_flood(const CollectFlood& flood, net::NodeId from) {
+  ++stats_.floods_seen;
+  if (parent_.contains(flood.round)) return;  // duplicate: already served
+  parent_[flood.round] = from;
+
+  // Serve our own stored measurements: a real collection -- buffer read,
+  // no cryptography (the whole point of §6's mobility argument).
+  const auto res = prover_.handle_collect(attest::CollectRequest{flood.k});
+  RelayReport report;
+  report.round = flood.round;
+  report.device = device_id_;
+  report.collect_response = res.response.serialize();
+  const Bytes report_frame =
+      frame_relay(RelayMsg::kReport, report.serialize());
+  queue_.schedule_after(res.processing, [this, from, report_frame] {
+    network_.send(self_, from, report_frame);
+  });
+
+  // Re-flood with decremented TTL.
+  if (flood.ttl > 0) {
+    CollectFlood next = flood;
+    next.ttl = flood.ttl - 1;
+    ++stats_.floods_forwarded;
+    broadcast(frame_relay(RelayMsg::kCollectFlood, next.serialize()), from);
+  }
+}
+
+void RelayAgent::handle_report(const RelayReport& report, ByteView raw) {
+  // Pure relay: forward the untouched frame towards our parent for that
+  // round. Unknown round (we never saw the flood) -> drop.
+  const auto it = parent_.find(report.round);
+  if (it == parent_.end()) return;
+  ++stats_.reports_relayed;
+  network_.send(self_, it->second, Bytes(raw.begin(), raw.end()));
+}
+
+// --- RelayCollector -------------------------------------------------------------
+
+RelayCollector::RelayCollector(sim::EventQueue& queue, net::Network& network,
+                               net::NodeId self,
+                               std::vector<attest::Verifier*> verifiers,
+                               size_t swarm_size)
+    : queue_(queue), network_(network), self_(self),
+      verifiers_(std::move(verifiers)), swarm_size_(swarm_size) {
+  network_.set_handler(self_,
+                       [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+void RelayCollector::on_datagram(const net::Datagram& dgram) {
+  const auto framed = unframe_relay(dgram.payload);
+  if (!framed || framed->first != RelayMsg::kReport) return;
+  const auto report = RelayReport::deserialize(framed->second);
+  if (!report || report->round != active_round_) return;
+  if (report->device >= swarm_size_) return;
+  if (received_.contains(report->device)) return;  // duplicate path
+  const auto resp =
+      attest::CollectResponse::deserialize(report->collect_response);
+  if (!resp) return;
+  received_[report->device] = *resp;
+  last_report_at_ = queue_.now();
+}
+
+RelayCollector::RoundResult RelayCollector::run_round(uint32_t k,
+                                                      sim::Duration deadline,
+                                                      uint8_t ttl) {
+  active_round_ = next_round_++;
+  received_.clear();
+  round_start_ = queue_.now();
+  last_report_at_ = round_start_;
+
+  CollectFlood flood;
+  flood.round = active_round_;
+  flood.k = k;
+  flood.ttl = ttl;
+  const Bytes payload =
+      frame_relay(RelayMsg::kCollectFlood, flood.serialize());
+  for (net::NodeId node = 0; node < swarm_size_ + 1; ++node) {
+    if (node == self_) continue;
+    network_.send(self_, node, Bytes(payload));
+  }
+
+  queue_.run_until(round_start_ + deadline);
+
+  RoundResult result;
+  result.reports_received = received_.size();
+  result.elapsed = last_report_at_ - round_start_;
+  result.statuses.reserve(swarm_size_);
+  for (uint32_t device = 0; device < swarm_size_; ++device) {
+    DeviceStatus status;
+    status.device = device;
+    const auto it = received_.find(device);
+    status.attested = it != received_.end();
+    if (status.attested && device < verifiers_.size()) {
+      const auto rep = verifiers_[device]->verify_collection(it->second,
+                                                             queue_.now());
+      status.healthy =
+          rep.device_trustworthy() && rep.freshness.has_value();
+    }
+    result.statuses.push_back(status);
+  }
+  active_round_ = 0;
+  return result;
+}
+
+}  // namespace erasmus::swarm

@@ -1,0 +1,123 @@
+// Packet-level swarm collection: a LISA-alpha-style relay protocol running
+// over the simulated datagram network (paper §6).
+//
+// Where swarm/protocols.h evaluates round timing analytically, this module
+// runs the actual message flow:
+//
+//   * the verifier floods a CollectFlood{round, k, ttl} datagram;
+//   * each device, on first sight of a round id, remembers the sender as
+//     its parent, answers with its OWN stored measurements (a real
+//     Prover::handle_collect -- no cryptography), and re-floods;
+//   * report datagrams hop parent-by-parent back to the verifier;
+//   * connectivity is evaluated by the network's link filter AT EACH SEND,
+//     so the protocol sees exactly the instantaneous topology ERASMUS
+//     needs -- and nothing more.
+//
+// "Only relays reports and does not perform any computation" (LISA-alpha) is
+// literal here: relays never parse, verify or re-MAC the payloads.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "attest/prover.h"
+#include "attest/verifier.h"
+#include "net/network.h"
+#include "swarm/qosa.h"
+
+namespace erasmus::swarm {
+
+/// Wire tags, disjoint from attest::MsgType.
+enum class RelayMsg : uint8_t {
+  kCollectFlood = 0x20,
+  kReport = 0x21,
+};
+
+struct CollectFlood {
+  uint32_t round = 0;
+  uint32_t k = 1;
+  uint8_t ttl = 8;
+
+  Bytes serialize() const;
+  static std::optional<CollectFlood> deserialize(ByteView data);
+};
+
+struct RelayReport {
+  uint32_t round = 0;
+  uint32_t device = 0;  // DeviceId of the reporting prover
+  Bytes collect_response;  // serialized attest::CollectResponse
+
+  Bytes serialize() const;
+  static std::optional<RelayReport> deserialize(ByteView data);
+};
+
+/// Per-device protocol agent. Owns the device's network handler; serves
+/// collection requests from its co-located prover and relays everything
+/// else.
+class RelayAgent {
+ public:
+  RelayAgent(sim::EventQueue& queue, net::Network& network, net::NodeId self,
+             uint32_t device_id, attest::Prover& prover, size_t swarm_size);
+
+  struct Stats {
+    uint64_t floods_seen = 0;
+    uint64_t floods_forwarded = 0;
+    uint64_t reports_relayed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_datagram(const net::Datagram& dgram);
+  void handle_flood(const CollectFlood& flood, net::NodeId from);
+  void handle_report(const RelayReport& report, ByteView raw);
+  void broadcast(ByteView payload, net::NodeId except);
+
+  sim::EventQueue& queue_;
+  net::Network& network_;
+  net::NodeId self_;
+  uint32_t device_id_;
+  attest::Prover& prover_;
+  size_t swarm_size_;
+  std::map<uint32_t, net::NodeId> parent_;  // round -> uplink neighbour
+  Stats stats_;
+};
+
+/// Verifier-side driver: floods one round and gathers reports until the
+/// deadline; verifies each device's history with its own verifier.
+class RelayCollector {
+ public:
+  /// `verifiers[i]` validates device i (per-device keys).
+  RelayCollector(sim::EventQueue& queue, net::Network& network,
+                 net::NodeId self,
+                 std::vector<attest::Verifier*> verifiers,
+                 size_t swarm_size);
+
+  struct RoundResult {
+    std::vector<DeviceStatus> statuses;  // indexed by device id
+    size_t reports_received = 0;
+    sim::Duration elapsed;  // flood to last report
+  };
+
+  /// Runs one round to completion (advances the event queue to deadline).
+  RoundResult run_round(uint32_t k, sim::Duration deadline, uint8_t ttl = 8);
+
+ private:
+  void on_datagram(const net::Datagram& dgram);
+
+  sim::EventQueue& queue_;
+  net::Network& network_;
+  net::NodeId self_;
+  std::vector<attest::Verifier*> verifiers_;
+  size_t swarm_size_;
+  uint32_t next_round_ = 1;
+
+  // Per-round capture state.
+  uint32_t active_round_ = 0;
+  sim::Time round_start_;
+  sim::Time last_report_at_;
+  std::map<uint32_t, attest::CollectResponse> received_;
+};
+
+}  // namespace erasmus::swarm

@@ -1,0 +1,269 @@
+#include "swarm/seda.h"
+
+#include "common/serde.h"
+
+namespace erasmus::swarm {
+
+namespace {
+
+Bytes frame_seda(SedaMsg type, ByteView body) {
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(type));
+  w.raw(body);
+  return w.take();
+}
+
+std::optional<std::pair<SedaMsg, ByteView>> unframe_seda(ByteView data) {
+  if (data.empty()) return std::nullopt;
+  const uint8_t tag = data[0];
+  if (tag < static_cast<uint8_t>(SedaMsg::kAttestFlood) ||
+      tag > static_cast<uint8_t>(SedaMsg::kAggregate)) {
+    return std::nullopt;
+  }
+  return std::make_pair(static_cast<SedaMsg>(tag), data.subspan(1));
+}
+
+Bytes encode_flood(uint32_t round, uint8_t ttl) {
+  ByteWriter w;
+  w.u32(round);
+  w.u8(ttl);
+  return w.take();
+}
+
+Bytes encode_ack(uint32_t round, uint32_t device) {
+  ByteWriter w;
+  w.u32(round);
+  w.u32(device);
+  return w.take();
+}
+
+Bytes encode_aggregate(uint32_t round,
+                       const std::vector<std::pair<uint32_t, Bytes>>& entries,
+                       uint32_t reporting_device) {
+  ByteWriter w;
+  w.u32(round);
+  w.u32(reporting_device);
+  w.u32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [device, wire] : entries) {
+    w.u32(device);
+    w.var_bytes(wire);
+  }
+  return w.take();
+}
+
+struct DecodedAggregate {
+  uint32_t round = 0;
+  uint32_t reporting_device = 0;
+  std::vector<std::pair<uint32_t, Bytes>> entries;
+};
+
+std::optional<DecodedAggregate> decode_aggregate(ByteView body) {
+  ByteReader r(body);
+  DecodedAggregate agg;
+  agg.round = r.u32();
+  agg.reporting_device = r.u32();
+  const uint32_t count = r.u32();
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t device = r.u32();
+    Bytes wire = r.var_bytes();
+    if (!r.ok()) return std::nullopt;
+    agg.entries.emplace_back(device, std::move(wire));
+  }
+  if (!r.done()) return std::nullopt;
+  return agg;
+}
+
+}  // namespace
+
+// --- SedaAgent -----------------------------------------------------------------
+
+SedaAgent::SedaAgent(sim::EventQueue& queue, net::Network& network,
+                     net::NodeId self, uint32_t device_id,
+                     attest::Prover& prover, size_t swarm_size,
+                     SedaConfig config)
+    : queue_(queue), network_(network), self_(self), device_id_(device_id),
+      prover_(prover), swarm_size_(swarm_size), config_(config) {
+  network_.set_handler(self_,
+                       [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+void SedaAgent::on_datagram(const net::Datagram& dgram) {
+  const auto framed = unframe_seda(dgram.payload);
+  if (!framed) return;
+  switch (framed->first) {
+    case SedaMsg::kAttestFlood: {
+      ByteReader r(framed->second);
+      const uint32_t round = r.u32();
+      const uint8_t ttl = r.u8();
+      if (r.done()) handle_flood(round, ttl, dgram.src);
+      break;
+    }
+    case SedaMsg::kChildAck: {
+      ByteReader r(framed->second);
+      const uint32_t round = r.u32();
+      const uint32_t child = r.u32();
+      if (!r.done()) break;
+      if (auto it = rounds_.find(round); it != rounds_.end()) {
+        it->second.acked_children.insert(child);
+      }
+      break;
+    }
+    case SedaMsg::kAggregate: {
+      const auto agg = decode_aggregate(framed->second);
+      if (!agg) break;
+      auto it = rounds_.find(agg->round);
+      if (it == rounds_.end()) break;
+      RoundState& state = it->second;
+      if (state.reported) {
+        // Our own aggregate already went up (child-timeout fired before
+        // this straggler arrived). Pass the child's report through towards
+        // the root unmerged, so a slow subtree is delayed, not lost.
+        network_.send(self_, state.parent, dgram.payload);
+        break;
+      }
+      state.reported_children.insert(agg->reporting_device);
+      for (const auto& entry : agg->entries) {
+        state.aggregate.push_back(entry);
+      }
+      maybe_report(agg->round);
+      break;
+    }
+  }
+}
+
+void SedaAgent::handle_flood(uint32_t round, uint8_t ttl, net::NodeId from) {
+  if (rounds_.contains(round)) return;  // already joined this round
+  RoundState state;
+  state.parent = from;
+  rounds_[round] = std::move(state);
+  ++stats_.rounds_joined;
+
+  // Acknowledge to the parent so it knows to wait for us.
+  network_.send(self_, from,
+                frame_seda(SedaMsg::kChildAck,
+                           encode_ack(round, device_id_)));
+
+  // Re-flood.
+  if (ttl > 0) {
+    const Bytes payload =
+        frame_seda(SedaMsg::kAttestFlood, encode_flood(round, ttl - 1));
+    for (net::NodeId node = 0; node < swarm_size_ + 1; ++node) {
+      if (node != self_ && node != from) {
+        network_.send(self_, node, Bytes(payload));
+      }
+    }
+  }
+
+  // Compute the FRESH measurement -- the real-time cost that makes the
+  // round long. The device is busy for the full measurement duration.
+  const sim::Duration cost = prover_.config().profile.measurement_time(
+      prover_.config().algo, prover_.attested_bytes());
+  const uint64_t t = prover_.rroc().read();
+  const attest::Measurement m = attest::compute_measurement_protected(
+      prover_.arch(), prover_.config().algo, prover_.attested_region(), t);
+  ++stats_.measurements_computed;
+  queue_.schedule_after(cost, [this, round, wire = m.serialize()] {
+    auto it = rounds_.find(round);
+    if (it == rounds_.end()) return;
+    it->second.aggregate.emplace_back(device_id_, wire);
+    it->second.measurement_done = true;
+    maybe_report(round);
+  });
+
+  // Child-wait deadline: report whatever arrived, even if children are
+  // missing (they may have moved out of range mid-measurement).
+  queue_.schedule_after(cost + config_.child_timeout, [this, round] {
+    auto it = rounds_.find(round);
+    if (it == rounds_.end() || it->second.reported) return;
+    stats_.children_lost += it->second.acked_children.size() -
+                            it->second.reported_children.size();
+    send_report(round);
+  });
+}
+
+void SedaAgent::maybe_report(uint32_t round) {
+  auto it = rounds_.find(round);
+  if (it == rounds_.end() || it->second.reported) return;
+  const RoundState& state = it->second;
+  if (!state.measurement_done) return;
+  // All acknowledged children accounted for?
+  for (uint32_t child : state.acked_children) {
+    if (!state.reported_children.contains(child)) return;
+  }
+  send_report(round);
+}
+
+void SedaAgent::send_report(uint32_t round) {
+  auto it = rounds_.find(round);
+  if (it == rounds_.end() || it->second.reported) return;
+  RoundState& state = it->second;
+  state.reported = true;
+  network_.send(self_, state.parent,
+                frame_seda(SedaMsg::kAggregate,
+                           encode_aggregate(round, state.aggregate,
+                                            device_id_)));
+}
+
+// --- SedaCollector ---------------------------------------------------------------
+
+SedaCollector::SedaCollector(sim::EventQueue& queue, net::Network& network,
+                             net::NodeId self,
+                             std::vector<attest::Verifier*> verifiers,
+                             size_t swarm_size, SedaConfig config)
+    : queue_(queue), network_(network), self_(self),
+      verifiers_(std::move(verifiers)), swarm_size_(swarm_size),
+      config_(config) {
+  network_.set_handler(self_,
+                       [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+void SedaCollector::on_datagram(const net::Datagram& dgram) {
+  const auto framed = unframe_seda(dgram.payload);
+  if (!framed || framed->first != SedaMsg::kAggregate) return;
+  const auto agg = decode_aggregate(framed->second);
+  if (!agg || agg->round != active_round_) return;
+  for (const auto& [device, wire] : agg->entries) {
+    if (device < swarm_size_ && !received_.contains(device)) {
+      received_[device] = wire;
+      last_report_at_ = queue_.now();
+    }
+  }
+}
+
+SedaCollector::RoundResult SedaCollector::run_round(sim::Duration deadline) {
+  active_round_ = next_round_++;
+  received_.clear();
+  round_start_ = queue_.now();
+  last_report_at_ = round_start_;
+
+  const Bytes payload = frame_seda(
+      SedaMsg::kAttestFlood, encode_flood(active_round_, config_.ttl));
+  for (net::NodeId node = 0; node < swarm_size_ + 1; ++node) {
+    if (node != self_) network_.send(self_, node, Bytes(payload));
+  }
+
+  queue_.run_until(round_start_ + deadline);
+
+  RoundResult result;
+  result.fresh_measurements_received = received_.size();
+  result.elapsed = last_report_at_ - round_start_;
+  for (uint32_t device = 0; device < swarm_size_; ++device) {
+    DeviceStatus status;
+    status.device = device;
+    const auto it = received_.find(device);
+    status.attested = it != received_.end();
+    if (status.attested && device < verifiers_.size()) {
+      const auto m = attest::Measurement::deserialize(it->second);
+      status.healthy =
+          m.has_value() &&
+          attest::verify_measurement(verifiers_[device]->config().algo,
+                                     verifiers_[device]->config().key, *m) &&
+          equal(m->digest, verifiers_[device]->golden_digest_at(m->timestamp));
+    }
+    result.statuses.push_back(status);
+  }
+  active_round_ = 0;
+  return result;
+}
+
+}  // namespace erasmus::swarm

@@ -1,0 +1,56 @@
+// Swarm topology: an undirected graph snapshot of device connectivity.
+//
+// On-demand swarm RA (SEDA/LISA-style) floods a request down a spanning
+// tree and gathers reports back up; the tree is built on the topology at
+// protocol start and silently breaks when edges churn mid-protocol -- the
+// paper's core argument for ERASMUS in high-mobility swarms (§6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace erasmus::swarm {
+
+using DeviceId = uint32_t;
+
+class Topology {
+ public:
+  explicit Topology(size_t n) : n_(n), adj_(n * n, false) {}
+
+  size_t size() const { return n_; }
+
+  void add_edge(DeviceId a, DeviceId b);
+  void remove_edge(DeviceId a, DeviceId b);
+  bool connected(DeviceId a, DeviceId b) const;
+
+  std::vector<DeviceId> neighbors(DeviceId v) const;
+  size_t edge_count() const;
+
+  /// BFS spanning tree rooted at `root`.
+  struct SpanningTree {
+    DeviceId root = 0;
+    /// parent[v]; parent[root] == root; nullopt when v is unreachable.
+    std::vector<std::optional<DeviceId>> parent;
+    std::vector<uint32_t> depth;  // valid when parent[v] is set
+    size_t reached = 0;
+
+    uint32_t max_depth() const;
+    /// Children of v in the tree.
+    std::vector<DeviceId> children(DeviceId v) const;
+  };
+  SpanningTree bfs_tree(DeviceId root) const;
+
+  /// Number of devices reachable from `root` (including itself).
+  size_t reachable_from(DeviceId root) const;
+
+ private:
+  size_t idx(DeviceId a, DeviceId b) const {
+    return static_cast<size_t>(a) * n_ + b;
+  }
+
+  size_t n_;
+  std::vector<bool> adj_;
+};
+
+}  // namespace erasmus::swarm

@@ -1,0 +1,152 @@
+// Tests for the analysis helpers: summary statistics, table/series
+// rendering and the Monte-Carlo detection estimators.
+#include <gtest/gtest.h>
+
+#include "analysis/detection.h"
+#include "analysis/stats.h"
+#include "analysis/table.h"
+
+namespace erasmus::analysis {
+namespace {
+
+using sim::Duration;
+
+TEST(Stats, SummaryOfKnownValues) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Stats, SummaryOfEmptyAndSingle) {
+  const auto empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.mean, 0.0);
+  const auto one = summarize({7.0});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 7.0);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.p95, 7.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0) << "unsorted input";
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(100.0, 100.0), 0.0);
+  EXPECT_GT(relative_error(1.0, 0.0), 1e6) << "guards divide-by-zero";
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"MAC Impl.", "On-Demand", "ERASMUS"});
+  t.add_row({"HMAC-SHA256", "5.1KB", "4.9KB"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("MAC Impl.   | On-Demand | ERASMUS"), std::string::npos);
+  EXPECT_NE(out.find("HMAC-SHA256 | 5.1KB     | 4.9KB"), std::string::npos);
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+}
+
+TEST(Table, RejectsBadShapes) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Series, RendersPointsInOrder) {
+  Series s("x", {"y1", "y2"});
+  s.add_point(1.0, {10.0, 20.0});
+  s.add_point(2.0, {11.0, 21.0});
+  const std::string out = s.render();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("10.000"), std::string::npos);
+  EXPECT_NE(out.find("21.000"), std::string::npos);
+  EXPECT_EQ(s.xs().size(), 2u);
+  EXPECT_THROW(s.add_point(3.0, {1.0}), std::invalid_argument);
+}
+
+TEST(Fmt, FormatsDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(McDetection, RegularMatchesClosedForm) {
+  const double p = mc_detection_regular(Duration::minutes(4),
+                                        Duration::minutes(10), 100'000, 42);
+  EXPECT_NEAR(p, 0.4, 0.01);
+}
+
+TEST(McDetection, RegularSaturatesAtOne) {
+  const double p = mc_detection_regular(Duration::minutes(30),
+                                        Duration::minutes(10), 10'000, 42);
+  EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(McDetection, ScheduleAwareIrregularLinear) {
+  const double p = mc_detection_schedule_aware_irregular(
+      Duration::minutes(8), Duration::minutes(5), Duration::minutes(15),
+      100'000, 7);
+  EXPECT_NEAR(p, 0.3, 0.01);
+}
+
+TEST(McDetection, RandomPhaseIrregularBetweenExtremes) {
+  // Random-phase detection against U[5,15]-min intervals for an 8-min
+  // dwell: must exceed the schedule-aware probability (0.3) -- arriving at
+  // a random phase is worse for the malware than entering right after a
+  // measurement -- and stay below 1.
+  const double aware = mc_detection_schedule_aware_irregular(
+      Duration::minutes(8), Duration::minutes(5), Duration::minutes(15),
+      50'000, 7);
+  const double random_phase = mc_detection_random_phase_irregular(
+      Duration::minutes(8), Duration::minutes(5), Duration::minutes(15),
+      50'000, 7);
+  EXPECT_GT(random_phase, aware);
+  EXPECT_LT(random_phase, 1.0);
+}
+
+TEST(McDetection, ValidatesParameters) {
+  EXPECT_THROW(mc_detection_regular(Duration::minutes(1), Duration(0), 10, 1),
+               std::invalid_argument);
+  EXPECT_THROW(mc_detection_regular(Duration::minutes(1),
+                                    Duration::minutes(10), 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(mc_detection_schedule_aware_irregular(
+                   Duration::minutes(1), Duration::minutes(5),
+                   Duration::minutes(5), 10, 1),
+               std::invalid_argument);
+}
+
+TEST(McDetection, DeterministicPerSeed) {
+  const double a = mc_detection_regular(Duration::minutes(3),
+                                        Duration::minutes(10), 10'000, 5);
+  const double b = mc_detection_regular(Duration::minutes(3),
+                                        Duration::minutes(10), 10'000, 5);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+// Property: MC detection probability is monotone in dwell time.
+class McMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(McMonotonicity, LongerDwellNeverHurtsDetection) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  double prev = -1.0;
+  for (uint64_t dwell = 1; dwell <= 12; dwell += 2) {
+    const double p = mc_detection_regular(Duration::minutes(dwell),
+                                          Duration::minutes(10), 20'000, seed);
+    EXPECT_GE(p, prev - 0.02) << "dwell=" << dwell;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McMonotonicity, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace erasmus::analysis

@@ -1,0 +1,150 @@
+// Tests for the SMART+ and HYDRA security-architecture models: the three
+// §3.4 guarantees (exclusive key access, atomic execution, cleanup) plus
+// HYDRA's secure boot and process-priority rules.
+#include <gtest/gtest.h>
+
+#include "hw/arch.h"
+
+namespace erasmus::hw {
+namespace {
+
+Bytes test_key() { return bytes_of("0123456789abcdef0123456789abcdef"); }
+
+SmartPlusArch make_smart() {
+  return SmartPlusArch(test_key(), /*rom_bytes=*/4096,
+                       /*app_ram_bytes=*/1024, /*store_bytes=*/512);
+}
+
+TEST(SmartPlus, KeyReadableOnlyInsideProtectedCode) {
+  auto arch = make_smart();
+  Bytes seen;
+  arch.run_protected([&](SecurityArch::ProtectedContext& ctx) {
+    const ByteView k = ctx.key();
+    seen.assign(k.begin(), k.end());
+  });
+  EXPECT_EQ(seen, test_key());
+}
+
+TEST(SmartPlus, KeyAccessOutsideProtectedThrows) {
+  auto arch = make_smart();
+  // Smuggle the context out of the protected section and use it later:
+  // the architecture revokes access at section exit.
+  SecurityArch::ProtectedContext* leaked = nullptr;
+  arch.run_protected(
+      [&](SecurityArch::ProtectedContext& ctx) { leaked = &ctx; });
+  ASSERT_NE(leaked, nullptr);
+  EXPECT_THROW((void)leaked->key(), SecurityViolation);
+}
+
+TEST(SmartPlus, AtomicSectionIsNotReentrant) {
+  auto arch = make_smart();
+  EXPECT_THROW(
+      arch.run_protected([&](SecurityArch::ProtectedContext&) {
+        arch.run_protected([](SecurityArch::ProtectedContext&) {});
+      }),
+      SecurityViolation);
+}
+
+TEST(SmartPlus, ProtectedFlagClearedOnException) {
+  auto arch = make_smart();
+  EXPECT_THROW(arch.run_protected([](SecurityArch::ProtectedContext&) {
+    throw std::runtime_error("fault inside attestation code");
+  }),
+               std::runtime_error);
+  EXPECT_FALSE(arch.in_protected());
+  // Architecture is reusable afterwards (cleanup guarantee).
+  EXPECT_NO_THROW(
+      arch.run_protected([](SecurityArch::ProtectedContext&) {}));
+}
+
+TEST(SmartPlus, InterruptsDisabledDuringMeasurement) {
+  auto arch = make_smart();
+  EXPECT_FALSE(arch.interrupts_allowed_during_measurement());
+  EXPECT_EQ(arch.name(), "SMART+");
+}
+
+TEST(SmartPlus, MemoryRegionsFollowFig5) {
+  auto arch = make_smart();
+  auto& mem = arch.memory();
+  // ROM: read-only for everyone.
+  EXPECT_THROW(mem.write(arch.rom_region(), 0, Bytes{1}, false),
+               AccessViolation);
+  // K: invisible to normal software.
+  EXPECT_THROW(mem.read(arch.key_region(), 0, 1, false), AccessViolation);
+  // App RAM and the measurement store: unprotected.
+  EXPECT_NO_THROW(mem.write(arch.app_region(), 0, Bytes{1}, false));
+  EXPECT_NO_THROW(mem.write(arch.store_region(), 0, Bytes{1}, false));
+}
+
+TEST(SmartPlus, RomImageIsNonTrivial) {
+  auto arch = make_smart();
+  const Bytes rom = arch.memory().read(arch.rom_region(), 0, 64, false);
+  EXPECT_NE(rom, Bytes(64, 0)) << "ROM should contain a burned-in image";
+}
+
+TEST(Hydra, RequiresSecureBootBeforeAttestation) {
+  HydraArch arch(test_key(), 1024, 512);
+  EXPECT_THROW(
+      arch.run_protected([](SecurityArch::ProtectedContext&) {}),
+      SecurityViolation);
+  arch.secure_boot();
+  EXPECT_NO_THROW(
+      arch.run_protected([](SecurityArch::ProtectedContext&) {}));
+}
+
+TEST(Hydra, SecureBootDetectsCorruptedPrAtt) {
+  HydraArch arch(test_key(), 1024, 512);
+  arch.secure_boot();
+  arch.corrupt_pratt_image();
+  EXPECT_THROW(arch.secure_boot(), SecurityViolation);
+  EXPECT_THROW(
+      arch.run_protected([](SecurityArch::ProtectedContext&) {}),
+      SecurityViolation);
+}
+
+TEST(Hydra, PrAttIsInitialTopPriorityProcess) {
+  HydraArch arch(test_key(), 1024, 512);
+  ASSERT_FALSE(arch.processes().empty());
+  EXPECT_EQ(arch.processes().front().name, "pratt");
+  EXPECT_EQ(arch.processes().front().priority, 255);
+  EXPECT_FALSE(arch.processes().front().spawned_by_pratt);
+}
+
+TEST(Hydra, UserProcessesMustRunBelowPrAtt) {
+  HydraArch arch(test_key(), 1024, 512);
+  arch.spawn_process("sensor-app", 100);
+  EXPECT_EQ(arch.processes().size(), 2u);
+  EXPECT_TRUE(arch.processes().back().spawned_by_pratt);
+  EXPECT_THROW(arch.spawn_process("evil", 255), SecurityViolation);
+  EXPECT_THROW(arch.spawn_process("evil", 300), SecurityViolation);
+}
+
+TEST(Hydra, InterruptsAllowedUnderSeL4) {
+  HydraArch arch(test_key(), 1024, 512);
+  EXPECT_TRUE(arch.interrupts_allowed_during_measurement());
+  EXPECT_EQ(arch.name(), "HYDRA");
+}
+
+TEST(Hydra, KernelAndPrAttImagesAreWriteProtectedFromUserland) {
+  HydraArch arch(test_key(), 1024, 512);
+  arch.secure_boot();
+  auto& mem = arch.memory();
+  EXPECT_NO_THROW(mem.read(arch.kernel_region(), 0, 16, false));
+  EXPECT_THROW(mem.write(arch.kernel_region(), 0, Bytes{1}, false),
+               AccessViolation);
+  EXPECT_THROW(mem.write(arch.pratt_region(), 0, Bytes{1}, false),
+               AccessViolation);
+}
+
+TEST(Hydra, KeyAccessWorksAfterBoot) {
+  HydraArch arch(test_key(), 1024, 512);
+  arch.secure_boot();
+  Bytes seen;
+  arch.run_protected([&](SecurityArch::ProtectedContext& ctx) {
+    seen.assign(ctx.key().begin(), ctx.key().end());
+  });
+  EXPECT_EQ(seen, test_key());
+}
+
+}  // namespace
+}  // namespace erasmus::hw

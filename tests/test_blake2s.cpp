@@ -1,0 +1,141 @@
+// Known-answer and property tests for BLAKE2s (RFC 7693), including the
+// keyed mode the paper uses as its third MAC construction.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/blake2s.h"
+
+namespace erasmus::crypto {
+namespace {
+
+Bytes hex(std::string_view s) { return from_hex(s).value(); }
+
+// Sequential key bytes 00 01 ... 1f, as used by the official blake2s KAT.
+Bytes kat_key() {
+  Bytes key(32);
+  for (size_t i = 0; i < key.size(); ++i) key[i] = static_cast<uint8_t>(i);
+  return key;
+}
+
+// Input of n sequential bytes 00 01 02 ..., as used by the official KAT.
+Bytes kat_input(size_t n) {
+  Bytes in(n);
+  for (size_t i = 0; i < n; ++i) in[i] = static_cast<uint8_t>(i);
+  return in;
+}
+
+TEST(Blake2s, Rfc7693AbcExample) {
+  // RFC 7693 Appendix B: BLAKE2s-256("abc").
+  EXPECT_EQ(
+      Hash::digest(HashAlgo::kBlake2s, bytes_of("abc")),
+      hex("508c5e8c327c14e2e1a72ba34eeb452f37458b209ed63a294d999b4c86675982"));
+}
+
+TEST(Blake2s, EmptyStringUnkeyed) {
+  EXPECT_EQ(
+      Hash::digest(HashAlgo::kBlake2s, {}),
+      hex("69217a3079908094e11121d042354a7c1f55b6482ca1a51e1b250dfd1ed0eef9"));
+}
+
+TEST(Blake2s, OfficialKeyedKatFirstVectors) {
+  // blake2s-kat.txt: keyed with 00..1f, inputs of 0 and 1 sequential bytes.
+  {
+    Blake2s mac(kat_key(), 32);
+    EXPECT_EQ(
+        mac.finalize(),
+        hex("48a8997da407876b3d79c0d92325ad3b89cbb754d86ab71aee047ad345fd2c"
+            "49"));
+  }
+  {
+    Blake2s mac(kat_key(), 32);
+    mac.update(kat_input(1));
+    EXPECT_EQ(
+        mac.finalize(),
+        hex("40d15fee7c328830166ac3f918650f807e7e01e177258cdc0a39b11f598066"
+            "f1"));
+  }
+}
+
+TEST(Blake2s, KeyedDiffersFromUnkeyed) {
+  Blake2s keyed(bytes_of("some-key-bytes"), 32);
+  keyed.update(bytes_of("message"));
+  EXPECT_NE(keyed.finalize(),
+            Hash::digest(HashAlgo::kBlake2s, bytes_of("message")));
+}
+
+TEST(Blake2s, DifferentKeysDifferentTags) {
+  Blake2s a(bytes_of("key-a"), 32);
+  Blake2s b(bytes_of("key-b"), 32);
+  a.update(bytes_of("msg"));
+  b.update(bytes_of("msg"));
+  EXPECT_NE(a.finalize(), b.finalize());
+}
+
+TEST(Blake2s, TruncatedDigestLengths) {
+  // BLAKE2s parameterises the digest length into the IV, so a truncated
+  // digest is NOT a prefix of the full one.
+  Blake2s h16(16);
+  h16.update(bytes_of("abc"));
+  const Bytes d16 = h16.finalize();
+  EXPECT_EQ(d16.size(), 16u);
+  const Bytes d32 = Hash::digest(HashAlgo::kBlake2s, bytes_of("abc"));
+  EXPECT_NE(Bytes(d32.begin(), d32.begin() + 16), d16);
+}
+
+TEST(Blake2s, RejectsBadParameters) {
+  EXPECT_THROW(Blake2s(0), std::invalid_argument);
+  EXPECT_THROW(Blake2s(33), std::invalid_argument);
+  EXPECT_THROW(Blake2s(Bytes{}, 32), std::invalid_argument);
+  EXPECT_THROW(Blake2s(Bytes(33, 1), 32), std::invalid_argument);
+}
+
+TEST(Blake2s, FinalizeResetsKeyedState) {
+  Blake2s mac(kat_key(), 32);
+  mac.update(kat_input(1));
+  const Bytes first = mac.finalize();
+  mac.update(kat_input(1));
+  EXPECT_EQ(mac.finalize(), first) << "keyed state must re-absorb the key";
+}
+
+TEST(Blake2s, ExactBlockBoundaryMessages) {
+  // 64-byte message: exactly one block after the key block.
+  const Bytes in = kat_input(64);
+  Blake2s mac(kat_key(), 32);
+  mac.update(in);
+  const Bytes one_shot = mac.finalize();
+
+  // Chunked: 63 + 1 crosses the key-block/last-block boundary.
+  Blake2s chunked(kat_key(), 32);
+  chunked.update(ByteView(in).subspan(0, 63));
+  chunked.update(ByteView(in).subspan(63, 1));
+  EXPECT_EQ(chunked.finalize(), one_shot);
+}
+
+// Property: keyed streaming equals one-shot for lengths around block
+// boundaries (the last-block flag handling is the classic bug source).
+class Blake2sKeyedStreaming : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Blake2sKeyedStreaming, ChunkedEqualsOneShot) {
+  const size_t len = GetParam();
+  const Bytes in = kat_input(len);
+
+  Blake2s one_shot(kat_key(), 32);
+  one_shot.update(in);
+  const Bytes expected = one_shot.finalize();
+
+  for (size_t chunk : {1ul, 7ul, 64ul}) {
+    Blake2s streamed(kat_key(), 32);
+    for (size_t off = 0; off < in.size(); off += chunk) {
+      streamed.update(ByteView(in).subspan(off, std::min(chunk, len - off)));
+    }
+    EXPECT_EQ(streamed.finalize(), expected) << "len=" << len
+                                             << " chunk=" << chunk;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockBoundaries, Blake2sKeyedStreaming,
+                         ::testing::Values(0, 1, 63, 64, 65, 127, 128, 129,
+                                           255));
+
+}  // namespace
+}  // namespace erasmus::crypto

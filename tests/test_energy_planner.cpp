@@ -1,0 +1,166 @@
+// Tests for the energy model and the QoA planner (the "burden" axis of
+// §3.1: lower T_M/T_C buy QoA with computation, power and communication).
+#include <gtest/gtest.h>
+
+#include "analysis/qoa_planner.h"
+#include "sim/energy.h"
+
+namespace erasmus {
+namespace {
+
+using analysis::DeviceSpec;
+using analysis::QoAGoal;
+using sim::Duration;
+
+TEST(Energy, PowerTimesTime) {
+  sim::EnergyProfile p{"test", /*active=*/10.0, /*radio=*/100.0,
+                       /*sleep=*/0.1};
+  EXPECT_NEAR(p.active_energy(Duration::seconds(2)).millijoules(), 20.0,
+              1e-9);
+  EXPECT_NEAR(p.radio_energy(Duration::millis(10)).millijoules(), 1.0, 1e-9);
+  EXPECT_NEAR(p.sleep_energy(Duration::hours(1)).joules(), 0.36, 1e-9);
+}
+
+TEST(Energy, MeasurementDominatedByTmOnLowEnd) {
+  const auto device = sim::DeviceProfile::msp430_8mhz();
+  const auto energy = sim::EnergyProfile::msp430();
+  const auto at = [&](uint64_t tm_min) {
+    return sim::attestation_energy(
+               device, energy, crypto::MacAlgo::kHmacSha256, 10 * 1024, 73,
+               Duration::minutes(tm_min), Duration::hours(1),
+               Duration::hours(24))
+        .measurement.millijoules();
+  };
+  EXPECT_GT(at(5), at(10) * 1.8) << "halving T_M ~doubles measurement energy";
+  EXPECT_GT(at(10), at(60) * 5.0);
+}
+
+TEST(Energy, CommunicationScalesWithCollectionRate) {
+  const auto device = sim::DeviceProfile::msp430_8mhz();
+  const auto energy = sim::EnergyProfile::msp430();
+  const auto comm = [&](uint64_t tc_hours) {
+    return sim::attestation_energy(device, energy,
+                                   crypto::MacAlgo::kHmacSha256, 10 * 1024,
+                                   73, Duration::minutes(10),
+                                   Duration::hours(tc_hours),
+                                   Duration::hours(24))
+        .communication.microjoules;
+  };
+  EXPECT_GT(comm(1), comm(12) * 2.0);
+}
+
+TEST(Energy, BatteryLifeMonotoneInTm) {
+  const auto device = sim::DeviceProfile::msp430_8mhz();
+  const auto energy = sim::EnergyProfile::msp430();
+  double prev = 0.0;
+  for (uint64_t tm_min : {1ull, 5ull, 15ull, 60ull}) {
+    const double days = sim::battery_life_days(
+        device, energy, crypto::MacAlgo::kHmacSha256, 10 * 1024, 73,
+        Duration::minutes(tm_min), Duration::hours(1), 2400.0);
+    EXPECT_GT(days, prev) << "tm=" << tm_min;
+    prev = days;
+  }
+}
+
+TEST(Energy, RejectsZeroPeriods) {
+  const auto device = sim::DeviceProfile::msp430_8mhz();
+  const auto energy = sim::EnergyProfile::msp430();
+  EXPECT_THROW(sim::attestation_energy(device, energy,
+                                       crypto::MacAlgo::kHmacSha256, 1024, 73,
+                                       Duration(0), Duration::hours(1),
+                                       Duration::hours(24)),
+               std::invalid_argument);
+}
+
+TEST(Planner, MeetsDetectionGoal) {
+  QoAGoal goal;
+  goal.min_dwell = Duration::minutes(30);
+  goal.min_detection_prob = 0.9;
+  goal.max_detection_latency = Duration::hours(4);
+  const auto plan = analysis::plan_qoa(goal, DeviceSpec{});
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_GE(plan->detection_prob, 0.9);
+  EXPECT_LE(plan->worst_case_latency.ns(), Duration::hours(4).ns());
+  EXPECT_GE(plan->buffer_slots * plan->tm.ns(), plan->tc.ns())
+      << "buffer sizing satisfies T_C <= n*T_M";
+}
+
+TEST(Planner, PrefersCheaperConfigurationsWithinGoal) {
+  // With a lax goal the planner should pick large T_M/T_C (less energy).
+  QoAGoal lax;
+  lax.min_dwell = Duration::hours(12);
+  lax.min_detection_prob = 0.5;
+  lax.max_detection_latency = Duration::hours(48);
+  const auto lax_plan = analysis::plan_qoa(lax, DeviceSpec{});
+  QoAGoal strict = lax;
+  strict.min_dwell = Duration::minutes(10);
+  strict.min_detection_prob = 0.95;
+  strict.max_detection_latency = Duration::hours(2);
+  const auto strict_plan = analysis::plan_qoa(strict, DeviceSpec{});
+  ASSERT_TRUE(lax_plan.has_value());
+  ASSERT_TRUE(strict_plan.has_value());
+  EXPECT_GT(lax_plan->tm.ns(), strict_plan->tm.ns());
+  EXPECT_GT(lax_plan->battery_days, strict_plan->battery_days);
+}
+
+TEST(Planner, InfeasibleGoalReturnsNothing) {
+  QoAGoal impossible;
+  impossible.min_dwell = Duration::minutes(1);
+  impossible.min_detection_prob = 0.99;  // needs T_M ~ 1 min
+  impossible.min_battery_days = 10000.0; // but battery must last 27 years
+  impossible.battery_mwh = 100.0;
+  EXPECT_FALSE(analysis::plan_qoa(impossible, DeviceSpec{}).has_value());
+}
+
+TEST(Planner, LatencyBoundRespected) {
+  QoAGoal goal;
+  goal.min_dwell = Duration::hours(2);
+  goal.min_detection_prob = 0.8;
+  goal.max_detection_latency = Duration::hours(1);
+  const auto plan = analysis::plan_qoa(goal, DeviceSpec{});
+  if (plan) {
+    EXPECT_LE((plan->tm + plan->tc).ns(), Duration::hours(1).ns());
+  }
+}
+
+TEST(Planner, EvaluateReportsDuty) {
+  const auto plan =
+      analysis::evaluate_qoa(Duration::minutes(10), Duration::hours(1),
+                             DeviceSpec{});
+  EXPECT_EQ(plan.buffer_slots, 6u);
+  EXPECT_GT(plan.measurement_duty, 0.0);
+  EXPECT_LT(plan.measurement_duty, 0.05)
+      << "7 s of hashing per 10 min is ~1.2% duty";
+  EXPECT_GT(plan.battery_days, 0.0);
+}
+
+// Property sweep: planner output always satisfies its own goal.
+struct GoalCase {
+  uint64_t dwell_min;
+  double prob;
+  uint64_t latency_hours;
+};
+
+class PlannerSoundness : public ::testing::TestWithParam<GoalCase> {};
+
+TEST_P(PlannerSoundness, PlanSatisfiesGoal) {
+  const auto& p = GetParam();
+  QoAGoal goal;
+  goal.min_dwell = Duration::minutes(p.dwell_min);
+  goal.min_detection_prob = p.prob;
+  goal.max_detection_latency = Duration::hours(p.latency_hours);
+  const auto plan = analysis::plan_qoa(goal, DeviceSpec{});
+  if (!plan) return;  // infeasible is acceptable; soundness is what matters
+  EXPECT_GE(attest::detection_prob_regular(goal.min_dwell, plan->tm),
+            goal.min_detection_prob);
+  EXPECT_LE((plan->tm + plan->tc).ns(), goal.max_detection_latency.ns());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Goals, PlannerSoundness,
+    ::testing::Values(GoalCase{30, 0.9, 4}, GoalCase{60, 0.5, 8},
+                      GoalCase{10, 0.99, 2}, GoalCase{120, 0.8, 24},
+                      GoalCase{5, 0.5, 1}));
+
+}  // namespace
+}  // namespace erasmus

@@ -1,0 +1,83 @@
+// HKDF (RFC 5869) known-answer and property tests.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "crypto/hkdf.h"
+
+namespace erasmus::crypto {
+namespace {
+
+Bytes hex(std::string_view s) { return from_hex(s).value(); }
+
+// RFC 5869, Appendix A, Test Case 1 (SHA-256).
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = hex("000102030405060708090a0b0c");
+  const Bytes info = hex("f0f1f2f3f4f5f6f7f8f9");
+
+  const Bytes prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(prk, hex("077709362c2e32df0ddc3f0dc47bba63"
+                     "90b6c73bb50f9c3122ec844ad7c2b3e5"));
+
+  const Bytes okm = hkdf_expand(prk, info, 42);
+  EXPECT_EQ(okm, hex("3cb25f25faacd57a90434f64d0362f2a"
+                     "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+                     "34007208d5b887185865"));
+}
+
+// RFC 5869, Appendix A, Test Case 3 (zero-length salt and info).
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf(ikm, {}, {}, 42);
+  EXPECT_EQ(okm, hex("8da4e775a563c18f715f802a063c5a31"
+                     "b8a11f5c5ee1879ec3454e5f3c738d2d"
+                     "9d201395faa4b61a96c8"));
+}
+
+TEST(Hkdf, ExpandRejectsOversizedRequests) {
+  const Bytes prk(32, 0x01);
+  EXPECT_NO_THROW(hkdf_expand(prk, {}, 255 * 32));
+  EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+  EXPECT_THROW(hkdf_expand(Bytes(16, 1), {}, 32), std::invalid_argument);
+}
+
+TEST(Hkdf, InfoSeparatesKeys) {
+  const Bytes master = bytes_of("fleet master secret");
+  const Bytes mac_key = hkdf(master, bytes_of("device-7"),
+                             bytes_of("erasmus/mac"), 32);
+  const Bytes sched_key = hkdf(master, bytes_of("device-7"),
+                               bytes_of("erasmus/schedule"), 32);
+  EXPECT_NE(mac_key, sched_key);
+  EXPECT_EQ(mac_key.size(), 32u);
+}
+
+TEST(Hkdf, SaltSeparatesDevices) {
+  const Bytes master = bytes_of("fleet master secret");
+  const Bytes k7 = hkdf(master, bytes_of("device-7"), bytes_of("k"), 32);
+  const Bytes k8 = hkdf(master, bytes_of("device-8"), bytes_of("k"), 32);
+  EXPECT_NE(k7, k8);
+}
+
+TEST(Hkdf, Deterministic) {
+  const Bytes a = hkdf(bytes_of("ikm"), bytes_of("s"), bytes_of("i"), 64);
+  const Bytes b = hkdf(bytes_of("ikm"), bytes_of("s"), bytes_of("i"), 64);
+  EXPECT_EQ(a, b);
+}
+
+// Property: a longer output is an extension of a shorter one (streams are
+// prefix-consistent per RFC construction).
+class HkdfPrefixProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HkdfPrefixProperty, ShorterOutputIsPrefix) {
+  const size_t len = GetParam();
+  const Bytes prk = hkdf_extract(bytes_of("salt"), bytes_of("ikm"));
+  const Bytes full = hkdf_expand(prk, bytes_of("info"), 200);
+  const Bytes part = hkdf_expand(prk, bytes_of("info"), len);
+  EXPECT_EQ(part, Bytes(full.begin(), full.begin() + len));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, HkdfPrefixProperty,
+                         ::testing::Values(1, 31, 32, 33, 64, 100, 199));
+
+}  // namespace
+}  // namespace erasmus::crypto

@@ -1,0 +1,155 @@
+// Wire-format tests for the collection (Fig. 2) and on-demand (Fig. 4)
+// protocols, including adversarial (malformed) inputs.
+#include <gtest/gtest.h>
+
+#include "attest/protocol.h"
+
+namespace erasmus::attest {
+namespace {
+
+using crypto::MacAlgo;
+
+Bytes test_key() { return bytes_of("0123456789abcdef0123456789abcdef"); }
+
+Measurement make_m(uint64_t t) {
+  return compute_measurement(MacAlgo::kHmacSha256, test_key(),
+                             bytes_of("mem"), t);
+}
+
+TEST(CollectRequest, RoundTrips) {
+  const CollectRequest req{7};
+  const auto back = CollectRequest::deserialize(req.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->k, 7u);
+}
+
+TEST(CollectRequest, RejectsWrongSize) {
+  EXPECT_FALSE(CollectRequest::deserialize(Bytes{1, 2}).has_value());
+  EXPECT_FALSE(CollectRequest::deserialize(Bytes(5, 0)).has_value());
+}
+
+TEST(CollectResponse, RoundTripsEmptyAndFull) {
+  CollectResponse empty;
+  auto back = CollectResponse::deserialize(empty.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->measurements.empty());
+
+  CollectResponse full;
+  for (uint64_t t : {30ull, 20ull, 10ull}) full.measurements.push_back(make_m(t));
+  back = CollectResponse::deserialize(full.serialize());
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->measurements.size(), 3u);
+  EXPECT_EQ(back->measurements[0], full.measurements[0]);
+  EXPECT_EQ(back->measurements[2], full.measurements[2]);
+}
+
+TEST(CollectResponse, RejectsCountMismatch) {
+  CollectResponse resp;
+  resp.measurements.push_back(make_m(1));
+  Bytes wire = resp.serialize();
+  wire[0] = 2;  // claim two measurements but carry one
+  EXPECT_FALSE(CollectResponse::deserialize(wire).has_value());
+}
+
+TEST(CollectResponse, RejectsTrailingGarbage) {
+  CollectResponse resp;
+  resp.measurements.push_back(make_m(1));
+  Bytes wire = resp.serialize();
+  wire.push_back(0xcc);
+  EXPECT_FALSE(CollectResponse::deserialize(wire).has_value());
+}
+
+TEST(OdRequest, RoundTripsWithMac) {
+  OdRequest req;
+  req.treq = 1000;
+  req.k = 5;
+  req.mac = crypto::Mac::compute(MacAlgo::kHmacSha256, test_key(),
+                                 OdRequest::mac_input(1000, 5));
+  const auto back = OdRequest::deserialize(req.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->treq, 1000u);
+  EXPECT_EQ(back->k, 5u);
+  EXPECT_EQ(back->mac, req.mac);
+}
+
+TEST(OdRequest, MacInputBindsBothFields) {
+  EXPECT_NE(OdRequest::mac_input(1, 0), OdRequest::mac_input(2, 0));
+  EXPECT_NE(OdRequest::mac_input(1, 0), OdRequest::mac_input(1, 1))
+      << "k must be bound so a MITM cannot change the history request";
+}
+
+TEST(OdResponse, RoundTripsFreshPlusHistory) {
+  OdResponse resp;
+  resp.fresh = make_m(100);
+  resp.history = {make_m(90), make_m(80)};
+  const auto back = OdResponse::deserialize(resp.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->fresh, resp.fresh);
+  ASSERT_EQ(back->history.size(), 2u);
+  EXPECT_EQ(back->history[1], resp.history[1]);
+}
+
+TEST(OdResponse, PureOnDemandHasEmptyHistory) {
+  OdResponse resp;
+  resp.fresh = make_m(100);
+  const auto back = OdResponse::deserialize(resp.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->history.empty());
+}
+
+TEST(Framing, RoundTripsAllTypes) {
+  for (auto type : {MsgType::kCollectRequest, MsgType::kCollectResponse,
+                    MsgType::kOdRequest, MsgType::kOdResponse}) {
+    const Bytes framed = frame(type, Bytes{1, 2, 3});
+    const auto back = unframe(framed);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->first, type);
+    EXPECT_EQ(Bytes(back->second.begin(), back->second.end()),
+              (Bytes{1, 2, 3}));
+  }
+}
+
+TEST(Framing, RejectsEmptyAndUnknownTags) {
+  EXPECT_FALSE(unframe(Bytes{}).has_value());
+  EXPECT_FALSE(unframe(Bytes{0x00, 1}).has_value());
+  EXPECT_FALSE(unframe(Bytes{0x7f, 1}).has_value());
+}
+
+// Fuzz-lite property: deserializers never crash and correctly reject
+// truncations of valid messages at every byte length.
+class TruncationProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TruncationProperty, EveryPrefixRejectedOrFullLength) {
+  OdResponse resp;
+  resp.fresh = make_m(100);
+  resp.history = {make_m(90), make_m(80), make_m(70)};
+  const Bytes wire = resp.serialize();
+  const size_t cut = GetParam() % wire.size();
+  const Bytes prefix(wire.begin(), wire.begin() + cut);
+  EXPECT_FALSE(OdResponse::deserialize(prefix).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncationProperty,
+                         ::testing::Values(0, 1, 7, 8, 9, 12, 44, 80, 81, 100,
+                                           150, 200, 250));
+
+TEST(Fuzz, RandomBytesNeverCrashDeserializers) {
+  uint32_t x = 0xC0FFEE;
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes junk((trial * 7) % 300);
+    for (auto& b : junk) {
+      x = x * 1664525u + 1013904223u;
+      b = static_cast<uint8_t>(x >> 24);
+    }
+    (void)CollectRequest::deserialize(junk);
+    (void)CollectResponse::deserialize(junk);
+    (void)OdRequest::deserialize(junk);
+    (void)OdResponse::deserialize(junk);
+    (void)Measurement::deserialize(junk);
+    (void)unframe(junk);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace erasmus::attest

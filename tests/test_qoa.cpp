@@ -1,0 +1,156 @@
+// Tests for the QoA metric (§3.1) and the detection-probability closed
+// forms, cross-validated against the Monte-Carlo estimators.
+#include <gtest/gtest.h>
+
+#include "analysis/detection.h"
+#include "attest/qoa.h"
+
+namespace erasmus::attest {
+namespace {
+
+using sim::Duration;
+
+TEST(QoAParams, KIsCeilTcOverTm) {
+  // Paper: k = ceil(T_C / T_M).
+  QoAParams q{Duration::minutes(10), Duration::hours(1)};
+  EXPECT_EQ(q.measurements_per_collection(), 6u);
+  QoAParams q2{Duration::minutes(10), Duration::minutes(61)};
+  EXPECT_EQ(q2.measurements_per_collection(), 7u);
+  QoAParams q3{Duration::minutes(10), Duration::minutes(10)};
+  EXPECT_EQ(q3.measurements_per_collection(), 1u);
+}
+
+TEST(QoAParams, ExpectedFreshnessIsHalfTm) {
+  QoAParams q{Duration::minutes(10), Duration::hours(1)};
+  EXPECT_EQ(q.expected_freshness().ns(), Duration::minutes(5).ns());
+}
+
+TEST(QoAParams, WorstCaseDetectionDelay) {
+  QoAParams q{Duration::minutes(10), Duration::hours(1)};
+  EXPECT_EQ(q.worst_case_detection_delay().ns(),
+            Duration::minutes(70).ns());
+}
+
+TEST(QoAParams, BufferSafetyCondition) {
+  // §3.2: T_C <= n * T_M.
+  QoAParams q{Duration::minutes(10), Duration::hours(1)};
+  EXPECT_TRUE(q.buffer_safe(6));
+  EXPECT_TRUE(q.buffer_safe(12));
+  EXPECT_FALSE(q.buffer_safe(5));
+  EXPECT_EQ(q.min_buffer_slots(), 6u);
+}
+
+TEST(QoAParams, ZeroTmRejected) {
+  QoAParams q{Duration(0), Duration::hours(1)};
+  EXPECT_THROW(q.measurements_per_collection(), std::invalid_argument);
+  EXPECT_THROW(q.min_buffer_slots(), std::invalid_argument);
+}
+
+TEST(DetectionProb, RegularRandomPhase) {
+  EXPECT_DOUBLE_EQ(
+      detection_prob_regular(Duration::minutes(5), Duration::minutes(10)),
+      0.5);
+  EXPECT_DOUBLE_EQ(
+      detection_prob_regular(Duration::minutes(20), Duration::minutes(10)),
+      1.0);
+  EXPECT_DOUBLE_EQ(detection_prob_regular(Duration(0), Duration::minutes(10)),
+                   0.0);
+}
+
+TEST(DetectionProb, ScheduleAwareRegularIsAllOrNothing) {
+  EXPECT_EQ(detection_prob_schedule_aware_regular(Duration::minutes(9),
+                                                  Duration::minutes(10)),
+            0.0);
+  EXPECT_EQ(detection_prob_schedule_aware_regular(Duration::minutes(10),
+                                                  Duration::minutes(10)),
+            1.0);
+}
+
+TEST(DetectionProb, ScheduleAwareIrregularLinearBetweenBounds) {
+  const auto p = [&](uint64_t dwell_min) {
+    return detection_prob_schedule_aware_irregular(
+        Duration::minutes(dwell_min), Duration::minutes(5),
+        Duration::minutes(15));
+  };
+  EXPECT_DOUBLE_EQ(p(5), 0.0);
+  EXPECT_DOUBLE_EQ(p(10), 0.5);
+  EXPECT_DOUBLE_EQ(p(15), 1.0);
+  EXPECT_DOUBLE_EQ(p(3), 0.0);
+  EXPECT_DOUBLE_EQ(p(100), 1.0);
+}
+
+TEST(DetectionProb, ParameterValidation) {
+  EXPECT_THROW(detection_prob_regular(Duration::minutes(1), Duration(0)),
+               std::invalid_argument);
+  EXPECT_THROW(detection_prob_schedule_aware_irregular(
+                   Duration::minutes(1), Duration::minutes(5),
+                   Duration::minutes(5)),
+               std::invalid_argument);
+}
+
+// --- Closed form vs. Monte Carlo ----------------------------------------------
+
+struct McCase {
+  uint64_t dwell_min;
+  uint64_t tm_min;
+};
+
+class RegularMcAgreement : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(RegularMcAgreement, WithinTwoPercent) {
+  const auto& p = GetParam();
+  const double closed = detection_prob_regular(
+      Duration::minutes(p.dwell_min), Duration::minutes(p.tm_min));
+  const double mc = analysis::mc_detection_regular(
+      Duration::minutes(p.dwell_min), Duration::minutes(p.tm_min), 50'000,
+      /*seed=*/p.dwell_min * 31 + p.tm_min);
+  EXPECT_NEAR(mc, closed, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegularMcAgreement,
+                         ::testing::Values(McCase{1, 10}, McCase{3, 10},
+                                           McCase{5, 10}, McCase{9, 10},
+                                           McCase{10, 10}, McCase{15, 10},
+                                           McCase{7, 60}, McCase{30, 60}));
+
+struct IrrCase {
+  uint64_t dwell_min;
+  uint64_t lower_min;
+  uint64_t upper_min;
+};
+
+class IrregularMcAgreement : public ::testing::TestWithParam<IrrCase> {};
+
+TEST_P(IrregularMcAgreement, WithinTwoPercent) {
+  const auto& p = GetParam();
+  const double closed = detection_prob_schedule_aware_irregular(
+      Duration::minutes(p.dwell_min), Duration::minutes(p.lower_min),
+      Duration::minutes(p.upper_min));
+  const double mc = analysis::mc_detection_schedule_aware_irregular(
+      Duration::minutes(p.dwell_min), Duration::minutes(p.lower_min),
+      Duration::minutes(p.upper_min), 50'000,
+      /*seed=*/p.dwell_min * 101 + p.upper_min);
+  EXPECT_NEAR(mc, closed, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IrregularMcAgreement,
+    ::testing::Values(IrrCase{5, 5, 15}, IrrCase{8, 5, 15},
+                      IrrCase{10, 5, 15}, IrrCase{12, 5, 15},
+                      IrrCase{15, 5, 15}, IrrCase{30, 10, 60}));
+
+TEST(DetectionProb, IrregularAlwaysBeatsRegularAgainstScheduleAwareDwell) {
+  // The §3.5 claim: for dwell < T_M, schedule-aware malware beats a regular
+  // schedule with certainty, while an irregular schedule with the same mean
+  // period retains positive detection probability for dwell > L.
+  const Duration tm = Duration::minutes(10);
+  const Duration lo = Duration::minutes(5), hi = Duration::minutes(15);
+  for (uint64_t dwell_min = 6; dwell_min <= 9; ++dwell_min) {
+    const Duration dwell = Duration::minutes(dwell_min);
+    EXPECT_EQ(detection_prob_schedule_aware_regular(dwell, tm), 0.0);
+    EXPECT_GT(detection_prob_schedule_aware_irregular(dwell, lo, hi), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace erasmus::attest

@@ -1,0 +1,205 @@
+// Tests for the packet-level swarm relay protocol (LISA-alpha-style
+// collection of self-measurements over the simulated network, §6).
+#include <gtest/gtest.h>
+
+#include "crypto/hkdf.h"
+#include "swarm/mobility.h"
+#include "swarm/relay.h"
+
+namespace erasmus::swarm {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+constexpr size_t kRecordBytes = 1 + 8 + 32 + 32;
+
+Bytes device_key(uint32_t id) {
+  Bytes salt(4);
+  salt[0] = static_cast<uint8_t>(id);
+  return crypto::hkdf(bytes_of("relay-test-master"), salt,
+                      bytes_of("erasmus/device-key"), 32);
+}
+
+// A full packet-level swarm: n provers with relay agents + one collector.
+struct RelayRig {
+  sim::EventQueue queue;
+  net::Network network;
+  std::vector<std::unique_ptr<hw::SmartPlusArch>> archs;
+  std::vector<std::unique_ptr<attest::Prover>> provers;
+  std::vector<std::unique_ptr<attest::Verifier>> verifiers;
+  std::vector<std::unique_ptr<RelayAgent>> agents;
+  net::NodeId collector_node = 0;
+  std::unique_ptr<RelayCollector> collector;
+
+  explicit RelayRig(size_t n, double loss = 0.0)
+      : network(queue, Duration::millis(2), loss, /*seed=*/7) {
+    std::vector<attest::Verifier*> verifier_ptrs;
+    for (uint32_t id = 0; id < n; ++id) {
+      auto arch = std::make_unique<hw::SmartPlusArch>(
+          device_key(id), 4096, 1024, 16 * kRecordBytes);
+      auto prover = std::make_unique<attest::Prover>(
+          queue, *arch, arch->app_region(), arch->store_region(),
+          std::make_unique<attest::RegularScheduler>(Duration::minutes(10)),
+          attest::ProverConfig{});
+      attest::VerifierConfig vc;
+      vc.key = device_key(id);
+      vc.golden_digest = crypto::Hash::digest(
+          crypto::HashAlgo::kSha256,
+          arch->memory().view(arch->app_region(), true));
+      auto verifier = std::make_unique<attest::Verifier>(std::move(vc));
+      verifier_ptrs.push_back(verifier.get());
+
+      const net::NodeId node = network.add_node({});
+      auto agent = std::make_unique<RelayAgent>(queue, network, node, id,
+                                                *prover, n);
+      archs.push_back(std::move(arch));
+      provers.push_back(std::move(prover));
+      verifiers.push_back(std::move(verifier));
+      agents.push_back(std::move(agent));
+    }
+    collector_node = network.add_node({});
+    collector = std::make_unique<RelayCollector>(
+        queue, network, collector_node, verifier_ptrs, n);
+  }
+
+  void start_and_run(Duration d) {
+    for (auto& p : provers) p->start();
+    queue.run_until(queue.now() + d);
+  }
+};
+
+TEST(RelayWire, FloodAndReportRoundTrip) {
+  CollectFlood flood{42, 6, 3};
+  const auto f = CollectFlood::deserialize(flood.serialize());
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->round, 42u);
+  EXPECT_EQ(f->k, 6u);
+  EXPECT_EQ(f->ttl, 3u);
+
+  RelayReport report{42, 7, bytes_of("payload")};
+  const auto r = RelayReport::deserialize(report.serialize());
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->device, 7u);
+  EXPECT_EQ(r->collect_response, bytes_of("payload"));
+
+  EXPECT_FALSE(CollectFlood::deserialize(Bytes{1, 2}).has_value());
+  EXPECT_FALSE(RelayReport::deserialize(Bytes{1}).has_value());
+}
+
+TEST(Relay, FullyConnectedSwarmAllAttested) {
+  RelayRig rig(6);  // no link filter: everyone hears everyone
+  rig.start_and_run(Duration::hours(1));
+
+  const auto result = rig.collector->run_round(6, Duration::seconds(10));
+  EXPECT_EQ(result.reports_received, 6u);
+  for (const auto& s : result.statuses) {
+    EXPECT_TRUE(s.attested) << "device " << s.device;
+    EXPECT_TRUE(s.healthy) << "device " << s.device;
+  }
+  EXPECT_GT(result.elapsed.ns(), 0u);
+}
+
+TEST(Relay, MultiHopLineTopology) {
+  // collector -- 0 -- 1 -- 2 -- 3 (line): reports must hop back through
+  // the parents, exercising the relay path.
+  RelayRig rig(4);
+  const net::NodeId c = rig.collector_node;
+  rig.network.set_link_filter([c](net::NodeId a, net::NodeId b) {
+    const auto adjacent = [&](net::NodeId x, net::NodeId y) {
+      if (x > y) std::swap(x, y);
+      if (y == c) return x == 0;                 // collector only hears dev 0
+      return y - x == 1;                          // chain 0-1-2-3
+    };
+    return adjacent(a, b);
+  });
+  rig.start_and_run(Duration::hours(1));
+
+  const auto result = rig.collector->run_round(6, Duration::seconds(10),
+                                               /*ttl=*/8);
+  EXPECT_EQ(result.reports_received, 4u)
+      << "all devices reachable through multi-hop relay";
+  size_t relayed = 0;
+  for (const auto& agent : rig.agents) relayed += agent->stats().reports_relayed;
+  EXPECT_GT(relayed, 0u) << "inner devices must have relayed reports";
+}
+
+TEST(Relay, TtlBoundsFloodDepth) {
+  RelayRig rig(4);
+  const net::NodeId c = rig.collector_node;
+  rig.network.set_link_filter([c](net::NodeId a, net::NodeId b) {
+    const auto adjacent = [&](net::NodeId x, net::NodeId y) {
+      if (x > y) std::swap(x, y);
+      if (y == c) return x == 0;
+      return y - x == 1;
+    };
+    return adjacent(a, b);
+  });
+  rig.start_and_run(Duration::hours(1));
+
+  // TTL 1: flood reaches device 0 (ttl 1) and device 1 (ttl 0, no re-flood).
+  const auto result = rig.collector->run_round(6, Duration::seconds(10),
+                                               /*ttl=*/1);
+  EXPECT_EQ(result.reports_received, 2u);
+}
+
+TEST(Relay, PartitionedSwarmPartialCoverage) {
+  RelayRig rig(6);
+  const net::NodeId c = rig.collector_node;
+  // Devices 0-2 connected to the collector side; 3-5 isolated island.
+  rig.network.set_link_filter([c](net::NodeId a, net::NodeId b) {
+    const auto side = [&](net::NodeId x) { return x == c || x <= 2; };
+    return side(a) == side(b);
+  });
+  rig.start_and_run(Duration::hours(1));
+
+  const auto result = rig.collector->run_round(6, Duration::seconds(10));
+  EXPECT_EQ(result.reports_received, 3u);
+  EXPECT_TRUE(result.statuses[0].attested);
+  EXPECT_FALSE(result.statuses[4].attested);
+}
+
+TEST(Relay, InfectedDeviceFlaggedThroughRelayPath) {
+  RelayRig rig(5);
+  rig.start_and_run(Duration::minutes(15));
+  // Persistent malware on device 3, then let a measurement catch it.
+  rig.provers[3]->memory().write(rig.provers[3]->attested_region(), 7,
+                                 bytes_of("EVIL"), false);
+  rig.queue.run_until(rig.queue.now() + Duration::minutes(20));
+
+  const auto result = rig.collector->run_round(4, Duration::seconds(10));
+  EXPECT_TRUE(result.statuses[3].attested);
+  EXPECT_FALSE(result.statuses[3].healthy);
+  EXPECT_TRUE(result.statuses[1].healthy);
+}
+
+TEST(Relay, DuplicateReportsIgnored) {
+  // In a dense topology the same report arrives via multiple paths; the
+  // collector must count each device once.
+  RelayRig rig(8);
+  rig.start_and_run(Duration::hours(1));
+  const auto result = rig.collector->run_round(6, Duration::seconds(10));
+  EXPECT_EQ(result.reports_received, 8u);
+  EXPECT_EQ(result.statuses.size(), 8u);
+}
+
+TEST(Relay, RoundsAreIndependent) {
+  RelayRig rig(4);
+  rig.start_and_run(Duration::hours(1));
+  const auto r1 = rig.collector->run_round(6, Duration::seconds(10));
+  rig.queue.run_until(rig.queue.now() + Duration::minutes(30));
+  const auto r2 = rig.collector->run_round(6, Duration::seconds(10));
+  EXPECT_EQ(r1.reports_received, 4u);
+  EXPECT_EQ(r2.reports_received, 4u);
+}
+
+TEST(Relay, LossyNetworkDegradesGracefully) {
+  RelayRig rig(6, /*loss=*/0.2);
+  rig.start_and_run(Duration::hours(1));
+  const auto result = rig.collector->run_round(6, Duration::seconds(10));
+  // Dense flooding provides path diversity; most devices still report.
+  EXPECT_GE(result.reports_received, 3u);
+}
+
+}  // namespace
+}  // namespace erasmus::swarm

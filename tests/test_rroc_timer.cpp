@@ -1,0 +1,126 @@
+// Tests for the RROC (reliable read-only clock) and the hardware timer,
+// including the §3.4 attack surface when the write line is left intact.
+#include <gtest/gtest.h>
+
+#include "hw/rroc.h"
+#include "hw/timer.h"
+#include "sim/event_queue.h"
+
+namespace erasmus::hw {
+namespace {
+
+using sim::Duration;
+using sim::EventQueue;
+using sim::Time;
+
+TEST(Rroc, CountsTicksOfVirtualTime) {
+  EventQueue q;
+  Rroc rroc(q, Duration::seconds(1));
+  EXPECT_EQ(rroc.read(), 0u);
+  q.advance_to(Time::zero() + Duration::seconds(42));
+  EXPECT_EQ(rroc.read(), 42u);
+  q.advance_to(Time::zero() + Duration::millis(42'900));
+  EXPECT_EQ(rroc.read(), 42u) << "sub-tick time must not round up";
+}
+
+TEST(Rroc, TickGranularityConfigurable) {
+  EventQueue q;
+  Rroc fine(q, Duration::millis(100));
+  q.advance_to(Time::zero() + Duration::seconds(1));
+  EXPECT_EQ(fine.read(), 10u);
+}
+
+TEST(Rroc, WritesRejectedWhenLineRemoved) {
+  EventQueue q;
+  Rroc rroc(q, Duration::seconds(1));  // production configuration
+  q.advance_to(Time::zero() + Duration::seconds(100));
+  EXPECT_TRUE(rroc.write_protected());
+  EXPECT_FALSE(rroc.try_write(5));
+  EXPECT_EQ(rroc.read(), 100u) << "counter unaffected by the attempt";
+}
+
+TEST(Rroc, AttackDemoConfigurationAllowsSkew) {
+  EventQueue q;
+  Rroc rroc(q, Duration::seconds(1),
+            Rroc::WriteLine::kWritableForAttackDemo);
+  q.advance_to(Time::zero() + Duration::seconds(100));
+  EXPECT_FALSE(rroc.write_protected());
+  EXPECT_TRUE(rroc.try_write(60));  // rewind by 40 ticks (§3.4 attack)
+  EXPECT_EQ(rroc.read(), 60u);
+  q.advance_to(Time::zero() + Duration::seconds(110));
+  EXPECT_EQ(rroc.read(), 70u) << "skew persists, clock keeps ticking";
+}
+
+TEST(Rroc, TickToTimeRoundTrips) {
+  EventQueue q;
+  Rroc rroc(q, Duration::seconds(1));
+  EXPECT_EQ(rroc.tick_to_time(1492453673ull).ns(),
+            Duration::seconds(1492453673ull).ns());
+}
+
+TEST(HwTimer, FiresAfterProgrammedDelay) {
+  EventQueue q;
+  HwTimer timer(q);
+  bool fired = false;
+  timer.arm(Duration::seconds(5), [&] { fired = true; });
+  q.run_until(Time::zero() + Duration::seconds(4));
+  EXPECT_FALSE(fired);
+  q.run_until(Time::zero() + Duration::seconds(5));
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(HwTimer, ReArmReplacesPendingInterrupt) {
+  EventQueue q;
+  HwTimer timer(q);
+  int which = 0;
+  timer.arm(Duration::seconds(5), [&] { which = 1; });
+  timer.arm(Duration::seconds(2), [&] { which = 2; });
+  q.run();
+  EXPECT_EQ(which, 2);
+}
+
+TEST(HwTimer, CancelDropsInterrupt) {
+  EventQueue q;
+  HwTimer timer(q);
+  bool fired = false;
+  timer.arm(Duration::seconds(1), [&] { fired = true; });
+  timer.cancel();
+  q.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(HwTimer, CompareRegisterReadProtectedByDefault) {
+  // §3.5: with irregular scheduling, malware must not learn when the next
+  // measurement fires.
+  EventQueue q;
+  HwTimer timer(q);  // compare_readable defaults to false
+  timer.arm(Duration::seconds(10), [] {});
+  EXPECT_THROW((void)timer.remaining_unprivileged(), std::logic_error);
+  EXPECT_EQ(timer.remaining_privileged().ns(), Duration::seconds(10).ns());
+}
+
+TEST(HwTimer, CompareReadableWhenConfigured) {
+  EventQueue q;
+  HwTimer timer(q, /*compare_readable=*/true);
+  timer.arm(Duration::seconds(3), [] {});
+  q.advance_to(Time::zero() + Duration::seconds(1));
+  EXPECT_EQ(timer.remaining_unprivileged().ns(), Duration::seconds(2).ns());
+}
+
+TEST(HwTimer, ChainedOneShotsEmulatePeriodic) {
+  EventQueue q;
+  HwTimer timer(q);
+  int count = 0;
+  std::function<void()> isr = [&] {
+    if (++count < 4) timer.arm(Duration::seconds(1), isr);
+  };
+  timer.arm(Duration::seconds(1), isr);
+  q.run();
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(q.now(), Time::zero() + Duration::seconds(4));
+}
+
+}  // namespace
+}  // namespace erasmus::hw

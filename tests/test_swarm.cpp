@@ -1,0 +1,333 @@
+// Tests for the swarm layer (§6): topology, mobility, the on-demand vs.
+// ERASMUS-collection protocol comparison, staggered scheduling, QoSA and
+// the full-device Fleet.
+#include <gtest/gtest.h>
+
+#include "swarm/fleet.h"
+#include "swarm/mobility.h"
+#include "swarm/protocols.h"
+#include "swarm/qosa.h"
+#include "swarm/topology.h"
+
+namespace erasmus::swarm {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+TEST(Topology, EdgesAreUndirected) {
+  Topology t(4);
+  t.add_edge(0, 1);
+  EXPECT_TRUE(t.connected(0, 1));
+  EXPECT_TRUE(t.connected(1, 0));
+  EXPECT_FALSE(t.connected(0, 2));
+  t.remove_edge(1, 0);
+  EXPECT_FALSE(t.connected(0, 1));
+}
+
+TEST(Topology, SelfLoopsIgnoredAndBoundsChecked) {
+  Topology t(3);
+  t.add_edge(1, 1);
+  EXPECT_FALSE(t.connected(1, 1));
+  EXPECT_THROW(t.add_edge(0, 3), std::out_of_range);
+  EXPECT_THROW(t.connected(3, 0), std::out_of_range);
+}
+
+TEST(Topology, NeighborsAndEdgeCount) {
+  Topology t(5);
+  t.add_edge(0, 1);
+  t.add_edge(0, 2);
+  t.add_edge(3, 4);
+  EXPECT_EQ(t.neighbors(0), (std::vector<DeviceId>{1, 2}));
+  EXPECT_EQ(t.edge_count(), 3u);
+}
+
+TEST(Topology, BfsTreeOnLine) {
+  Topology t(4);
+  t.add_edge(0, 1);
+  t.add_edge(1, 2);
+  t.add_edge(2, 3);
+  const auto tree = t.bfs_tree(0);
+  EXPECT_EQ(tree.reached, 4u);
+  EXPECT_EQ(tree.max_depth(), 3u);
+  EXPECT_EQ(*tree.parent[3], 2u);
+  EXPECT_EQ(tree.children(1), (std::vector<DeviceId>{2}));
+}
+
+TEST(Topology, BfsTreeDisconnected) {
+  Topology t(4);
+  t.add_edge(0, 1);
+  const auto tree = t.bfs_tree(0);
+  EXPECT_EQ(tree.reached, 2u);
+  EXPECT_FALSE(tree.parent[2].has_value());
+  EXPECT_EQ(t.reachable_from(0), 2u);
+  EXPECT_EQ(t.reachable_from(2), 1u);
+}
+
+TEST(Mobility, DeterministicPerSeed) {
+  MobilityConfig cfg;
+  cfg.devices = 5;
+  cfg.seed = 9;
+  RandomWaypointMobility a(cfg), b(cfg);
+  const Time t = Time::zero() + Duration::minutes(30);
+  for (DeviceId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(a.position(v, t).x, b.position(v, t).x);
+    EXPECT_DOUBLE_EQ(a.position(v, t).y, b.position(v, t).y);
+  }
+}
+
+TEST(Mobility, PositionsStayInField) {
+  MobilityConfig cfg;
+  cfg.devices = 8;
+  cfg.field_size = 50.0;
+  RandomWaypointMobility m(cfg);
+  for (int minutes = 0; minutes < 120; minutes += 10) {
+    for (DeviceId v = 0; v < 8; ++v) {
+      const Point p = m.position(v, Time::zero() + Duration::minutes(minutes));
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 50.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 50.0);
+    }
+  }
+}
+
+TEST(Mobility, StationaryWhenSpeedZero) {
+  MobilityConfig cfg;
+  cfg.devices = 3;
+  cfg.speed_min = 0.0;
+  cfg.speed_max = 0.0;
+  RandomWaypointMobility m(cfg);
+  const Point p0 = m.position(1, Time::zero());
+  const Point p1 = m.position(1, Time::zero() + Duration::hours(5));
+  EXPECT_DOUBLE_EQ(p0.x, p1.x);
+  EXPECT_DOUBLE_EQ(p0.y, p1.y);
+}
+
+TEST(Mobility, OutOfOrderQueriesConsistent) {
+  MobilityConfig cfg;
+  cfg.devices = 2;
+  RandomWaypointMobility m(cfg);
+  const Point late = m.position(0, Time::zero() + Duration::minutes(60));
+  const Point early = m.position(0, Time::zero() + Duration::minutes(10));
+  const Point late_again = m.position(0, Time::zero() + Duration::minutes(60));
+  EXPECT_DOUBLE_EQ(late.x, late_again.x);
+  EXPECT_DOUBLE_EQ(late.y, late_again.y);
+  (void)early;
+}
+
+TEST(Mobility, SnapshotMatchesPairwiseConnectivity) {
+  MobilityConfig cfg;
+  cfg.devices = 6;
+  cfg.radio_range = 40.0;
+  RandomWaypointMobility m(cfg);
+  const Time t = Time::zero() + Duration::minutes(7);
+  const Topology topo = m.snapshot(t);
+  for (DeviceId a = 0; a < 6; ++a) {
+    for (DeviceId b = a + 1; b < 6; ++b) {
+      EXPECT_EQ(topo.connected(a, b), m.connected(a, b, t));
+    }
+  }
+}
+
+TEST(Protocols, StaticSwarmBothProtocolsReachEveryone) {
+  MobilityConfig cfg;
+  cfg.devices = 12;
+  cfg.field_size = 60.0;
+  cfg.radio_range = 30.0;  // dense enough to be connected
+  cfg.speed_min = 0.0;
+  cfg.speed_max = 0.0;     // static topology
+  cfg.seed = 3;
+  RandomWaypointMobility m(cfg);
+  const size_t reachable =
+      m.snapshot(Time::zero()).reachable_from(0);
+
+  SwarmProtocolConfig pc;
+  const auto od = run_ondemand_round(m, Time::zero(), 0, pc);
+  const auto er = run_erasmus_collection_round(m, Time::zero(), 0, pc);
+  EXPECT_EQ(od.attested, reachable);
+  EXPECT_EQ(er.attested, reachable);
+}
+
+TEST(Protocols, ErasmusCollectionOrdersOfMagnitudeFaster) {
+  MobilityConfig cfg;
+  cfg.devices = 12;
+  cfg.speed_min = 0.0;
+  cfg.speed_max = 0.0;
+  RandomWaypointMobility m(cfg);
+  SwarmProtocolConfig pc;
+  pc.hop_latency = Duration::millis(1);
+  const auto od = run_ondemand_round(m, Time::zero(), 0, pc);
+  const auto er = run_erasmus_collection_round(m, Time::zero(), 0, pc);
+  ASSERT_GT(od.attested, 1u);
+  EXPECT_GT(od.duration.ns(), er.duration.ns() * 10)
+      << "on-demand pays per-device measurement time; collection does not";
+  // The gap is the per-device measurement work (minus the tiny stored-
+  // measurement read the collection round pays instead).
+  EXPECT_GE((od.duration - er.duration).ns(),
+            (pc.measurement_time - pc.collection_reply_time).ns());
+}
+
+TEST(Protocols, MobilityHurtsOnDemandMoreThanCollection) {
+  MobilityConfig cfg;
+  cfg.devices = 25;
+  cfg.field_size = 120.0;
+  cfg.radio_range = 40.0;
+  cfg.speed_min = 8.0;   // fast swarm (vehicles/drones)
+  cfg.speed_max = 15.0;
+  SwarmProtocolConfig pc;
+  pc.measurement_time = Duration::seconds(7);  // low-end device, Fig. 6
+
+  double od_cov = 0, er_cov = 0;
+  int rounds = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    MobilityConfig c = cfg;
+    c.seed = seed;
+    RandomWaypointMobility m(c);
+    const Time t0 = Time::zero() + Duration::minutes(5);
+    const auto od = run_ondemand_round(m, t0, 0, pc);
+    const auto er = run_erasmus_collection_round(m, t0, 0, pc);
+    od_cov += od.coverage();
+    er_cov += er.coverage();
+    ++rounds;
+  }
+  od_cov /= rounds;
+  er_cov /= rounds;
+  EXPECT_GT(er_cov, od_cov + 0.05)
+      << "ERASMUS collection must tolerate mobility clearly better";
+}
+
+TEST(Protocols, StaggeredScheduleBoundsConcurrentBusy) {
+  // §6: with ERASMUS it is trivial to ensure only a fraction of the swarm
+  // measures at any time.
+  const size_t aligned = max_concurrent_busy(
+      20, Duration::minutes(10), Duration::seconds(7), /*staggered=*/false);
+  const size_t staggered = max_concurrent_busy(
+      20, Duration::minutes(10), Duration::seconds(7), /*staggered=*/true);
+  EXPECT_EQ(aligned, 20u) << "aligned schedules all measure simultaneously";
+  EXPECT_EQ(staggered, 1u) << "30 s stride >> 7 s measurement";
+}
+
+TEST(Protocols, StaggeringWithLongMeasurements) {
+  // When the measurement takes longer than the stride, the bound is
+  // ceil(measure / stride).
+  const size_t busy = max_concurrent_busy(
+      10, Duration::minutes(10), Duration::minutes(3), /*staggered=*/true);
+  EXPECT_EQ(busy, 3u);
+}
+
+TEST(Qosa, LevelsCarryIncreasingInformation) {
+  Topology topo(3);
+  topo.add_edge(0, 1);
+  std::vector<DeviceStatus> statuses = {
+      {0, true, true}, {1, true, true}, {2, true, false}};
+
+  const auto binary = make_report(QosaLevel::kBinary, statuses, topo);
+  EXPECT_FALSE(binary.all_healthy);
+  EXPECT_TRUE(binary.devices.empty());
+  EXPECT_TRUE(binary.edges.empty());
+
+  const auto list = make_report(QosaLevel::kList, statuses, topo);
+  EXPECT_EQ(list.devices.size(), 3u);
+  EXPECT_TRUE(list.edges.empty());
+
+  const auto full = make_report(QosaLevel::kFull, statuses, topo);
+  EXPECT_EQ(full.devices.size(), 3u);
+  EXPECT_EQ(full.edges.size(), 1u);
+}
+
+TEST(Qosa, AllHealthyRequiresEveryDevice) {
+  Topology topo(2);
+  const auto good = make_report(
+      QosaLevel::kBinary, {{0, true, true}, {1, true, true}}, topo);
+  EXPECT_TRUE(good.all_healthy);
+  const auto unattested = make_report(
+      QosaLevel::kBinary, {{0, true, true}, {1, false, false}}, topo);
+  EXPECT_FALSE(unattested.all_healthy);
+  EXPECT_EQ(to_string(QosaLevel::kFull), "full");
+}
+
+TEST(Fleet, StaggeredMeasurementsSpreadOverPeriod) {
+  sim::EventQueue queue;
+  FleetConfig cfg;
+  cfg.devices = 5;
+  cfg.tm = Duration::minutes(10);
+  cfg.app_ram_bytes = 512;
+  Fleet fleet(queue, cfg);
+  fleet.start();
+  queue.run_until(Time::zero() + Duration::minutes(10));
+  // Offsets are i*T_M/5: all five have measured exactly once after one T_M.
+  for (DeviceId id = 0; id < 5; ++id) {
+    EXPECT_EQ(fleet.prover(id).stats().measurements, 1u) << "device " << id;
+  }
+}
+
+TEST(Fleet, CollectRoundVerifiesHealthyDevices) {
+  sim::EventQueue queue;
+  FleetConfig cfg;
+  cfg.devices = 6;
+  cfg.tm = Duration::minutes(10);
+  cfg.app_ram_bytes = 512;
+  cfg.mobility.field_size = 40.0;   // dense: likely fully connected
+  cfg.mobility.radio_range = 60.0;
+  Fleet fleet(queue, cfg);
+  fleet.start();
+  queue.run_until(Time::zero() + Duration::hours(1));
+
+  const auto statuses = fleet.collect_round(/*root=*/0, /*k=*/6);
+  ASSERT_EQ(statuses.size(), 6u);
+  size_t attested = 0, healthy = 0;
+  for (const auto& s : statuses) {
+    attested += s.attested;
+    healthy += s.healthy;
+  }
+  EXPECT_EQ(attested, 6u) << "radio range covers the whole field";
+  EXPECT_EQ(healthy, 6u);
+}
+
+TEST(Fleet, InfectedDeviceFlaggedUnhealthy) {
+  sim::EventQueue queue;
+  FleetConfig cfg;
+  cfg.devices = 4;
+  cfg.tm = Duration::minutes(10);
+  cfg.app_ram_bytes = 512;
+  cfg.mobility.field_size = 30.0;
+  cfg.mobility.radio_range = 60.0;
+  Fleet fleet(queue, cfg);
+  fleet.start();
+  // Persistent malware on device 2.
+  queue.schedule_at(Time::zero() + Duration::minutes(15), [&] {
+    fleet.prover(2).memory().write(
+        fleet.prover(2).attested_region(), 10, bytes_of("EVIL"), false);
+  });
+  queue.run_until(Time::zero() + Duration::hours(1));
+
+  const auto statuses = fleet.collect_round(0, 6);
+  EXPECT_TRUE(statuses[0].healthy);
+  EXPECT_TRUE(statuses[1].healthy);
+  EXPECT_FALSE(statuses[2].healthy);
+  EXPECT_TRUE(statuses[3].healthy);
+}
+
+TEST(Fleet, PerDeviceKeysAreIndependent) {
+  sim::EventQueue queue;
+  FleetConfig cfg;
+  cfg.devices = 3;
+  cfg.app_ram_bytes = 512;
+  Fleet fleet(queue, cfg);
+  fleet.start();
+  queue.run_until(Time::zero() + Duration::minutes(15));
+  // Device 1's measurement must not verify under device 0's key.
+  const auto m =
+      fleet.prover(1).store().latest(fleet.prover(1).latest_index(), 1);
+  ASSERT_EQ(m.size(), 1u);
+  attest::CollectResponse cross;
+  cross.measurements = m;
+  const auto report = fleet.verifier(0).verify_collection(
+      cross, queue.now());
+  EXPECT_TRUE(report.tampering_detected)
+      << "cross-device measurement must fail MAC verification";
+}
+
+}  // namespace
+}  // namespace erasmus::swarm

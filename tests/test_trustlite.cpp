@@ -1,0 +1,151 @@
+// Tests for the TrustLite/TyTAN architecture model and the paper's claim
+// that ERASMUS is "equally applicable" to it: the unchanged prover/verifier
+// stack runs on TrustLiteArch.
+#include <gtest/gtest.h>
+
+#include "attest/prover.h"
+#include "attest/verifier.h"
+#include "hw/trustlite.h"
+#include "malware/malware.h"
+
+namespace erasmus {
+namespace {
+
+using attest::CollectRequest;
+using attest::Prover;
+using attest::ProverConfig;
+using attest::Verifier;
+using attest::VerifierConfig;
+using hw::Access;
+using hw::TrustLiteArch;
+using sim::Duration;
+using sim::Time;
+
+Bytes test_key() { return bytes_of("0123456789abcdef0123456789abcdef"); }
+
+constexpr size_t kRecordBytes = 1 + 8 + 32 + 32;
+
+TrustLiteArch make_arch() {
+  TrustLiteArch arch(test_key(), 2048, 16 * kRecordBytes);
+  arch.lock_rules();
+  return arch;
+}
+
+TEST(TrustLite, RuleTableLockedAfterBoot) {
+  TrustLiteArch arch(test_key(), 1024, 512);
+  arch.program_rule(TrustLiteArch::Trustlet::kApplication, arch.app_region(),
+                    Access::kReadWrite);
+  arch.lock_rules();
+  EXPECT_TRUE(arch.rules_locked());
+  EXPECT_THROW(arch.program_rule(TrustLiteArch::Trustlet::kApplication,
+                                 arch.key_region(), Access::kRead),
+               hw::SecurityViolation)
+      << "runtime reprogramming is the attack the lock prevents";
+}
+
+TEST(TrustLite, ProtectedExecutionRequiresLockedRules) {
+  TrustLiteArch arch(test_key(), 1024, 512);
+  EXPECT_THROW(
+      arch.run_protected([](hw::SecurityArch::ProtectedContext&) {}),
+      hw::SecurityViolation);
+  arch.lock_rules();
+  EXPECT_NO_THROW(
+      arch.run_protected([](hw::SecurityArch::ProtectedContext&) {}));
+}
+
+TEST(TrustLite, DefaultRulesMatchPaperFigure) {
+  auto arch = make_arch();
+  using T = TrustLiteArch::Trustlet;
+  EXPECT_EQ(arch.rule_for(T::kAttestation, arch.key_region()), Access::kRead);
+  EXPECT_EQ(arch.rule_for(T::kApplication, arch.key_region()), Access::kNone);
+  EXPECT_EQ(arch.rule_for(T::kApplication, arch.store_region()),
+            Access::kReadWrite)
+      << "the measurement store stays unprotected, as in SMART+";
+}
+
+TEST(TrustLite, KeyIsolationIdenticalToOtherArchitectures) {
+  auto arch = make_arch();
+  Bytes seen;
+  arch.run_protected([&](hw::SecurityArch::ProtectedContext& ctx) {
+    seen.assign(ctx.key().begin(), ctx.key().end());
+  });
+  EXPECT_EQ(seen, test_key());
+  EXPECT_THROW((void)arch.memory().read(arch.key_region(), 0, 1, false),
+               hw::AccessViolation);
+}
+
+TEST(TrustLite, InterruptsAllowedUnlikeSmartPlus) {
+  auto arch = make_arch();
+  EXPECT_TRUE(arch.interrupts_allowed_during_measurement());
+  EXPECT_EQ(arch.name(), "TrustLite");
+}
+
+TEST(TrustLite, FullErasmusStackRunsUnchanged) {
+  // The paper's applicability claim, executed: same Prover, same Verifier,
+  // different architecture.
+  sim::EventQueue queue;
+  auto arch = make_arch();
+  Prover prover(queue, arch, arch.app_region(), arch.store_region(),
+                std::make_unique<attest::RegularScheduler>(
+                    Duration::minutes(10)),
+                ProverConfig{});
+  VerifierConfig vc;
+  vc.key = test_key();
+  vc.golden_digest = crypto::Hash::digest(
+      crypto::HashAlgo::kSha256, arch.memory().view(arch.app_region(), true));
+  Verifier verifier(std::move(vc));
+
+  prover.start();
+  queue.run_until(Time::zero() + Duration::hours(1));
+  EXPECT_EQ(prover.stats().measurements, 6u);
+  const auto res = prover.handle_collect(CollectRequest{6});
+  const auto report = verifier.verify_collection(res.response, queue.now());
+  EXPECT_TRUE(report.device_trustworthy());
+}
+
+TEST(TrustLite, MalwareDetectionWorksOnTrustLite) {
+  sim::EventQueue queue;
+  auto arch = make_arch();
+  Prover prover(queue, arch, arch.app_region(), arch.store_region(),
+                std::make_unique<attest::RegularScheduler>(
+                    Duration::minutes(10)),
+                ProverConfig{});
+  VerifierConfig vc;
+  vc.key = test_key();
+  vc.golden_digest = crypto::Hash::digest(
+      crypto::HashAlgo::kSha256, arch.memory().view(arch.app_region(), true));
+  Verifier verifier(std::move(vc));
+
+  prover.start();
+  malware::MobileMalware mw(queue, prover);
+  mw.schedule(Time::zero() + Duration::minutes(12), Duration::minutes(25));
+  queue.run_until(Time::zero() + Duration::hours(1));
+
+  const auto res = prover.handle_collect(CollectRequest{6});
+  EXPECT_TRUE(
+      verifier.verify_collection(res.response, queue.now()).infection_detected);
+}
+
+TEST(TrustLite, ErasmusOdWorksOnTrustLite) {
+  sim::EventQueue queue;
+  auto arch = make_arch();
+  Prover prover(queue, arch, arch.app_region(), arch.store_region(),
+                std::make_unique<attest::RegularScheduler>(
+                    Duration::minutes(10)),
+                ProverConfig{});
+  VerifierConfig vc;
+  vc.key = test_key();
+  vc.golden_digest = crypto::Hash::digest(
+      crypto::HashAlgo::kSha256, arch.memory().view(arch.app_region(), true));
+  Verifier verifier(std::move(vc));
+  prover.start();
+  queue.run_until(Time::zero() + Duration::minutes(45));
+  const auto req = verifier.make_od_request(prover.rroc().read(), 3);
+  const auto res = prover.handle_od(req);
+  ASSERT_TRUE(res.response.has_value());
+  EXPECT_TRUE(verifier.verify_od_response(*res.response, queue.now(), req.treq)
+                  .fresh_valid);
+}
+
+}  // namespace
+}  // namespace erasmus
