@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <set>
 
+#include "analysis/bench_report.h"
 #include "analysis/table.h"
 #include "attest/prover.h"
 #include "attest/qoa.h"
@@ -81,6 +82,7 @@ int main() {
   std::printf("T_M = 10 min, 48 h horizon. Safety condition: T_C <= n*T_M\n"
               "(k = ceil(T_C/T_M) collected per round).\n\n");
 
+  analysis::BenchReport bench("ablation_buffer");
   analysis::Table table({"n (slots)", "T_C (min)", "n*T_M (min)", "safe?",
                          "produced", "collected", "loss rate"});
   for (const size_t n : {4, 6, 8, 12}) {
@@ -88,6 +90,8 @@ int main() {
       const Duration tc = Duration::minutes(tc_min);
       const attest::QoAParams qoa{tm, tc};
       const auto result = run(n, tm, tc, horizon);
+      bench.sample(qoa.buffer_safe(n) ? "loss_rate_safe" : "loss_rate_unsafe",
+                   result.loss_rate());
       table.add_row({std::to_string(n), std::to_string(tc_min),
                      std::to_string(n * 10), qoa.buffer_safe(n) ? "yes" : "NO",
                      std::to_string(result.produced),
@@ -98,5 +102,6 @@ int main() {
   std::printf("%s\n", table.render().c_str());
   std::printf("Expected shape: loss ~0 whenever T_C <= n*T_M, growing once "
               "the window wraps faster than the verifier collects.\n\n");
+  bench.write();
   return 0;
 }

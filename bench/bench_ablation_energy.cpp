@@ -9,6 +9,7 @@
 // and prints the chosen configurations.
 #include <cstdio>
 
+#include "analysis/bench_report.h"
 #include "analysis/qoa_planner.h"
 #include "analysis/table.h"
 #include "attest/qoa.h"
@@ -31,6 +32,7 @@ int main() {
   analysis::Table table({"T_M (min)", "P(detect 30-min dwell)",
                          "E[freshness] (min)", "duty (%)", "mJ/day",
                          "battery (days)"});
+  analysis::BenchReport bench("ablation_energy");
   for (const uint64_t tm_min : {1ull, 2ull, 5ull, 10ull, 20ull, 30ull, 60ull,
                                 120ull}) {
     const Duration tm = Duration::minutes(tm_min);
@@ -40,6 +42,11 @@ int main() {
     const double duty =
         100.0 * static_cast<double>(device.measurement_time(algo, kMem).ns()) /
         static_cast<double>(tm.ns());
+    bench.sample("duty_pct", duty);
+    bench.sample("mj_per_day", ledger.total().millijoules());
+    bench.sample("battery_days",
+                 sim::battery_life_days(device, energy, algo, kMem, kRecord,
+                                        tm, tc, 2400.0));
     table.add_row(
         {std::to_string(tm_min),
          analysis::fmt(attest::detection_prob_regular(dwell, tm), 2),
@@ -99,5 +106,6 @@ int main() {
                    analysis::fmt(plan->battery_days, 0)});
   }
   std::printf("%s\n", plans.render().c_str());
+  bench.write();
   return 0;
 }

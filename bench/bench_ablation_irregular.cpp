@@ -8,8 +8,10 @@
 // Each point is reported three ways: closed form, Monte-Carlo estimator,
 // and a full-device simulation (real prover + ScheduleAwareMalware +
 // verifier collections), demonstrating all three layers agree.
+#include <cmath>
 #include <cstdio>
 
+#include "analysis/bench_report.h"
 #include "analysis/detection.h"
 #include "analysis/table.h"
 #include "attest/prover.h"
@@ -59,22 +61,29 @@ int main() {
   std::printf("T_M = 10 min; irregular intervals U[5 min, 15 min) (same "
               "mean).\n\n");
 
+  analysis::BenchReport bench("ablation_irregular");
   analysis::Series series(
       "Dwell (min)",
       {"reg/random-phase", "reg/schedule-aware", "irreg/schedule-aware",
        "irreg/aware MC", "irreg/aware device-sim"});
   for (uint64_t dwell_min : {2ull, 4ull, 6ull, 8ull, 10ull, 12ull, 14ull}) {
     const Duration dwell = Duration::minutes(dwell_min);
+    const double analytic =
+        attest::detection_prob_schedule_aware_irregular(dwell, lo, hi);
+    const double mc = analysis::mc_detection_schedule_aware_irregular(
+        dwell, lo, hi, kTrials, /*seed=*/dwell_min);
+    const double device_sim = simulate_schedule_aware(
+        std::make_unique<attest::IrregularScheduler>(key(), lo, hi), dwell,
+        Duration::hours(24 * 14));
+    bench.sample("irregular_aware_analytic", analytic);
+    bench.sample("irregular_aware_mc", mc);
+    bench.sample("irregular_aware_device_sim", device_sim);
+    bench.sample("mc_vs_analytic_abs_err", std::abs(mc - analytic));
     series.add_point(
         static_cast<double>(dwell_min),
         {attest::detection_prob_regular(dwell, tm),
-         attest::detection_prob_schedule_aware_regular(dwell, tm),
-         attest::detection_prob_schedule_aware_irregular(dwell, lo, hi),
-         analysis::mc_detection_schedule_aware_irregular(
-             dwell, lo, hi, kTrials, /*seed=*/dwell_min),
-         simulate_schedule_aware(
-             std::make_unique<attest::IrregularScheduler>(key(), lo, hi),
-             dwell, Duration::hours(24 * 14))});
+         attest::detection_prob_schedule_aware_regular(dwell, tm), analytic,
+         mc, device_sim});
   }
   std::printf("%s\n", series.render().c_str());
 
@@ -89,5 +98,8 @@ int main() {
   std::printf("  device-sim capture rate, dwell 8 min: regular %.3f vs "
               "irregular %.3f (analytic 0.0 vs 0.3)\n\n",
               regular_sim, irregular_sim);
+  bench.sample("regular_aware_device_sim_8min", regular_sim);
+  bench.sample("irregular_aware_device_sim_8min", irregular_sim);
+  bench.write();
   return 0;
 }

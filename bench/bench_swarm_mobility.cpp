@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "analysis/bench_report.h"
 #include "analysis/stats.h"
 #include "analysis/table.h"
 #include "swarm/fleet.h"
@@ -53,6 +54,7 @@ std::pair<double, double> coverage_at_speed(double speed, size_t devices) {
 
 int main() {
   std::printf("=== Sect. 6: swarm attestation under mobility ===\n\n");
+  analysis::BenchReport bench("swarm_mobility");
 
   std::printf("--- Coverage vs node speed (30 devices, 7 s per on-demand "
               "measurement) ---\n");
@@ -60,6 +62,8 @@ int main() {
                        {"on-demand coverage", "ERASMUS coverage"});
   for (const double speed : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
     const auto [od, er] = coverage_at_speed(speed, 30);
+    bench.sample("ondemand_coverage", od);
+    bench.sample("erasmus_coverage", er);
     cov.add_point(speed, {od, er});
   }
   std::printf("%s\n", cov.render().c_str());
@@ -84,6 +88,8 @@ int main() {
     const auto od = swarm::run_ondemand_round(mobility, Time::zero(), 0, pc);
     const auto er =
         swarm::run_erasmus_collection_round(mobility, Time::zero(), 0, pc);
+    bench.sample("ondemand_round_s", od.duration.to_seconds());
+    bench.sample("erasmus_round_ms", er.duration.to_millis());
     dur.add_row({std::to_string(n),
                  analysis::fmt(od.duration.to_seconds(), 2),
                  analysis::fmt(er.duration.to_millis(), 1),
@@ -138,5 +144,8 @@ int main() {
               attested, statuses.size(), healthy,
               statuses[7].attested && !statuses[7].healthy ? "YES" : "no",
               report.all_healthy ? "true" : "false");
+  bench.sample("fleet_round_attested", static_cast<double>(attested));
+  bench.sample("fleet_round_healthy", static_cast<double>(healthy));
+  bench.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 // paper's totals, preserving every ordering the paper highlights.
 #include <cstdio>
 
+#include "analysis/bench_report.h"
 #include "analysis/table.h"
 #include "hw/arch.h"
 #include "hw/code_size.h"
@@ -85,5 +86,17 @@ int main() {
   std::printf("\n");
 
   print_memory_organisation();
+
+  analysis::BenchReport bench("table1_code_size");
+  for (auto algo : crypto::all_mac_algos()) {
+    for (const auto arch : {hw::ArchKind::kSmartPlus, hw::ArchKind::kHydra}) {
+      const auto kb = hw::CodeSizeModel::for_arch(arch).executable_kb(
+          hw::AttestMode::kErasmus, algo);
+      if (kb) bench.sample("erasmus_executable_kb", *kb);
+    }
+  }
+  bench.sample("register_overhead_pct", hw::register_overhead_pct());
+  bench.sample("lut_overhead_pct", hw::lut_overhead_pct());
+  bench.write();
   return 0;
 }

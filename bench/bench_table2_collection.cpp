@@ -13,6 +13,7 @@
 // decomposing the charged virtual time.
 #include <cstdio>
 
+#include "analysis/bench_report.h"
 #include "analysis/table.h"
 #include "attest/prover.h"
 #include "attest/verifier.h"
@@ -92,5 +93,14 @@ int main() {
   std::printf("ERASMUS+OD response: %s (fresh measurement + %zu stored)\n\n",
               od_ok ? "accepted" : "rejected",
               od_ok ? od.response->history.size() : 0);
+
+  analysis::BenchReport bench("table2_collection");
+  bench.sample("erasmus_collection_ms", collect.processing.to_millis());
+  bench.sample("erasmus_od_ms", od.processing.to_millis());
+  bench.sample("verify_request_ms", verify_req_ms);
+  bench.sample("compute_measurement_ms", measure_ms);
+  bench.sample("speedup_factor",
+               od.processing.to_millis() / collect.processing.to_millis());
+  bench.write();
   return 0;
 }

@@ -1,0 +1,142 @@
+// erasmus_run: the unified scenario CLI.
+//
+//   erasmus_run list
+//   erasmus_run describe <scenario>
+//   erasmus_run run <scenario> [key=value ...]
+//
+// Every workload in the library is a registered Scenario (see
+// src/scenario/). `run` accepts scenario parameters as key=value tokens
+// plus one reserved key:
+//
+//   out=<path>   write metrics there; .json selects the JSON sink,
+//                anything else CSV. Default: CSV to stdout.
+//
+// Exit code is the scenario's own (0 = success / expected property held).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+using namespace erasmus::scenario;
+
+namespace {
+
+int cmd_list() {
+  const auto scenarios = ScenarioRegistry::instance().list();
+  std::printf("%zu registered scenarios:\n\n", scenarios.size());
+  for (const Scenario* s : scenarios) {
+    std::printf("  %-18s %s\n", s->name().c_str(), s->description().c_str());
+  }
+  std::printf("\nrun one with: erasmus_run run <name> [key=value ...]\n");
+  return 0;
+}
+
+int cmd_describe(const std::string& name) {
+  const Scenario* s = ScenarioRegistry::instance().find(name);
+  if (s == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (see: erasmus_run list)\n",
+                 name.c_str());
+    return 2;
+  }
+  std::printf("%s: %s\n\nparameters:\n", s->name().c_str(),
+              s->description().c_str());
+  for (const auto& spec : s->param_specs()) {
+    std::printf("  %-16s (default %-6s) %s\n", spec.key.c_str(),
+                spec.default_value.c_str(), spec.help.c_str());
+  }
+  std::printf("  %-16s (default %-6s) %s\n", "out", "-",
+              "metrics file; .json = JSON sink, else CSV (default: CSV to "
+              "stdout)");
+  return 0;
+}
+
+int cmd_run(const std::string& name, const std::vector<std::string>& args) {
+  const Scenario* s = ScenarioRegistry::instance().find(name);
+  if (s == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (see: erasmus_run list)\n",
+                 name.c_str());
+    return 2;
+  }
+
+  ParamMap params;
+  try {
+    params = ParamMap::from_args(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  const std::string out_path = params.get_str("out", "");
+  ParamMap scenario_params;
+  for (const auto& [key, value] : params.entries()) {
+    if (key != "out") scenario_params.set(key, value);
+  }
+
+  const auto unknown = scenario_params.unknown_keys(s->param_specs());
+  if (!unknown.empty()) {
+    for (const auto& key : unknown) {
+      std::fprintf(stderr, "unknown parameter '%s' for scenario '%s'\n",
+                   key.c_str(), name.c_str());
+    }
+    std::fprintf(stderr, "(see: erasmus_run describe %s)\n", name.c_str());
+    return 2;
+  }
+
+  std::ofstream file;
+  std::unique_ptr<MetricsSink> sink;
+  if (!out_path.empty()) {
+    file.open(out_path, std::ios::binary);  // binary: byte-stable output
+    if (!file) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   out_path.c_str());
+      return 2;
+    }
+    if (out_path.size() >= 5 &&
+        out_path.compare(out_path.size() - 5, 5, ".json") == 0) {
+      sink = std::make_unique<JsonSink>(file);
+    } else {
+      sink = std::make_unique<CsvSink>(file);
+    }
+  } else {
+    sink = std::make_unique<CsvSink>(std::cout);
+  }
+
+  sink->begin_run(s->name());
+  int code = 0;
+  try {
+    code = s->run(scenario_params, *sink);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario '%s' failed: %s\n", name.c_str(),
+                 e.what());
+    return 1;
+  }
+  sink->end_run();
+  if (!out_path.empty()) {
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    std::printf(
+        "usage:\n"
+        "  erasmus_run list\n"
+        "  erasmus_run describe <scenario>\n"
+        "  erasmus_run run <scenario> [key=value ...] [out=metrics.json]\n");
+    return args.empty() ? 2 : 0;
+  }
+  if (args[0] == "list") return cmd_list();
+  if (args[0] == "describe" && args.size() == 2) return cmd_describe(args[1]);
+  if (args[0] == "run" && args.size() >= 2) {
+    return cmd_run(args[1], {args.begin() + 2, args.end()});
+  }
+  std::fprintf(stderr, "unknown command; try: erasmus_run help\n");
+  return 2;
+}

@@ -1,0 +1,37 @@
+// Machine-readable bench output: BENCH_<name>.json next to the text table.
+//
+// Each bench records named sample sets (one per measured quantity) and
+// writes {"bench": ..., "quantities": {q: {count, mean, p50, p99}}} so the
+// perf trajectory can be tracked across PRs by diffing/plotting the JSON
+// instead of scraping stdout.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace erasmus::analysis {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Appends one sample of `quantity` (creates it on first use; insertion
+  /// order is preserved in the JSON).
+  void sample(const std::string& quantity, double value);
+  void samples(const std::string& quantity,
+               const std::vector<double>& values);
+
+  /// The JSON document (deterministic byte layout).
+  std::string to_json() const;
+
+  /// Writes BENCH_<name>.json into `dir`; returns the path written, empty
+  /// on I/O failure.
+  std::string write(const std::string& dir = ".") const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::vector<double>>> quantities_;
+};
+
+}  // namespace erasmus::analysis

@@ -1,0 +1,136 @@
+// Scenario `device_lifecycle`: the full lifecycle of an unattended device.
+//
+// Provisioning (HKDF per-device keys), steady state (collector daemon over
+// a lossy link feeding the audit log), software update (attest-before /
+// install / attest-after with golden-digest rotation), incident (malware
+// detected through the daemon path) and decommissioning (authenticated
+// secure erasure + proof of erasure). (Port of
+// examples/device_lifecycle.cpp.)
+#include "attest/collector.h"
+#include "attest/maintenance.h"
+#include "attest/measurement.h"
+#include "attest/prover.h"
+#include "crypto/hkdf.h"
+#include "scenario/scenario.h"
+
+namespace erasmus::scenario {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+class DeviceLifecycleScenario : public Scenario {
+ public:
+  std::string name() const override { return "device_lifecycle"; }
+  std::string description() const override {
+    return "provision, collect over a lossy link, software update, "
+           "incident, secure decommission -- one device end to end";
+  }
+  std::vector<ParamSpec> param_specs() const override {
+    return {
+        {"tm_min", "10", "self-measurement period T_M (minutes)"},
+        {"tc_min", "60", "collector period T_C (minutes)"},
+        {"loss", "0.15", "network packet-loss probability"},
+        {"net_seed", "3", "network loss seed"},
+        {"k", "8", "records per collection"},
+    };
+  }
+
+  int run(const ParamMap& params, MetricsSink& sink) const override {
+    const size_t kRecordBytes =
+        1 + attest::Measurement::wire_size(crypto::MacAlgo::kHmacSha256);
+
+    // --- 1. Provisioning --------------------------------------------------
+    const Bytes master = bytes_of("fleet master secret: keep in HSM!");
+    const Bytes k_device = crypto::hkdf(master, bytes_of("device-0042"),
+                                        bytes_of("erasmus/device-key"), 32);
+    sink.note("provisioned_key_bytes", static_cast<uint64_t>(k_device.size()));
+
+    sim::EventQueue sim;
+    hw::SmartPlusArch device(k_device, 8 * 1024, 4 * 1024,
+                             32 * kRecordBytes);
+    attest::Prover prover(
+        sim, device, device.app_region(), device.store_region(),
+        std::make_unique<attest::RegularScheduler>(
+            Duration::minutes(params.get_u64("tm_min", 10))),
+        attest::ProverConfig{});
+
+    attest::VerifierConfig vc;
+    vc.key = k_device;
+    vc.golden_digest = crypto::Hash::digest(
+        crypto::HashAlgo::kSha256,
+        device.memory().view(device.app_region(), true));
+    attest::Verifier verifier(std::move(vc));
+
+    // --- 2. Steady state: collector daemon over a lossy link --------------
+    net::Network network(sim, Duration::millis(20),
+                         params.get_double("loss", 0.15),
+                         params.get_u64("net_seed", 3));
+    const net::NodeId hq = network.add_node({});
+    const net::NodeId dev_node = network.add_node({});
+    prover.bind(network, dev_node);
+
+    attest::AuditLog log;
+    attest::CollectorConfig cc;
+    cc.tc = Duration::minutes(params.get_u64("tc_min", 60));
+    cc.k = static_cast<uint32_t>(params.get_u64("k", 8));
+    cc.response_timeout = Duration::seconds(5);
+    cc.max_retries = 3;
+    attest::Collector collector(sim, network, hq, dev_node, verifier, log,
+                                cc);
+
+    prover.start();
+    collector.start();
+    sim.run_until(Time::zero() + Duration::hours(24));
+    sink.note("day1_rounds", collector.stats().rounds);
+    sink.note("day1_responses", collector.stats().responses);
+    sink.note("day1_retries", collector.stats().retries);
+    sink.note("day1_trustworthy_fraction", log.trustworthy_fraction());
+
+    // --- 3. Software update -----------------------------------------------
+    attest::MaintenanceAuthority authority(verifier, sim);
+    const auto update =
+        authority.run_update(prover, bytes_of("firmware v2.0 image"));
+    sink.note("update_pre_attestation_ok", update.pre_attestation_ok);
+    sink.note("update_accepted", update.request_accepted);
+    sink.note("update_post_attestation_ok", update.post_attestation_ok);
+
+    // --- 4. Incident --------------------------------------------------------
+    sim.schedule_at(sim.now() + Duration::hours(5), [&] {
+      prover.memory().write(prover.attested_region(), 99,
+                            bytes_of("IMPLANT"), false);
+    });
+    sim.run_until(sim.now() + Duration::hours(24));
+    const auto first = log.first_infection_seen();
+    sink.note("infection_detected", first.has_value());
+    if (first) {
+      sink.note("infection_seen_at_h", first->to_seconds() / 3600.0);
+      sink.note("empirical_mean_freshness_min",
+                log.empirical_qoa().mean_freshness.to_seconds() / 60.0);
+      sink.note("audit_rounds",
+                static_cast<uint64_t>(log.empirical_qoa().rounds));
+    }
+
+    // --- 5. Decommissioning -------------------------------------------------
+    // Updates require a healthy device (attest-before), but secure erasure
+    // is exactly what you do to a COMPROMISED device -- it needs only an
+    // authentic command, and the erased state is then proven fresh.
+    collector.stop();
+    const auto blocked =
+        authority.run_update(prover, bytes_of("recovery image"));
+    const auto erase = authority.run_erase(prover);
+    sink.note("infected_update_blocked", !blocked.pre_attestation_ok);
+    sink.note("erase_accepted", erase.request_accepted);
+    sink.note("erased_state_proven", erase.erased_state_proven);
+
+    const bool ok = update.post_attestation_ok && first.has_value() &&
+                    !blocked.pre_attestation_ok && erase.request_accepted &&
+                    erase.erased_state_proven;
+    return ok ? 0 : 1;
+  }
+};
+
+ERASMUS_SCENARIO(DeviceLifecycleScenario)
+
+}  // namespace
+}  // namespace erasmus::scenario

@@ -1,0 +1,98 @@
+// Scenario `quickstart`: the smallest complete ERASMUS deployment.
+//
+// One SMART+ device self-measures every T_M; a verifier collects after an
+// unattended stretch, validates the history, and reports Quality of
+// Attestation. (Port of the former examples/quickstart.cpp.)
+#include "attest/measurement.h"
+#include "attest/prover.h"
+#include "attest/qoa.h"
+#include "attest/verifier.h"
+#include "scenario/scenario.h"
+
+namespace erasmus::scenario {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+class QuickstartScenario : public Scenario {
+ public:
+  std::string name() const override { return "quickstart"; }
+  std::string description() const override {
+    return "one device, one verifier: self-measure every T_M, collect once "
+           "after an unattended hour, report QoA";
+  }
+  std::vector<ParamSpec> param_specs() const override {
+    return {
+        {"tm_min", "10", "self-measurement period T_M (minutes)"},
+        {"tc_min", "60", "collection period T_C (minutes)"},
+        {"unattended_min", "61", "unattended run before the collection"},
+        {"app_ram_kb", "8", "attested application memory (KiB)"},
+        {"store_slots", "16", "measurement store capacity (records)"},
+    };
+  }
+
+  int run(const ParamMap& params, MetricsSink& sink) const override {
+    const Duration tm = Duration::minutes(params.get_u64("tm_min", 10));
+    const Duration tc = Duration::minutes(params.get_u64("tc_min", 60));
+    const Duration unattended =
+        Duration::minutes(params.get_u64("unattended_min", 61));
+    const size_t app_ram =
+        static_cast<size_t>(params.get_u64("app_ram_kb", 8)) * 1024;
+    const size_t slots =
+        static_cast<size_t>(params.get_u64("store_slots", 16));
+    const size_t kRecordBytes =
+        1 + attest::Measurement::wire_size(crypto::MacAlgo::kHmacSha256);
+
+    const Bytes device_key = bytes_of("quickstart-key-0123456789abcdef!");
+    sim::EventQueue sim;
+    hw::SmartPlusArch device(device_key, /*rom=*/8 * 1024, app_ram,
+                             slots * kRecordBytes);
+
+    attest::Prover prover(sim, device, device.app_region(),
+                          device.store_region(),
+                          std::make_unique<attest::RegularScheduler>(tm),
+                          attest::ProverConfig{});
+    prover.start();
+
+    attest::VerifierConfig vc;
+    vc.key = device_key;
+    vc.golden_digest = crypto::Hash::digest(
+        crypto::HashAlgo::kSha256,
+        device.memory().view(device.app_region(), /*privileged=*/true));
+    attest::Verifier verifier(std::move(vc));
+    verifier.set_schedule(&prover.scheduler(),
+                          /*t0_ticks=*/tm / Duration::seconds(1));
+
+    sim.run_until(Time::zero() + unattended);
+    sink.note("measurements", prover.stats().measurements);
+    sink.note("busy_s", prover.stats().total_measurement_time.to_seconds());
+
+    const attest::QoAParams qoa{tm, tc};
+    const size_t k = qoa.measurements_per_collection();
+    const auto res = prover.handle_collect(
+        attest::CollectRequest{static_cast<uint32_t>(k)});
+    const auto report = verifier.verify_collection(res.response, sim.now(), k);
+
+    sink.note("k", static_cast<uint64_t>(k));
+    sink.note("collect_processing_ms", res.processing.to_millis());
+    sink.note("trustworthy", report.device_trustworthy());
+    sink.note("infection_detected", report.infection_detected);
+    sink.note("tampering_detected", report.tampering_detected);
+    sink.note("missing", static_cast<uint64_t>(report.missing));
+    sink.note("expected_freshness_min",
+              qoa.expected_freshness().to_seconds() / 60.0);
+    sink.note("worst_case_detection_delay_min",
+              qoa.worst_case_detection_delay().to_seconds() / 60.0);
+    sink.note("min_buffer_slots", static_cast<uint64_t>(qoa.min_buffer_slots()));
+    if (report.freshness) {
+      sink.note("freshness_min", report.freshness->to_seconds() / 60.0);
+    }
+    return report.device_trustworthy() ? 0 : 1;
+  }
+};
+
+ERASMUS_SCENARIO(QuickstartScenario)
+
+}  // namespace
+}  // namespace erasmus::scenario

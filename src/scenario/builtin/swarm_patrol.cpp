@@ -1,0 +1,126 @@
+// Scenario `swarm_patrol`: a mobile drone swarm patrolling a field (§6).
+//
+// N devices move at vehicle speeds; a maintenance rover (co-located with
+// the root device) passes through every round and collects stored
+// self-measurements from whatever part of the swarm is momentarily
+// reachable. One device picks up persistent malware early in the patrol.
+// Contrasts with an on-demand swarm attestation attempt over the same
+// mobility and shows staggered scheduling keeping the swarm available.
+//
+// Port of the former examples/swarm_patrol.cpp onto the ShardedFleetRunner:
+// `threads=8 devices=1000` uses all cores and produces byte-identical
+// metrics to `threads=1`.
+#include "scenario/scenario.h"
+#include "scenario/sharded_runner.h"
+#include "swarm/protocols.h"
+
+namespace erasmus::scenario {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+class SwarmPatrolScenario : public Scenario {
+ public:
+  std::string name() const override { return "swarm_patrol"; }
+  std::string description() const override {
+    return "mobile drone swarm with rover collection rounds; one device "
+           "infected mid-patrol; sharded multi-core fleet";
+  }
+  std::vector<ParamSpec> param_specs() const override {
+    return {
+        {"devices", "20", "fleet size"},
+        {"threads", "1", "shard/worker threads (wall-clock only; metrics "
+                         "are thread-count independent)"},
+        {"seed", "2024", "mobility + key seed"},
+        {"tm_min", "10", "self-measurement period T_M (minutes)"},
+        {"rounds", "6", "collection rounds"},
+        {"interval_min", "30", "minutes between rover passes"},
+        {"k", "8", "records collected per device per round"},
+        {"field", "200", "field side (metres)"},
+        {"range", "60", "radio range (metres)"},
+        {"speed_min", "6", "min speed (m/s)"},
+        {"speed_max", "12", "max speed (m/s)"},
+        {"infect_device", "13", "device infected mid-patrol (skipped when "
+                                ">= devices)"},
+        {"infect_min", "42", "infection time (minutes)"},
+    };
+  }
+
+  int run(const ParamMap& params, MetricsSink& sink) const override {
+    ShardedFleetConfig cfg;
+    cfg.fleet.devices = static_cast<size_t>(params.get_u64("devices", 20));
+    cfg.fleet.tm = Duration::minutes(params.get_u64("tm_min", 10));
+    cfg.fleet.app_ram_bytes = 2 * 1024;
+    cfg.fleet.store_slots = 64;
+    cfg.fleet.staggered = true;
+    cfg.fleet.key_seed = params.get_u64("seed", 2024);
+    cfg.fleet.mobility.field_size = params.get_double("field", 200.0);
+    cfg.fleet.mobility.radio_range = params.get_double("range", 60.0);
+    cfg.fleet.mobility.speed_min = params.get_double("speed_min", 6.0);
+    cfg.fleet.mobility.speed_max = params.get_double("speed_max", 12.0);
+    cfg.fleet.mobility.seed = params.get_u64("seed", 2024);
+    cfg.threads = static_cast<size_t>(params.get_u64("threads", 1));
+    cfg.rounds = static_cast<size_t>(params.get_u64("rounds", 6));
+    cfg.round_interval =
+        Duration::minutes(params.get_u64("interval_min", 30));
+    cfg.k = static_cast<size_t>(params.get_u64("k", 8));
+
+    sink.note("devices", static_cast<uint64_t>(cfg.fleet.devices));
+    sink.note("seed", params.get_u64("seed", 2024));
+    sink.note("tm_min", params.get_u64("tm_min", 10));
+    sink.note("rounds", static_cast<uint64_t>(cfg.rounds));
+
+    ShardedFleetRunner runner(cfg);
+
+    // Range-check before narrowing: a 64-bit id must not wrap into range.
+    const uint64_t infect_raw = params.get_u64("infect_device", 13);
+    if (infect_raw < cfg.fleet.devices) {
+      const auto infect = static_cast<swarm::DeviceId>(infect_raw);
+      runner.schedule_on_device(
+          infect,
+          Time::zero() + Duration::minutes(params.get_u64("infect_min", 42)),
+          [](attest::Prover& p) {
+            p.memory().write(p.attested_region(), 64, bytes_of("IMPLANT"),
+                             false);
+          });
+    }
+
+    const auto rounds = runner.run(sink);
+    size_t flagged_rounds = 0;
+    for (const auto& r : rounds) flagged_rounds += r.flagged > 0;
+    sink.note("rounds_with_flagged_device",
+              static_cast<uint64_t>(flagged_rounds));
+
+    // Contrast: one SEDA-style on-demand round vs ERASMUS collection over
+    // the swarm state at the end of the patrol.
+    swarm::SwarmProtocolConfig pc;
+    pc.measurement_time = Duration::seconds(7);
+    const Time end =
+        Time::zero() + cfg.round_interval * cfg.rounds;
+    const auto od =
+        swarm::run_ondemand_round(runner.mobility(), end, 0, pc);
+    const auto er = swarm::run_erasmus_collection_round(runner.mobility(),
+                                                        end, 0, pc);
+    sink.note("ondemand_attested", static_cast<uint64_t>(od.attested));
+    sink.note("ondemand_duration_s", od.duration.to_seconds());
+    sink.note("collection_attested", static_cast<uint64_t>(er.attested));
+    sink.note("collection_duration_s", er.duration.to_seconds());
+
+    // Staggering keeps the swarm available (§6, last paragraph).
+    sink.note("max_busy_aligned",
+              static_cast<uint64_t>(swarm::max_concurrent_busy(
+                  cfg.fleet.devices, cfg.fleet.tm, Duration::seconds(7),
+                  false)));
+    sink.note("max_busy_staggered",
+              static_cast<uint64_t>(swarm::max_concurrent_busy(
+                  cfg.fleet.devices, cfg.fleet.tm, Duration::seconds(7),
+                  true)));
+    return 0;
+  }
+};
+
+ERASMUS_SCENARIO(SwarmPatrolScenario)
+
+}  // namespace
+}  // namespace erasmus::scenario

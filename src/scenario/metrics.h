@@ -1,0 +1,114 @@
+// Metrics sinks: structured scenario output replacing ad-hoc printf.
+//
+// A scenario reports two kinds of data: scalar `note`s (configuration echoes
+// and end-of-run summaries) and tabular `row`s grouped into named tables
+// (one row per round, per device class, per defender configuration...).
+// Sinks serialize them as CSV (streamed) or JSON (accumulated, written on
+// end_run). Output is byte-deterministic: doubles print via shortest
+// round-trip formatting, and ordering follows first-use order -- so two runs
+// producing the same values produce identical bytes, which the sharded
+// runner's determinism tests and the erasmus_run acceptance check rely on.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace erasmus::scenario {
+
+using erasmus::format_double;
+using erasmus::json_escape;
+
+/// A typed cell value. Kept deliberately small: everything a scenario
+/// reports is an integer, a real, or a label.
+class Value {
+ public:
+  Value(uint64_t v) : kind_(Kind::kU64), u64_(v) {}           // NOLINT
+  Value(int v) : kind_(Kind::kI64), i64_(v) {}                // NOLINT
+  Value(int64_t v) : kind_(Kind::kI64), i64_(v) {}            // NOLINT
+  Value(double v) : kind_(Kind::kF64), f64_(v) {}             // NOLINT
+  Value(std::string v) : kind_(Kind::kStr), str_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : kind_(Kind::kStr), str_(v) {}        // NOLINT
+  Value(bool v) : kind_(Kind::kBool), u64_(v ? 1 : 0) {}      // NOLINT
+
+  /// Deterministic plain rendering (CSV cell). Doubles use shortest
+  /// round-trip formatting; bools render as true/false.
+  std::string to_plain() const;
+  /// Deterministic JSON rendering (strings quoted and escaped).
+  std::string to_json() const;
+
+ private:
+  enum class Kind { kU64, kI64, kF64, kStr, kBool };
+  Kind kind_;
+  uint64_t u64_ = 0;
+  int64_t i64_ = 0;
+  double f64_ = 0.0;
+  std::string str_;
+};
+
+using Row = std::vector<std::pair<std::string, Value>>;
+
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+
+  virtual void begin_run(std::string_view scenario) = 0;
+  /// Scalar summary datum.
+  virtual void note(std::string_view key, Value value) = 0;
+  /// Appends a row to `table`. All rows of one table should share the same
+  /// columns in the same order.
+  virtual void row(std::string_view table, const Row& r) = 0;
+  /// Finalizes output (JSON writes everything here).
+  virtual void end_run() = 0;
+};
+
+/// Streams CSV: `# scenario=...` header, `# note key=value` lines as they
+/// arrive, and per-table sections with a header row emitted on first use.
+/// Rows carry their table name in the first column.
+class CsvSink : public MetricsSink {
+ public:
+  explicit CsvSink(std::ostream& out) : out_(out) {}
+
+  void begin_run(std::string_view scenario) override;
+  void note(std::string_view key, Value value) override;
+  void row(std::string_view table, const Row& r) override;
+  void end_run() override;
+
+ private:
+  std::ostream& out_;
+  std::vector<std::string> tables_seen_;
+};
+
+/// Accumulates everything and writes a single stable-format JSON document:
+/// {"scenario": ..., "notes": {...}, "tables": {name: [{col: val}...]}}.
+class JsonSink : public MetricsSink {
+ public:
+  explicit JsonSink(std::ostream& out) : out_(out) {}
+
+  void begin_run(std::string_view scenario) override;
+  void note(std::string_view key, Value value) override;
+  void row(std::string_view table, const Row& r) override;
+  void end_run() override;
+
+ private:
+  std::ostream& out_;
+  std::string scenario_;
+  std::vector<std::pair<std::string, Value>> notes_;
+  std::vector<std::pair<std::string, std::vector<Row>>> tables_;
+};
+
+/// Swallows everything (for tests and dry runs).
+class NullSink : public MetricsSink {
+ public:
+  void begin_run(std::string_view) override {}
+  void note(std::string_view, Value) override {}
+  void row(std::string_view, const Row&) override {}
+  void end_run() override {}
+};
+
+}  // namespace erasmus::scenario

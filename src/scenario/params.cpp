@@ -1,0 +1,102 @@
+#include "scenario/params.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace erasmus::scenario {
+
+namespace {
+
+[[noreturn]] void bad_value(std::string_view key, const std::string& value,
+                            const char* expected) {
+  throw std::invalid_argument("parameter '" + std::string(key) + "': '" +
+                              value + "' is not a valid " + expected);
+}
+
+}  // namespace
+
+ParamMap ParamMap::from_args(const std::vector<std::string>& args) {
+  ParamMap map;
+  for (const auto& arg : args) {
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value, got '" + arg + "'");
+    }
+    map.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return map;
+}
+
+void ParamMap::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool ParamMap::has(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::string ParamMap::get_str(std::string_view key,
+                              std::string_view def) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? std::string(def) : it->second;
+}
+
+uint64_t ParamMap::get_u64(std::string_view key, uint64_t def) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  const std::string& v = it->second;
+  // strtoull "helpfully" wraps negatives and clamps overflow; require pure
+  // digits so devices=-1 fails loudly instead of becoming 2^64 - 1.
+  if (v.empty() ||
+      v.find_first_not_of("0123456789") != std::string::npos) {
+    bad_value(key, v, "unsigned integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const uint64_t parsed = std::strtoull(v.c_str(), &end, 10);
+  if (errno == ERANGE || end != v.c_str() + v.size()) {
+    bad_value(key, v, "unsigned integer");
+  }
+  return parsed;
+}
+
+double ParamMap::get_double(std::string_view key, double def) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  const std::string& v = it->second;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size()) {
+    bad_value(key, v, "number");
+  }
+  return parsed;
+}
+
+bool ParamMap::get_bool(std::string_view key, bool def) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  bad_value(key, v, "boolean (1/0/true/false/yes/no/on/off)");
+}
+
+std::vector<std::string> ParamMap::unknown_keys(
+    const std::vector<ParamSpec>& specs) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : entries_) {
+    (void)value;
+    bool found = false;
+    for (const auto& spec : specs) {
+      if (spec.key == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(key);
+  }
+  return unknown;
+}
+
+}  // namespace erasmus::scenario

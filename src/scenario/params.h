@@ -1,0 +1,54 @@
+// Scenario parameters: string key=value pairs with typed accessors.
+//
+// Every scenario declares its knobs as ParamSpecs (name, default, help) so
+// the erasmus_run CLI can print them and reject typos; at run time the
+// parsed ParamMap hands back typed values with the spec defaults filling
+// the gaps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erasmus::scenario {
+
+struct ParamSpec {
+  std::string key;
+  std::string default_value;
+  std::string help;
+};
+
+class ParamMap {
+ public:
+  ParamMap() = default;
+
+  /// Parses "key=value" tokens. Throws std::invalid_argument on a token
+  /// without '=' or with an empty key.
+  static ParamMap from_args(const std::vector<std::string>& args);
+
+  void set(std::string key, std::string value);
+  bool has(std::string_view key) const;
+
+  /// Typed getters; `def` is returned when the key is absent. A present but
+  /// unparsable value throws std::invalid_argument naming the key.
+  std::string get_str(std::string_view key, std::string_view def) const;
+  uint64_t get_u64(std::string_view key, uint64_t def) const;
+  double get_double(std::string_view key, double def) const;
+  bool get_bool(std::string_view key, bool def) const;
+
+  /// Sorted key -> value view (deterministic iteration for sinks).
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+  /// Keys present here but not in `specs` (CLI typo detection).
+  std::vector<std::string> unknown_keys(
+      const std::vector<ParamSpec>& specs) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace erasmus::scenario

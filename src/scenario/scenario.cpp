@@ -1,0 +1,51 @@
+#include "scenario/scenario.h"
+
+#include <stdexcept>
+
+namespace erasmus::scenario {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(std::unique_ptr<Scenario> scenario) {
+  if (!scenario) {
+    throw std::invalid_argument("ScenarioRegistry: null scenario");
+  }
+  const std::string name = scenario->name();
+  if (name.empty()) {
+    throw std::invalid_argument("ScenarioRegistry: empty scenario name");
+  }
+  const auto [it, inserted] = by_name_.emplace(name, std::move(scenario));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("ScenarioRegistry: duplicate scenario '" +
+                                name + "'");
+  }
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, scenario] : by_name_) {
+    (void)name;
+    out.push_back(scenario.get());
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+namespace detail {
+
+Registrar::Registrar(std::unique_ptr<Scenario> s) {
+  ScenarioRegistry::instance().add(std::move(s));
+}
+
+}  // namespace detail
+
+}  // namespace erasmus::scenario

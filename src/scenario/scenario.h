@@ -1,0 +1,69 @@
+// The scenario engine: a named, parameterized, registerable experiment.
+//
+// Every workload this library can run -- from a single quickstart device to
+// a 1000-device sharded fleet -- is a Scenario: it declares its parameters,
+// then run() drives the simulation and reports through a MetricsSink. The
+// process-wide ScenarioRegistry maps names to instances; scenario TUs
+// self-register via ERASMUS_SCENARIO at static-init time, and the
+// erasmus_run CLI is a thin shell over list()/find().
+#pragma once
+
+#include <memory>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/metrics.h"
+#include "scenario/params.h"
+
+namespace erasmus::scenario {
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  /// The knobs this scenario understands. The CLI rejects keys outside
+  /// this list, so declare everything run() reads.
+  virtual std::vector<ParamSpec> param_specs() const { return {}; }
+
+  /// Runs to completion; returns a process exit code (0 = success).
+  virtual int run(const ParamMap& params, MetricsSink& sink) const = 0;
+};
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry (static self-registration target).
+  static ScenarioRegistry& instance();
+
+  /// Takes ownership. Throws std::invalid_argument on a duplicate or
+  /// empty name; the registry is unchanged in that case.
+  void add(std::unique_ptr<Scenario> scenario);
+
+  /// nullptr when unknown.
+  const Scenario* find(std::string_view name) const;
+
+  /// All scenarios, sorted by name.
+  std::vector<const Scenario*> list() const;
+
+  size_t size() const { return by_name_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Scenario>, std::less<>> by_name_;
+};
+
+namespace detail {
+struct Registrar {
+  explicit Registrar(std::unique_ptr<Scenario> s);
+};
+}  // namespace detail
+
+/// Registers `Class` (default-constructed) with the global registry at
+/// static-initialization time. Use at namespace scope in the scenario's TU.
+#define ERASMUS_SCENARIO(Class)                             \
+  static const ::erasmus::scenario::detail::Registrar      \
+      erasmus_scenario_registrar_##Class{std::make_unique<Class>()};
+
+}  // namespace erasmus::scenario

@@ -1,0 +1,155 @@
+#include "scenario/sharded_runner.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace erasmus::scenario {
+
+ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
+    : config_(std::move(config)), mobility_([&] {
+        swarm::MobilityConfig m = config_.fleet.mobility;
+        m.devices = config_.fleet.devices;
+        return m;
+      }()) {
+  if (config_.threads == 0) {
+    throw std::invalid_argument("ShardedFleetRunner: threads must be >= 1");
+  }
+  if (config_.fleet.devices == 0) {
+    throw std::invalid_argument("ShardedFleetRunner: need >= 1 device");
+  }
+  if (config_.root >= config_.fleet.devices) {
+    throw std::invalid_argument("ShardedFleetRunner: root out of range");
+  }
+  shards_.resize(std::min(config_.threads, config_.fleet.devices));
+  for (auto& shard : shards_) {
+    shard.queue = std::make_unique<sim::EventQueue>();
+  }
+
+  // Build in global id order: stack construction is partition-independent,
+  // only the owning queue differs.
+  stacks_.reserve(config_.fleet.devices);
+  present_.assign(config_.fleet.devices, true);
+  for (swarm::DeviceId id = 0; id < config_.fleet.devices; ++id) {
+    const std::optional<sim::Duration> tm =
+        config_.tm_for ? config_.tm_for(id) : std::nullopt;
+    stacks_.push_back(swarm::build_device_stack(
+        *shards_[shard_of(id)].queue, config_.fleet, id, tm));
+  }
+}
+
+void ShardedFleetRunner::schedule_on_device(
+    swarm::DeviceId id, sim::Time at,
+    std::function<void(attest::Prover&)> fn) {
+  attest::Prover& prover = *stacks_[id].prover;
+  shards_[shard_of(id)].queue->schedule_at(
+      at, [&prover, fn = std::move(fn)] { fn(prover); });
+}
+
+void ShardedFleetRunner::set_present(swarm::DeviceId id, bool present) {
+  if (present_[id] == present) return;
+  present_[id] = present;
+  if (!started_) return;
+  if (present) {
+    // Rejoin: the schedule restarts one period from now, exactly as a
+    // rebooted device's timer would.
+    stacks_[id].prover->start();
+  } else {
+    stacks_[id].prover->stop();
+  }
+}
+
+size_t ShardedFleetRunner::present_count() const {
+  return static_cast<size_t>(
+      std::count(present_.begin(), present_.end(), true));
+}
+
+void ShardedFleetRunner::advance_all(sim::Time barrier) {
+  if (shards_.size() == 1) {
+    shards_[0].queue->run_until(barrier);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size() - 1);
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    workers.emplace_back(
+        [&shard = shards_[s], barrier] { shard.queue->run_until(barrier); });
+  }
+  shards_[0].queue->run_until(barrier);
+  for (auto& w : workers) w.join();
+}
+
+FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
+                                                   sim::Time at) {
+  // Single-threaded: mobility's lazy trajectory extension shares one RNG,
+  // so it must only ever be queried here, in deterministic order.
+  swarm::Topology topo = mobility_.snapshot(at);
+  for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
+    if (present_[id]) continue;
+    for (const swarm::DeviceId nb : topo.neighbors(id)) {
+      topo.remove_edge(id, nb);
+    }
+  }
+  const auto tree = topo.bfs_tree(config_.root);
+
+  FleetRoundResult result;
+  result.round = round;
+  result.at = at;
+  result.present = present_count();
+  for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
+    if (!present_[id] || !tree.parent[id].has_value()) continue;
+    ++result.reachable;
+    attest::CollectRequest req{static_cast<uint32_t>(config_.k)};
+    const auto res = stacks_[id].prover->handle_collect(req);
+    const auto report =
+        stacks_[id].verifier->verify_collection(res.response, at);
+    const bool healthy =
+        report.device_trustworthy() && report.freshness.has_value();
+    if (healthy) {
+      ++result.healthy;
+    } else {
+      ++result.flagged;
+    }
+  }
+  return result;
+}
+
+std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
+  if (started_) {
+    throw std::logic_error("ShardedFleetRunner: run() called twice");
+  }
+  started_ = true;
+  for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
+    if (!present_[id]) continue;
+    if (config_.fleet.staggered) {
+      const sim::Duration tm =
+          config_.tm_for ? config_.tm_for(id).value_or(config_.fleet.tm)
+                         : config_.fleet.tm;
+      stacks_[id].prover->start(
+          swarm::stagger_offset(tm, id, stacks_.size()));
+    } else {
+      stacks_[id].prover->start();
+    }
+  }
+
+  std::vector<FleetRoundResult> results;
+  results.reserve(config_.rounds);
+  for (size_t round = 1; round <= config_.rounds; ++round) {
+    const sim::Time barrier =
+        sim::Time::zero() + config_.round_interval * round;
+    advance_all(barrier);
+    if (round_hook_) round_hook_(*this, round, barrier);
+    const FleetRoundResult r = collect_round(round, barrier);
+    results.push_back(r);
+    sink.row("rounds",
+             {{"round", static_cast<uint64_t>(r.round)},
+              {"t_min", static_cast<uint64_t>(r.at.ns() / 60'000'000'000ull)},
+              {"present", static_cast<uint64_t>(r.present)},
+              {"reachable", static_cast<uint64_t>(r.reachable)},
+              {"healthy", static_cast<uint64_t>(r.healthy)},
+              {"flagged", static_cast<uint64_t>(r.flagged)}});
+  }
+  return results;
+}
+
+}  // namespace erasmus::scenario

@@ -1,0 +1,111 @@
+// ShardedFleetRunner: a multi-threaded, deterministic large-fleet driver.
+//
+// swarm::Fleet runs every device on one EventQueue -- fine for 10 devices,
+// hopeless for 1000+. This runner partitions the fleet into `threads`
+// shards, each with its OWN sim::EventQueue, and advances all shards in
+// parallel between collection-round barriers.
+//
+// Determinism argument (asserted by tests at 1/2/8 threads):
+//  * Between barriers devices are independent: a prover's events touch only
+//    its own arch/store/timer, and its construction (keys, schedule,
+//    stagger offset) depends only on (config, global id) -- never on the
+//    shard layout. So any partition executes the same per-device event
+//    sequence.
+//  * Everything cross-device -- mobility queries (whose lazy trajectory
+//    extension consumes a shared RNG and is therefore query-order
+//    sensitive), collection, verification, churn, metrics -- happens
+//    single-threaded on the coordinating thread at barrier instants, in
+//    global device-id order.
+// Hence metrics output is bit-for-bit identical for a fixed seed regardless
+// of thread count, and `threads` is purely a wall-clock knob.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "scenario/metrics.h"
+#include "swarm/fleet.h"
+
+namespace erasmus::scenario {
+
+struct ShardedFleetConfig {
+  swarm::FleetConfig fleet;
+  /// Shard/worker count. 1 runs everything on the calling thread.
+  size_t threads = 1;
+  size_t rounds = 6;
+  sim::Duration round_interval = sim::Duration::minutes(30);
+  /// Collection root: the verifier is co-located with this device.
+  swarm::DeviceId root = 0;
+  /// Records requested per device per collection.
+  size_t k = 8;
+  /// Per-device measurement period override (heterogeneous T_M fleets);
+  /// nullopt entries / absent function fall back to fleet.tm.
+  std::function<std::optional<sim::Duration>(swarm::DeviceId)> tm_for;
+};
+
+struct FleetRoundResult {
+  size_t round = 0;
+  sim::Time at;
+  size_t present = 0;    // devices currently part of the fleet (churn)
+  size_t reachable = 0;  // present with a multi-hop path to root
+  size_t healthy = 0;    // reachable, verified trustworthy and fresh
+  size_t flagged = 0;    // reachable but NOT healthy: infection/tampering
+};
+
+class ShardedFleetRunner {
+ public:
+  explicit ShardedFleetRunner(ShardedFleetConfig config);
+
+  size_t size() const { return stacks_.size(); }
+  attest::Prover& prover(swarm::DeviceId id) { return *stacks_[id].prover; }
+  attest::Verifier& verifier(swarm::DeviceId id) {
+    return *stacks_[id].verifier;
+  }
+  swarm::RandomWaypointMobility& mobility() { return mobility_; }
+
+  /// Schedules `fn(prover)` at virtual time `at` on the owning shard's
+  /// queue (e.g. malware injection). Call before run().
+  void schedule_on_device(swarm::DeviceId id, sim::Time at,
+                          std::function<void(attest::Prover&)> fn);
+
+  /// Invoked single-threaded at each barrier, before that round's
+  /// collection -- the hook for churn and other cross-device scripting.
+  void set_round_hook(
+      std::function<void(ShardedFleetRunner&, size_t round, sim::Time at)>
+          hook) {
+    round_hook_ = std::move(hook);
+  }
+
+  /// Churn control (only call before run() or from the round hook).
+  /// Leaving stops the prover's measurement timer and removes the device
+  /// from topology/collection; rejoining restarts its schedule.
+  void set_present(swarm::DeviceId id, bool present);
+  bool present(swarm::DeviceId id) const { return present_[id]; }
+  size_t present_count() const;
+
+  /// Starts all provers, advances shard queues in parallel to each round
+  /// barrier, collects single-threaded, and emits one "rounds" row per
+  /// round into `sink` (begin_run/end_run are the caller's job).
+  std::vector<FleetRoundResult> run(MetricsSink& sink);
+
+ private:
+  struct Shard {
+    std::unique_ptr<sim::EventQueue> queue;
+  };
+
+  size_t shard_of(swarm::DeviceId id) const { return id % shards_.size(); }
+  void advance_all(sim::Time barrier);
+  FleetRoundResult collect_round(size_t round, sim::Time at);
+
+  ShardedFleetConfig config_;
+  swarm::RandomWaypointMobility mobility_;
+  std::vector<Shard> shards_;
+  std::vector<swarm::DeviceStack> stacks_;  // indexed by global DeviceId
+  std::vector<bool> present_;
+  std::function<void(ShardedFleetRunner&, size_t, sim::Time)> round_hook_;
+  bool started_ = false;
+};
+
+}  // namespace erasmus::scenario

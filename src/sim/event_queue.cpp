@@ -27,24 +27,25 @@ bool EventQueue::cancel(EventId id) {
   return true;
 }
 
-bool EventQueue::pop_next(Entry& out) {
+const EventQueue::Entry* EventQueue::peek_next() {
   while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    auto cancelled_it = cancelled_.find(e.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
+    const Entry& e = heap_.top();
+    if (cancelled_.erase(e.id) > 0) {
+      // Cancelled entry reaching the top: drop it and its mark together so
+      // pending() stays exact.
+      heap_.pop();
       continue;
     }
-    out = e;
-    return true;
+    return &e;
   }
-  return false;
+  return nullptr;
 }
 
 bool EventQueue::step() {
-  Entry e;
-  if (!pop_next(e)) return false;
+  const Entry* next = peek_next();
+  if (next == nullptr) return false;
+  const Entry e = *next;
+  heap_.pop();
   assert(e.at >= now_);
   now_ = e.at;
   auto it = handlers_.find(e.id);
@@ -57,15 +58,13 @@ bool EventQueue::step() {
 
 size_t EventQueue::run_until(Time limit) {
   size_t executed = 0;
-  while (!heap_.empty()) {
-    // Peek for the next live event without executing it.
-    Entry e;
-    if (!pop_next(e)) break;
-    if (e.at > limit) {
-      // Push back and stop; the event stays pending.
-      heap_.push(e);
-      break;
-    }
+  // Peeking (rather than pop + push-back) leaves a beyond-limit event
+  // untouched in the heap, so interleaved cancel()/run_until() calls keep
+  // the pending() bookkeeping exact.
+  while (const Entry* next = peek_next()) {
+    if (next->at > limit) break;
+    const Entry e = *next;
+    heap_.pop();
     now_ = e.at;
     auto it = handlers_.find(e.id);
     assert(it != handlers_.end());

@@ -50,6 +50,11 @@ class EventQueue {
   /// Advances the clock with no event execution (used by tests).
   void advance_to(Time t);
 
+  /// Live (not-yet-run, not-cancelled) events. Invariant: every id in
+  /// `cancelled_` still has exactly one entry in `heap_` (cancel() only
+  /// marks ids that are in `handlers_`, and the heap entry and the
+  /// cancelled mark are discarded together when it reaches the top), so
+  /// the subtraction cannot underflow.
   size_t pending() const { return heap_.size() - cancelled_.size(); }
 
  private:
@@ -64,7 +69,10 @@ class EventQueue {
     }
   };
 
-  bool pop_next(Entry& out);
+  /// Discards cancelled entries (and their `cancelled_` marks) from the
+  /// top of the heap, then returns the next live entry without removing
+  /// it; nullptr when no live event remains.
+  const Entry* peek_next();
 
   Time now_ = Time::zero();
   uint64_t next_seq_ = 0;

@@ -6,11 +6,7 @@
 
 namespace erasmus::swarm {
 
-namespace {
-
-// Per-device key: derived from the fleet seed; in reality each device is
-// provisioned with an independent K at manufacture.
-Bytes device_key(uint64_t seed, DeviceId id) {
+Bytes fleet_device_key(uint64_t seed, DeviceId id) {
   ByteWriter w;
   w.u64(seed);
   w.u32(id);
@@ -18,7 +14,42 @@ Bytes device_key(uint64_t seed, DeviceId id) {
   return drbg.generate(32);
 }
 
-}  // namespace
+DeviceStack build_device_stack(sim::EventQueue& queue,
+                               const FleetConfig& config, DeviceId id,
+                               std::optional<sim::Duration> tm_override) {
+  const size_t store_bytes =
+      config.store_slots *
+      (1 + attest::Measurement::wire_size(config.algo));  // flag + record
+
+  DeviceStack stack;
+  stack.arch = std::make_unique<hw::SmartPlusArch>(
+      fleet_device_key(config.key_seed, id), /*rom_bytes=*/8 * 1024,
+      config.app_ram_bytes, store_bytes);
+
+  attest::ProverConfig pc;
+  pc.algo = config.algo;
+  pc.profile = config.profile;
+  stack.prover = std::make_unique<attest::Prover>(
+      queue, *stack.arch, stack.arch->app_region(),
+      stack.arch->store_region(),
+      std::make_unique<attest::RegularScheduler>(tm_override.value_or(
+          config.tm)),
+      pc);
+
+  attest::VerifierConfig vc;
+  vc.algo = config.algo;
+  vc.key = fleet_device_key(config.key_seed, id);
+  vc.golden_digest = crypto::Hash::digest(
+      attest::hash_for(config.algo),
+      stack.arch->memory().view(stack.arch->app_region(),
+                                /*privileged=*/true));
+  stack.verifier = std::make_unique<attest::Verifier>(std::move(vc));
+  return stack;
+}
+
+sim::Duration stagger_offset(sim::Duration tm, DeviceId id, size_t n) {
+  return tm * (id + 1) / static_cast<uint64_t>(n);
+}
 
 Fleet::Fleet(sim::EventQueue& queue, FleetConfig config)
     : queue_(queue), config_(config), mobility_([&] {
@@ -26,44 +57,19 @@ Fleet::Fleet(sim::EventQueue& queue, FleetConfig config)
         m.devices = config.devices;
         return m;
       }()) {
-  const size_t store_bytes =
-      config_.store_slots *
-      (1 + attest::Measurement::wire_size(config_.algo));  // flag + record
-
+  stacks_.reserve(config_.devices);
   for (DeviceId id = 0; id < config_.devices; ++id) {
-    auto arch = std::make_unique<hw::SmartPlusArch>(
-        device_key(config_.key_seed, id), /*rom_bytes=*/8 * 1024,
-        config_.app_ram_bytes, store_bytes);
-
-    attest::ProverConfig pc;
-    pc.algo = config_.algo;
-    pc.profile = config_.profile;
-    auto prover = std::make_unique<attest::Prover>(
-        queue_, *arch, arch->app_region(), arch->store_region(),
-        std::make_unique<attest::RegularScheduler>(config_.tm), pc);
-
-    attest::VerifierConfig vc;
-    vc.algo = config_.algo;
-    vc.key = device_key(config_.key_seed, id);
-    vc.golden_digest = crypto::Hash::digest(
-        attest::hash_for(config_.algo),
-        arch->memory().view(arch->app_region(), /*privileged=*/true));
-    auto verifier = std::make_unique<attest::Verifier>(std::move(vc));
-
-    archs_.push_back(std::move(arch));
-    provers_.push_back(std::move(prover));
-    verifiers_.push_back(std::move(verifier));
+    stacks_.push_back(build_device_stack(queue_, config_, id));
   }
 }
 
 void Fleet::start() {
-  for (DeviceId id = 0; id < provers_.size(); ++id) {
+  for (DeviceId id = 0; id < stacks_.size(); ++id) {
     if (config_.staggered) {
-      const sim::Duration offset =
-          config_.tm * (id + 1) / static_cast<uint64_t>(provers_.size());
-      provers_[id]->start(offset);
+      stacks_[id].prover->start(
+          stagger_offset(config_.tm, id, stacks_.size()));
     } else {
-      provers_[id]->start();
+      stacks_[id].prover->start();
     }
   }
 }
@@ -74,16 +80,16 @@ std::vector<DeviceStatus> Fleet::collect_round(DeviceId root, size_t k) {
   const auto tree = topo.bfs_tree(root);
 
   std::vector<DeviceStatus> statuses;
-  statuses.reserve(provers_.size());
-  for (DeviceId id = 0; id < provers_.size(); ++id) {
+  statuses.reserve(stacks_.size());
+  for (DeviceId id = 0; id < stacks_.size(); ++id) {
     DeviceStatus status;
     status.device = id;
     status.attested = tree.parent[id].has_value();
     if (status.attested) {
       attest::CollectRequest req{static_cast<uint32_t>(k)};
-      const auto res = provers_[id]->handle_collect(req);
+      const auto res = stacks_[id].prover->handle_collect(req);
       const auto report =
-          verifiers_[id]->verify_collection(res.response, now);
+          stacks_[id].verifier->verify_collection(res.response, now);
       status.healthy = report.device_trustworthy() &&
                        report.freshness.has_value();
     }

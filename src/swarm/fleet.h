@@ -5,10 +5,13 @@
 // real device stack -- per-device SMART+ architecture, keys, schedules
 // (staggered per §6), stores, malware -- and collects through the mobility
 // model's connectivity. Used by the swarm example and the mobility bench's
-// end-to-end mode.
+// end-to-end mode. For multi-threaded 1000+ device runs see
+// scenario/sharded_runner.h, which shards the same per-device stacks
+// across per-thread event queues.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "attest/prover.h"
@@ -33,6 +36,32 @@ struct FleetConfig {
   uint64_t key_seed = 7;
 };
 
+/// Per-device key: derived from the fleet seed; in reality each device is
+/// provisioned with an independent K at manufacture.
+Bytes fleet_device_key(uint64_t seed, DeviceId id);
+
+/// One full device: SMART+ architecture, prover, matching verifier. The
+/// construction depends only on (config, id) -- never on which EventQueue
+/// the prover is wired to -- which is what lets the sharded runner split a
+/// fleet across per-thread queues and still reproduce a single-queue run
+/// bit for bit.
+struct DeviceStack {
+  std::unique_ptr<hw::SmartPlusArch> arch;
+  std::unique_ptr<attest::Prover> prover;
+  std::unique_ptr<attest::Verifier> verifier;
+};
+
+/// Builds device `id` of the fleet described by `config`, scheduling on
+/// `queue`. `tm_override` replaces config.tm for this device (heterogeneous
+/// fleets).
+DeviceStack build_device_stack(
+    sim::EventQueue& queue, const FleetConfig& config, DeviceId id,
+    std::optional<sim::Duration> tm_override = std::nullopt);
+
+/// The first-measurement offset device `id` of `n` uses under staggered
+/// scheduling: (id + 1) * tm / n.
+sim::Duration stagger_offset(sim::Duration tm, DeviceId id, size_t n);
+
 class Fleet {
  public:
   explicit Fleet(sim::EventQueue& queue, FleetConfig config);
@@ -40,9 +69,9 @@ class Fleet {
   /// Starts all provers (staggered or aligned).
   void start();
 
-  size_t size() const { return provers_.size(); }
-  attest::Prover& prover(DeviceId id) { return *provers_[id]; }
-  attest::Verifier& verifier(DeviceId id) { return *verifiers_[id]; }
+  size_t size() const { return stacks_.size(); }
+  attest::Prover& prover(DeviceId id) { return *stacks_[id].prover; }
+  attest::Verifier& verifier(DeviceId id) { return *stacks_[id].verifier; }
   RandomWaypointMobility& mobility() { return mobility_; }
 
   /// One collection round at the current virtual time: the (mobile)
@@ -56,9 +85,7 @@ class Fleet {
   sim::EventQueue& queue_;
   FleetConfig config_;
   RandomWaypointMobility mobility_;
-  std::vector<std::unique_ptr<hw::SmartPlusArch>> archs_;
-  std::vector<std::unique_ptr<attest::Prover>> provers_;
-  std::vector<std::unique_ptr<attest::Verifier>> verifiers_;
+  std::vector<DeviceStack> stacks_;
 };
 
 }  // namespace erasmus::swarm

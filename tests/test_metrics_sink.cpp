@@ -1,0 +1,103 @@
+// Golden-output tests for the CSV and JSON metrics sinks: the sharded
+// runner's determinism guarantee is "byte-identical metrics", so the byte
+// layout itself is contract, not implementation detail.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "scenario/metrics.h"
+
+namespace erasmus::scenario {
+namespace {
+
+void feed(MetricsSink& sink) {
+  sink.begin_run("demo");
+  sink.note("devices", static_cast<uint64_t>(20));
+  sink.note("rate", 0.5);
+  sink.note("label", "fleet \"A\"");
+  sink.note("ok", true);
+  sink.row("rounds", {{"round", static_cast<uint64_t>(1)},
+                      {"healthy", static_cast<uint64_t>(19)}});
+  sink.row("rounds", {{"round", static_cast<uint64_t>(2)},
+                      {"healthy", static_cast<uint64_t>(20)}});
+  sink.row("classes", {{"name", "fast"}, {"mean", 2.25}});
+  sink.end_run();
+}
+
+TEST(CsvSink, GoldenOutput) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  feed(sink);
+  EXPECT_EQ(out.str(),
+            "# scenario=demo\n"
+            "# note devices=20\n"
+            "# note rate=0.5\n"
+            "# note label=fleet \"A\"\n"
+            "# note ok=true\n"
+            "table,round,healthy\n"
+            "rounds,1,19\n"
+            "rounds,2,20\n"
+            "table,name,mean\n"
+            "classes,fast,2.25\n");
+}
+
+TEST(JsonSink, GoldenOutput) {
+  std::ostringstream out;
+  JsonSink sink(out);
+  feed(sink);
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"scenario\": \"demo\",\n"
+            "  \"notes\": {\n"
+            "    \"devices\": 20,\n"
+            "    \"rate\": 0.5,\n"
+            "    \"label\": \"fleet \\\"A\\\"\",\n"
+            "    \"ok\": true\n"
+            "  },\n"
+            "  \"tables\": {\n"
+            "    \"rounds\": [\n"
+            "      {\"round\": 1, \"healthy\": 19},\n"
+            "      {\"round\": 2, \"healthy\": 20}\n"
+            "    ],\n"
+            "    \"classes\": [\n"
+            "      {\"name\": \"fast\", \"mean\": 2.25}\n"
+            "    ]\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(JsonSink, EmptyRun) {
+  std::ostringstream out;
+  JsonSink sink(out);
+  sink.begin_run("empty");
+  sink.end_run();
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"scenario\": \"empty\",\n"
+            "  \"notes\": {},\n"
+            "  \"tables\": {}\n"
+            "}\n");
+}
+
+TEST(ValueFormatting, DoublesAreShortestRoundTrip) {
+  EXPECT_EQ(Value(0.1).to_plain(), "0.1");
+  EXPECT_EQ(Value(1.0).to_plain(), "1.0");
+  EXPECT_EQ(Value(1e21).to_plain(), "1e+21");
+  EXPECT_EQ(Value(1.0 / 3.0).to_plain(), "0.3333333333333333");
+  EXPECT_EQ(Value(-2.5).to_plain(), "-2.5");
+}
+
+TEST(ValueFormatting, JsonQuotesAndEscapesStringsOnly) {
+  EXPECT_EQ(Value("a\nb").to_json(), "\"a\\nb\"");
+  EXPECT_EQ(Value(static_cast<uint64_t>(7)).to_json(), "7");
+  EXPECT_EQ(Value(false).to_json(), "false");
+  EXPECT_EQ(Value(-3).to_json(), "-3");
+}
+
+TEST(ValueFormatting, NonFiniteDoublesStayValidJson) {
+  EXPECT_EQ(Value(std::nan("")).to_json(), "null");
+}
+
+}  // namespace
+}  // namespace erasmus::scenario

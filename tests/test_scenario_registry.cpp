@@ -1,0 +1,124 @@
+// Tests for the scenario engine: parameter parsing, registry behavior
+// (lookup, listing, duplicate rejection), and the built-in scenario set.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/scenario.h"
+
+namespace erasmus::scenario {
+namespace {
+
+TEST(ParamMap, ParsesKeyValueTokens) {
+  const auto params =
+      ParamMap::from_args({"devices=100", "seed=42", "name=fleet"});
+  EXPECT_EQ(params.get_u64("devices", 0), 100u);
+  EXPECT_EQ(params.get_u64("seed", 0), 42u);
+  EXPECT_EQ(params.get_str("name", ""), "fleet");
+  EXPECT_EQ(params.get_u64("absent", 7), 7u);
+  EXPECT_TRUE(params.has("devices"));
+  EXPECT_FALSE(params.has("absent"));
+}
+
+TEST(ParamMap, RejectsMalformedTokens) {
+  EXPECT_THROW(ParamMap::from_args({"devices"}), std::invalid_argument);
+  EXPECT_THROW(ParamMap::from_args({"=5"}), std::invalid_argument);
+}
+
+TEST(ParamMap, TypedGettersValidate) {
+  const auto params = ParamMap::from_args(
+      {"n=12x", "f=0.25", "b1=yes", "b2=off", "bad=maybe"});
+  EXPECT_THROW(params.get_u64("n", 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(params.get_double("f", 0.0), 0.25);
+  EXPECT_TRUE(params.get_bool("b1", false));
+  EXPECT_FALSE(params.get_bool("b2", true));
+  EXPECT_THROW(params.get_bool("bad", false), std::invalid_argument);
+}
+
+TEST(ParamMap, UnknownKeysAgainstSpecs) {
+  const std::vector<ParamSpec> specs = {{"devices", "10", ""},
+                                        {"seed", "1", ""}};
+  const auto params = ParamMap::from_args({"devices=5", "sed=42"});
+  const auto unknown = params.unknown_keys(specs);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "sed");
+}
+
+class DummyScenario : public Scenario {
+ public:
+  explicit DummyScenario(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  std::string description() const override { return "dummy"; }
+  int run(const ParamMap&, MetricsSink&) const override { return 0; }
+
+ private:
+  std::string name_;
+};
+
+TEST(ScenarioRegistry, FindAndListSorted) {
+  ScenarioRegistry registry;
+  registry.add(std::make_unique<DummyScenario>("zeta"));
+  registry.add(std::make_unique<DummyScenario>("alpha"));
+  ASSERT_EQ(registry.size(), 2u);
+  ASSERT_NE(registry.find("alpha"), nullptr);
+  EXPECT_EQ(registry.find("alpha")->name(), "alpha");
+  EXPECT_EQ(registry.find("nope"), nullptr);
+  const auto list = registry.list();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0]->name(), "alpha");
+  EXPECT_EQ(list[1]->name(), "zeta");
+}
+
+TEST(ScenarioRegistry, RejectsDuplicateName) {
+  ScenarioRegistry registry;
+  registry.add(std::make_unique<DummyScenario>("fleet"));
+  EXPECT_THROW(registry.add(std::make_unique<DummyScenario>("fleet")),
+               std::invalid_argument);
+  // The failed add must not have clobbered the original.
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_NE(registry.find("fleet"), nullptr);
+}
+
+TEST(ScenarioRegistry, RejectsNullAndEmptyName) {
+  ScenarioRegistry registry;
+  EXPECT_THROW(registry.add(nullptr), std::invalid_argument);
+  EXPECT_THROW(registry.add(std::make_unique<DummyScenario>("")),
+               std::invalid_argument);
+}
+
+// The global registry carries the builtin set (this test binary links the
+// builtin object library, as erasmus_run does).
+TEST(ScenarioRegistry, BuiltinsRegistered) {
+  auto& registry = ScenarioRegistry::instance();
+  EXPECT_GE(registry.size(), 8u);
+  for (const char* name :
+       {"quickstart", "device_lifecycle", "malware_hunt", "plant_sensor",
+        "swarm_patrol", "campaign_sweep", "mixed_tm_fleet", "churn_fleet"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(ScenarioRegistry, BuiltinsDeclareTheirParams) {
+  for (const Scenario* s : ScenarioRegistry::instance().list()) {
+    EXPECT_FALSE(s->description().empty()) << s->name();
+    for (const auto& spec : s->param_specs()) {
+      EXPECT_FALSE(spec.key.empty()) << s->name();
+      EXPECT_FALSE(spec.help.empty()) << s->name() << "." << spec.key;
+    }
+  }
+}
+
+// End-to-end: the cheapest builtin runs to completion through a sink.
+TEST(ScenarioRegistry, QuickstartRunsClean) {
+  const Scenario* s = ScenarioRegistry::instance().find("quickstart");
+  ASSERT_NE(s, nullptr);
+  std::ostringstream out;
+  JsonSink sink(out);
+  sink.begin_run(s->name());
+  EXPECT_EQ(s->run(ParamMap{}, sink), 0);
+  sink.end_run();
+  EXPECT_NE(out.str().find("\"trustworthy\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace erasmus::scenario

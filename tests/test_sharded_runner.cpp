@@ -1,0 +1,168 @@
+// Tests for the sharded fleet runner, above all its headline guarantee:
+// for a fixed seed, metrics are bit-for-bit identical at any thread count.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/scenario.h"
+#include "scenario/sharded_runner.h"
+
+namespace erasmus::scenario {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+ShardedFleetConfig small_config(size_t threads) {
+  ShardedFleetConfig cfg;
+  cfg.fleet.devices = 24;
+  cfg.fleet.tm = Duration::minutes(10);
+  cfg.fleet.app_ram_bytes = 1024;
+  cfg.fleet.store_slots = 16;
+  cfg.fleet.key_seed = 42;
+  cfg.fleet.mobility.field_size = 120.0;
+  cfg.fleet.mobility.radio_range = 50.0;
+  cfg.fleet.mobility.speed_min = 4.0;
+  cfg.fleet.mobility.speed_max = 9.0;
+  cfg.fleet.mobility.seed = 42;
+  cfg.threads = threads;
+  cfg.rounds = 4;
+  cfg.round_interval = Duration::minutes(30);
+  cfg.k = 4;
+  return cfg;
+}
+
+std::string run_to_json(ShardedFleetConfig cfg, bool infect = true) {
+  std::ostringstream out;
+  JsonSink sink(out);
+  sink.begin_run("determinism");
+  ShardedFleetRunner runner(cfg);
+  if (infect) {
+    runner.schedule_on_device(
+        7, Time::zero() + Duration::minutes(35), [](attest::Prover& p) {
+          p.memory().write(p.attested_region(), 16, bytes_of("IMPLANT"),
+                           false);
+        });
+  }
+  runner.run(sink);
+  sink.end_run();
+  return out.str();
+}
+
+TEST(ShardedFleetRunner, DeterministicAcross1_2_8Threads) {
+  const std::string t1 = run_to_json(small_config(1));
+  const std::string t2 = run_to_json(small_config(2));
+  const std::string t8 = run_to_json(small_config(8));
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+  // And the run is not trivially empty: the infected device gets flagged.
+  EXPECT_NE(t1.find("\"flagged\": 1"), std::string::npos) << t1;
+}
+
+TEST(ShardedFleetRunner, MoreThreadsThanDevicesClampsToFleetSize) {
+  ShardedFleetConfig cfg = small_config(64);
+  cfg.fleet.devices = 3;
+  cfg.fleet.mobility.radio_range = 500.0;  // fully connected
+  const std::string wide = run_to_json(cfg, /*infect=*/false);
+  cfg.threads = 1;
+  EXPECT_EQ(run_to_json(cfg, /*infect=*/false), wide);
+}
+
+TEST(ShardedFleetRunner, HeterogeneousTmStaysDeterministic) {
+  auto with_mixed_tm = [](size_t threads) {
+    ShardedFleetConfig cfg = small_config(threads);
+    cfg.tm_for = [](swarm::DeviceId id) {
+      return Duration::minutes(5 + 5 * (id % 3));
+    };
+    return run_to_json(cfg);
+  };
+  EXPECT_EQ(with_mixed_tm(1), with_mixed_tm(8));
+}
+
+TEST(ShardedFleetRunner, ChurnAtBarriersStaysDeterministic) {
+  auto with_churn = [](size_t threads) {
+    ShardedFleetConfig cfg = small_config(threads);
+    std::ostringstream out;
+    JsonSink sink(out);
+    sink.begin_run("churn");
+    ShardedFleetRunner runner(cfg);
+    runner.set_round_hook([](ShardedFleetRunner& r, size_t round, sim::Time) {
+      // Deterministic churn: device (5 * round) % size leaves, device
+      // from the previous round rejoins.
+      const auto leaver =
+          static_cast<swarm::DeviceId>((5 * round) % r.size());
+      const auto rejoiner =
+          static_cast<swarm::DeviceId>((5 * (round - 1)) % r.size());
+      if (round > 1) r.set_present(rejoiner, true);
+      if (leaver != 0) r.set_present(leaver, false);
+    });
+    const auto rounds = runner.run(sink);
+    sink.end_run();
+    EXPECT_LT(rounds.back().present, cfg.fleet.devices);
+    return out.str();
+  };
+  EXPECT_EQ(with_churn(1), with_churn(4));
+}
+
+TEST(ShardedFleetRunner, AbsentDevicesAreNotCollected) {
+  ShardedFleetConfig cfg = small_config(2);
+  cfg.fleet.mobility.radio_range = 500.0;  // everyone in range of root
+  cfg.rounds = 1;
+  NullSink sink;
+  ShardedFleetRunner runner(cfg);
+  runner.set_present(5, false);
+  runner.set_present(6, false);
+  const auto rounds = runner.run(sink);
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_EQ(rounds[0].present, cfg.fleet.devices - 2);
+  EXPECT_EQ(rounds[0].reachable, cfg.fleet.devices - 2);
+  // Absent provers took no part: their timers were never started.
+  EXPECT_EQ(runner.prover(5).stats().collections, 0u);
+  EXPECT_EQ(runner.prover(5).stats().measurements, 0u);
+}
+
+TEST(ShardedFleetRunner, ValidatesConfig) {
+  ShardedFleetConfig cfg = small_config(1);
+  cfg.threads = 0;
+  EXPECT_THROW(ShardedFleetRunner{cfg}, std::invalid_argument);
+  cfg = small_config(1);
+  cfg.fleet.devices = 0;
+  EXPECT_THROW(ShardedFleetRunner{cfg}, std::invalid_argument);
+  cfg = small_config(1);
+  cfg.root = 24;
+  EXPECT_THROW(ShardedFleetRunner{cfg}, std::invalid_argument);
+}
+
+TEST(ShardedFleetRunner, RunIsSingleShot) {
+  ShardedFleetConfig cfg = small_config(1);
+  cfg.rounds = 1;
+  NullSink sink;
+  ShardedFleetRunner runner(cfg);
+  runner.run(sink);
+  EXPECT_THROW(runner.run(sink), std::logic_error);
+}
+
+// The registered swarm_patrol scenario (the acceptance-criteria surface):
+// same params, different `threads`, identical JSON bytes.
+TEST(ShardedFleetRunner, SwarmPatrolScenarioThreadCountInvariant) {
+  const Scenario* s = ScenarioRegistry::instance().find("swarm_patrol");
+  ASSERT_NE(s, nullptr);
+  auto run_with_threads = [&](const char* threads) {
+    std::ostringstream out;
+    JsonSink sink(out);
+    sink.begin_run(s->name());
+    const int code = s->run(
+        ParamMap::from_args(
+            {"devices=40", "seed=42", std::string("threads=") + threads}),
+        sink);
+    EXPECT_EQ(code, 0);
+    sink.end_run();
+    return out.str();
+  };
+  const std::string t1 = run_with_threads("1");
+  EXPECT_EQ(t1, run_with_threads("2"));
+  EXPECT_EQ(t1, run_with_threads("8"));
+}
+
+}  // namespace
+}  // namespace erasmus::scenario

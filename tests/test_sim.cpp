@@ -103,6 +103,104 @@ TEST(EventQueue, EventsCanScheduleMoreEvents) {
   EXPECT_EQ(q.now(), Time(40));
 }
 
+// --- Cancellation bookkeeping regressions ------------------------------------
+// run_until() once popped a beyond-limit event and pushed it back; these
+// tests pin the peek-based rewrite: cancel/run interleavings keep pending()
+// exact and never resurrect or drop events.
+
+TEST(EventQueue, CancelThenRunUntilKeepsPendingExact) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(Time(10), [&] { ++ran; });
+  const EventId mid = q.schedule_at(Time(20), [&] { ++ran; });
+  q.schedule_at(Time(30), [&] { ++ran; });
+  EXPECT_EQ(q.pending(), 3u);
+  EXPECT_TRUE(q.cancel(mid));
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.run_until(Time(25)), 1u);  // only the t=10 event runs
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelledEventBeyondLimitNeverRuns) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule_at(Time(100), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  // The cancelled entry sits beyond the limit; run_until must not count it
+  // as pending work nor execute it later.
+  EXPECT_EQ(q.run_until(Time(50)), 0u);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.run(), 0u);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, DeferredEventSurvivesRunUntilAndCancelStillWorks) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule_at(Time(100), [&] { ran = true; });
+  // run_until peeks at the t=100 event without consuming it...
+  EXPECT_EQ(q.run_until(Time(50)), 0u);
+  EXPECT_EQ(q.pending(), 1u);
+  // ...so it can still be cancelled afterwards.
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.run(), 0u);
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, DeferredEventKeepsFifoOrderWithinTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(Time(100), [&] { order.push_back(0); });
+  q.schedule_at(Time(100), [&] { order.push_back(1); });
+  // Stopping short must not perturb the FIFO tie-break at t=100.
+  q.run_until(Time(50));
+  q.schedule_at(Time(100), [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, HandlerCancellingPendingEvent) {
+  EventQueue q;
+  bool victim_ran = false;
+  EventId victim = q.schedule_at(Time(20), [&] { victim_ran = true; });
+  q.schedule_at(Time(10), [&] { EXPECT_TRUE(q.cancel(victim)); });
+  EXPECT_EQ(q.run(), 1u);
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, CancelInterleavedWithRunUntilRounds) {
+  // A schedule/cancel/advance churn loop: pending() must stay exact the
+  // whole way (regression for cancelled-set cleanup on pop).
+  EventQueue q;
+  size_t executed = 0;
+  std::vector<EventId> batch;
+  for (int round = 1; round <= 5; ++round) {
+    const Time base = Time(static_cast<uint64_t>(round) * 100);
+    batch.clear();
+    for (int i = 0; i < 4; ++i) {
+      batch.push_back(
+          q.schedule_at(base + Duration(static_cast<uint64_t>(i)),
+                        [&] { ++executed; }));
+    }
+    // Cancel half of them, one before and one after the barrier sweep.
+    EXPECT_TRUE(q.cancel(batch[0]));
+    EXPECT_EQ(q.pending(), 3u);
+    q.run_until(base + Duration(1));  // runs batch[1] only
+    EXPECT_EQ(q.pending(), 2u);
+    EXPECT_TRUE(q.cancel(batch[3]));
+    EXPECT_EQ(q.pending(), 1u);
+    q.run_until(base + Duration(10));  // runs batch[2]
+    EXPECT_EQ(q.pending(), 0u);
+  }
+  EXPECT_EQ(executed, 10u);
+}
+
 TEST(EventQueue, RejectsSchedulingInThePast) {
   EventQueue q;
   q.advance_to(Time(100));
