@@ -2,85 +2,50 @@
 
 namespace erasmus::attest {
 
+namespace {
+
+ServiceConfig to_service_config(const CollectorConfig& config) {
+  ServiceConfig sc;
+  sc.tc = config.tc;
+  sc.k = config.k;
+  sc.response_timeout = config.response_timeout;
+  sc.max_retries = config.max_retries;
+  sc.max_in_flight = 1;
+  sc.kind = RoundKind::kCollect;
+  sc.keep_audit = false;  // the caller's AuditLog is the record
+  return sc;
+}
+
+}  // namespace
+
 Collector::Collector(sim::EventQueue& queue, net::Network& network,
                      net::NodeId self, net::NodeId prover_node,
                      Verifier& verifier, AuditLog& log, CollectorConfig config)
-    : queue_(queue), network_(network), self_(self),
-      prover_node_(prover_node), verifier_(verifier), log_(log),
-      config_(config) {
-  network_.set_handler(self_,
-                       [this](const net::Datagram& d) { on_datagram(d); });
+    : transport_(network, self) {
+  directory_.link(prover_node, &verifier.record());
+  service_ = std::make_unique<AttestationService>(queue, transport_,
+                                                  directory_,
+                                                  to_service_config(config));
+  service_->set_observer([&log](const AttestationService::SessionOutcome& o) {
+    if (o.reachable) {
+      log.record(o.at, o.report);
+    } else {
+      log.record_unreachable(o.at);
+    }
+  });
 }
 
-void Collector::start() {
-  running_ = true;
-  next_round_event_ =
-      queue_.schedule_after(config_.tc, [this] { begin_round(); });
-}
+void Collector::start() { service_->start(); }
 
-void Collector::stop() {
-  running_ = false;
-  if (timeout_event_) queue_.cancel(*timeout_event_);
-  if (next_round_event_) queue_.cancel(*next_round_event_);
-  timeout_event_.reset();
-  next_round_event_.reset();
-}
+void Collector::stop() { service_->stop(); }
 
-void Collector::begin_round() {
-  if (!running_) return;
-  ++stats_.rounds;
-  attempts_this_round_ = 0;
-  awaiting_response_ = true;
-  send_request();
-}
-
-void Collector::send_request() {
-  ++attempts_this_round_;
-  network_.send(self_, prover_node_,
-                frame(MsgType::kCollectRequest,
-                      CollectRequest{config_.k}.serialize()));
-  timeout_event_ = queue_.schedule_after(config_.response_timeout,
-                                         [this] { on_timeout(); });
-}
-
-void Collector::on_timeout() {
-  timeout_event_.reset();
-  if (!running_ || !awaiting_response_) return;
-  if (attempts_this_round_ <= config_.max_retries) {
-    ++stats_.retries;
-    send_request();
-    return;
-  }
-  // Retry budget exhausted: the device is unreachable this round. For an
-  // unattended prover this itself is a QoA event worth logging.
-  awaiting_response_ = false;
-  ++stats_.unreachable_rounds;
-  log_.record_unreachable(queue_.now());
-  finish_round();
-}
-
-void Collector::on_datagram(const net::Datagram& dgram) {
-  if (!awaiting_response_ || dgram.src != prover_node_) return;
-  const auto framed = unframe(dgram.payload);
-  if (!framed || framed->first != MsgType::kCollectResponse) return;
-  const auto resp = CollectResponse::deserialize(framed->second);
-  if (!resp) return;
-
-  awaiting_response_ = false;
-  if (timeout_event_) {
-    queue_.cancel(*timeout_event_);
-    timeout_event_.reset();
-  }
-  ++stats_.responses;
-  log_.record(queue_.now(),
-              verifier_.verify_collection(*resp, queue_.now(), config_.k));
-  finish_round();
-}
-
-void Collector::finish_round() {
-  if (!running_) return;
-  next_round_event_ =
-      queue_.schedule_after(config_.tc, [this] { begin_round(); });
+const Collector::Stats& Collector::stats() const {
+  const AttestationService::Stats& s = service_->stats();
+  stats_.rounds = s.rounds;
+  stats_.responses = s.responses;
+  stats_.retries = s.retries;
+  stats_.unreachable_rounds = s.unreachable_sessions;
+  return stats_;
 }
 
 }  // namespace erasmus::attest

@@ -1,14 +1,24 @@
-// Verifier-side collection daemon.
+// Single-device collection daemon: a thin wrapper over AttestationService.
 //
 // Runs the Fig. 2 collection loop over the (unreliable) network: every T_C
 // it requests the k freshest measurements, retries on timeout, verifies
 // whatever comes back and appends the report to an AuditLog. A device that
 // stays silent past the retry budget is recorded as an unreachable round --
 // for an unattended device that is itself actionable information.
+//
+// Internally this is an AttestationService with a one-entry DeviceDirectory
+// (linked to the caller's Verifier, so golden rotations stay visible) on
+// the periodic round policy. New code overseeing more than one device
+// should use AttestationService directly; see README "Verifier-side
+// service" for the porting guide.
 #pragma once
 
+#include <memory>
+
 #include "attest/audit.h"
-#include "attest/protocol.h"
+#include "attest/directory.h"
+#include "attest/service.h"
+#include "attest/transport.h"
 #include "attest/verifier.h"
 #include "net/network.h"
 #include "sim/event_queue.h"
@@ -40,29 +50,13 @@ class Collector {
     uint64_t retries = 0;
     uint64_t unreachable_rounds = 0;
   };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const;
 
  private:
-  void begin_round();
-  void send_request();
-  void on_timeout();
-  void on_datagram(const net::Datagram& dgram);
-  void finish_round();
-
-  sim::EventQueue& queue_;
-  net::Network& network_;
-  net::NodeId self_;
-  net::NodeId prover_node_;
-  Verifier& verifier_;
-  AuditLog& log_;
-  CollectorConfig config_;
-
-  bool running_ = false;
-  bool awaiting_response_ = false;
-  int attempts_this_round_ = 0;
-  std::optional<sim::EventId> timeout_event_;
-  std::optional<sim::EventId> next_round_event_;
-  Stats stats_;
+  DeviceDirectory directory_;
+  NetworkTransport transport_;
+  std::unique_ptr<AttestationService> service_;
+  mutable Stats stats_;
 };
 
 }  // namespace erasmus::attest

@@ -1,0 +1,314 @@
+#include "attest/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace erasmus::attest {
+
+AttestationService::AttestationService(sim::EventQueue& queue,
+                                       Transport& transport,
+                                       DeviceDirectory& directory,
+                                       ServiceConfig config)
+    : queue_(queue), transport_(transport), directory_(directory),
+      config_(config) {
+  transport_.set_receiver(
+      [this](net::NodeId src, MsgType type, ByteView body) {
+        on_receive(src, type, body);
+      });
+}
+
+AttestationService::~AttestationService() {
+  // Sever every this-capture still held elsewhere: stop() cancels all
+  // pending events, and the transport's delivery callback must not fire
+  // into a destroyed service if the queue keeps running.
+  stop();
+  transport_.set_receiver({});
+}
+
+void AttestationService::start() {
+  if (running_) return;  // exactly one periodic chain
+  running_ = true;
+  next_round_event_ =
+      queue_.schedule_after(config_.tc, [this] { begin_periodic_round(); });
+}
+
+void AttestationService::stop() {
+  // Full quiescence, matching the old Collector::stop(): no further rounds
+  // start, and in-flight sessions are aborted -- their timeouts cancelled,
+  // nothing further sent or recorded. Responses still en route surface as
+  // stray datagrams.
+  running_ = false;
+  if (next_round_event_) {
+    queue_.cancel(*next_round_event_);
+    next_round_event_.reset();
+  }
+  for (auto& [node, session] : active_) {
+    if (session.timeout) queue_.cancel(*session.timeout);
+  }
+  active_.clear();
+  pending_.clear();
+  in_flight_ = 0;
+  round_active_ = false;
+  round_periodic_ = false;
+}
+
+std::vector<AttestationService::SessionOutcome>
+AttestationService::collect_now(const std::vector<DeviceId>& devices,
+                                std::optional<uint32_t> k) {
+  // Validate before touching any member state: a throw here must not leave
+  // sync_outcomes_ dangling or clobber an in-flight periodic round's flag.
+  admit_round(devices);
+  std::vector<SessionOutcome> outcomes;
+  sync_outcomes_ = &outcomes;
+  // Cleared on every exit path: a transport that throws mid-dispatch must
+  // not leave later completions writing through a dangling stack pointer.
+  const struct SyncGuard {
+    std::vector<SessionOutcome>*& ptr;
+    ~SyncGuard() { ptr = nullptr; }
+  } guard{sync_outcomes_};
+  round_periodic_ = false;
+  begin_round(devices, k.value_or(config_.k));
+  return outcomes;
+}
+
+void AttestationService::begin_periodic_round() {
+  if (!running_) return;
+  next_round_event_.reset();
+  if (round_active_) {
+    // A single-shot round is still draining; retry shortly instead of
+    // throwing out of the event loop and aborting the simulation.
+    next_round_event_ = queue_.schedule_after(
+        config_.response_timeout, [this] { begin_periodic_round(); });
+    return;
+  }
+  std::vector<DeviceId> all(directory_.size());
+  for (DeviceId id = 0; id < directory_.size(); ++id) all[id] = id;
+  round_periodic_ = true;
+  begin_round(all, config_.k);
+}
+
+void AttestationService::admit_round(const std::vector<DeviceId>& devices) {
+  if (round_active_) {
+    throw std::logic_error("AttestationService: round already in progress");
+  }
+  std::unordered_set<net::NodeId> nodes;
+  nodes.reserve(devices.size());
+  for (const DeviceId id : devices) {
+    // directory_.node() also rejects unknown device ids here, before any
+    // session has been dispatched.
+    if (!nodes.insert(directory_.node(id)).second) {
+      throw std::logic_error(
+          "AttestationService: duplicate target endpoint in round");
+    }
+  }
+}
+
+void AttestationService::begin_round(const std::vector<DeviceId>& devices,
+                                     uint32_t k) {
+  round_active_ = true;
+  ++stats_.rounds;
+  if (config_.keep_audit && logs_.size() < directory_.size()) {
+    logs_.resize(directory_.size());
+  }
+  round_k_ = k;
+  for (const DeviceId id : devices) pending_.push_back(id);
+  pump();
+}
+
+void AttestationService::pump() {
+  if (pumping_) return;
+  pumping_ = true;
+  // Reset on every exit path so a throwing transport cannot wedge the
+  // service with the pump latch stuck.
+  const struct PumpGuard {
+    bool& flag;
+    ~PumpGuard() { flag = false; }
+  } guard{pumping_};
+  while (!pending_.empty() && in_flight_ < config_.max_in_flight) {
+    // One dispatch pass: admit as many pending sessions as the window
+    // allows. A round requests one uniform k, so collect first attempts
+    // all carry the same body and go out as one transport broadcast.
+    std::vector<net::NodeId> batch;
+    while (!pending_.empty() && in_flight_ < config_.max_in_flight) {
+      const DeviceId device = pending_.front();
+      pending_.pop_front();
+      // admit_round() guaranteed unique endpoints, so no session can be in
+      // flight for this node.
+      const net::NodeId node = directory_.node(device);
+      Session session;
+      session.device = device;
+      session.node = node;
+      ++stats_.sessions;
+      ++in_flight_;
+      stats_.max_in_flight_seen =
+          std::max<uint64_t>(stats_.max_in_flight_seen, in_flight_);
+      if (config_.kind == RoundKind::kCollect) {
+        session.attempts = 1;
+        active_.emplace(node, std::move(session));
+        batch.push_back(node);
+      } else {
+        // OD requests are per-device authenticated: no shared body.
+        active_.emplace(node, std::move(session));
+        send_attempt(active_.at(node));
+      }
+    }
+    if (!batch.empty()) {
+      const Bytes body = CollectRequest{round_k_}.serialize();
+      // Synchronous transports deliver responses (and erase sessions)
+      // during this call; the outer loop then re-checks the window.
+      transport_.broadcast(batch, MsgType::kCollectRequest, body);
+      // Arm timeouts only for sessions the broadcast did not already
+      // complete: the all-synchronous hot path (Fleet over a
+      // DirectTransport) then never touches the event queue at all.
+      for (const net::NodeId node : batch) {
+        const auto it = active_.find(node);
+        if (it != active_.end()) arm_timeout(it->second);
+      }
+    }
+  }
+  if (round_active_ && in_flight_ == 0 && pending_.empty()) finish_round();
+}
+
+void AttestationService::send_attempt(Session& session) {
+  ++session.attempts;
+  Bytes body;
+  MsgType type;
+  if (config_.kind == RoundKind::kCollect) {
+    type = MsgType::kCollectRequest;
+    body = CollectRequest{round_k_}.serialize();
+  } else {
+    type = MsgType::kOdRequest;
+    const DeviceRecord& rec = directory_.record(session.device);
+    const uint64_t treq = queue_.now().ns() / rec.tick.ns();
+    // Judge against the first ask only (see Session::treq): the request
+    // itself still carries the current instant.
+    if (session.attempts == 1) session.treq = treq;
+    body = make_od_request(rec, treq, round_k_).serialize();
+  }
+  const net::NodeId node = session.node;
+  // A synchronous transport completes (and erases) the session inside
+  // send(); `session` must not be touched afterwards, and the timeout is
+  // only armed if the session survived.
+  transport_.send(node, type, body);
+  const auto it = active_.find(node);
+  if (it != active_.end()) arm_timeout(it->second);
+}
+
+void AttestationService::arm_timeout(Session& session) {
+  const net::NodeId node = session.node;
+  // Floor at the bare transport round trip; prover-side processing time
+  // still has to come out of the configured budget.
+  const sim::Duration timeout =
+      std::max(config_.response_timeout, transport_.latency() * 2);
+  session.timeout =
+      queue_.schedule_after(timeout, [this, node] { on_timeout(node); });
+}
+
+void AttestationService::on_receive(net::NodeId src, MsgType type,
+                                    ByteView body) {
+  const auto it = active_.find(src);
+  if (it == active_.end()) {
+    // No session awaiting this endpoint: spoofed source, or a stray or
+    // duplicate response from an already-finished session.
+    ++stats_.stray_datagrams;
+    return;
+  }
+  Session& session = it->second;
+  const MsgType expected = config_.kind == RoundKind::kCollect
+                               ? MsgType::kCollectResponse
+                               : MsgType::kOdResponse;
+  if (type != expected) {
+    ++stats_.stray_datagrams;
+    return;  // session stays armed; the timeout path recovers
+  }
+  if (config_.kind == RoundKind::kCollect) {
+    const auto resp = CollectResponse::deserialize(body);
+    if (!resp) {
+      ++stats_.stray_datagrams;
+      return;
+    }
+    CollectionReport report = verify_collection(
+        directory_.record(session.device), *resp, queue_.now(), round_k_);
+    complete(src, /*reachable=*/true, std::move(report),
+             /*fresh_valid=*/false);
+    return;
+  }
+  const auto resp = OdResponse::deserialize(body);
+  if (!resp) {
+    ++stats_.stray_datagrams;
+    return;
+  }
+  OdReport od = verify_od_response(directory_.record(session.device), *resp,
+                                   queue_.now(), session.treq);
+  CollectionReport report = std::move(od.history);
+  if (!od.fresh_valid) {
+    report.tampering_detected = true;
+    report.note += "od fresh invalid; ";
+  }
+  complete(src, /*reachable=*/true, std::move(report), od.fresh_valid);
+}
+
+void AttestationService::on_timeout(net::NodeId node) {
+  const auto it = active_.find(node);
+  if (it == active_.end()) return;  // completed; cancel raced the event
+  Session& session = it->second;
+  session.timeout.reset();
+  if (session.attempts <= config_.max_retries) {
+    ++stats_.retries;
+    send_attempt(session);
+    return;
+  }
+  // Retry budget exhausted: the device is unreachable this round. For an
+  // unattended prover this itself is a QoA event worth logging.
+  complete(node, /*reachable=*/false, CollectionReport{},
+           /*fresh_valid=*/false);
+}
+
+void AttestationService::complete(net::NodeId node, bool reachable,
+                                  CollectionReport report, bool fresh_valid) {
+  const auto it = active_.find(node);
+  Session session = std::move(it->second);
+  if (session.timeout) queue_.cancel(*session.timeout);
+  active_.erase(it);
+  --in_flight_;
+
+  SessionOutcome outcome;
+  outcome.device = session.device;
+  outcome.at = queue_.now();
+  outcome.reachable = reachable;
+  outcome.attempts = session.attempts;
+  outcome.fresh_valid = fresh_valid;
+  if (reachable) {
+    ++stats_.responses;
+    outcome.report = std::move(report);
+  } else {
+    ++stats_.unreachable_sessions;
+  }
+
+  if (config_.keep_audit) {
+    AuditLog& log = logs_[session.device];
+    if (reachable) {
+      log.record(outcome.at, outcome.report);
+    } else {
+      log.record_unreachable(outcome.at);
+    }
+  }
+  if (observer_) observer_(outcome);
+  // After the observer so the k-entry report can be moved, not copied.
+  if (sync_outcomes_ != nullptr) sync_outcomes_->push_back(std::move(outcome));
+
+  // Synchronous completions happen inside pump()'s dispatch loop, which
+  // re-checks the window itself; only async completions re-pump here.
+  if (!pumping_) pump();
+}
+
+void AttestationService::finish_round() {
+  round_active_ = false;
+  if (round_periodic_ && running_) {
+    next_round_event_ =
+        queue_.schedule_after(config_.tc, [this] { begin_periodic_round(); });
+  }
+}
+
+}  // namespace erasmus::attest

@@ -1,0 +1,185 @@
+// AttestationService: the unified verifier-side collection engine.
+//
+// One service multiplexes N concurrent collection sessions over one
+// verifier endpoint -- the paper's one-verifier/many-unattended-provers
+// shape (§3, §6). Each session runs the Fig. 2 loop as a small state
+// machine (request -> timeout -> retry -> report or unreachable), judged
+// by the shared verifier core against the device's DeviceRecord, and
+// appended to that device's AuditLog. Batched rounds dispatch through a
+// bounded in-flight window so a million-device round never floods the
+// transport.
+//
+// Round policies:
+//  * periodic    -- start() schedules a full-directory round every T_C,
+//                   the Collector daemon behaviour generalised to fleets.
+//  * single-shot -- collect_now() runs one round over a chosen device set
+//                   at the current instant; over a DirectTransport every
+//                   session completes synchronously (the Fleet
+//                   collect-round semantics).
+//  * on-demand   -- ServiceConfig::kind = kOnDemand makes rounds send
+//                   authenticated ERASMUS+OD requests (Fig. 4) instead of
+//                   plain collect requests.
+//
+// Responses are only accepted from the node a session is awaiting, with
+// the MsgType the round expects, and only while the session is in flight;
+// spoofed sources, stray/duplicate datagrams and undecodable payloads are
+// counted and dropped without disturbing the session (the timeout/retry
+// machinery recovers).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "attest/audit.h"
+#include "attest/directory.h"
+#include "attest/transport.h"
+#include "sim/event_queue.h"
+
+namespace erasmus::attest {
+
+/// Which exchange a round runs per device.
+enum class RoundKind : uint8_t {
+  kCollect,   // Fig. 2: unauthenticated "collect k"
+  kOnDemand,  // Fig. 4: authenticated t_req/k request, fresh M_0 + history
+};
+
+struct ServiceConfig {
+  sim::Duration tc = sim::Duration::hours(1);  // periodic round interval
+  uint32_t k = 8;                              // records per request
+  sim::Duration response_timeout = sim::Duration::seconds(2);
+  int max_retries = 2;      // per session, after the first attempt
+  size_t max_in_flight = 64;  // bounded dispatch window per round
+  RoundKind kind = RoundKind::kCollect;
+  /// Keep full per-device audit logs. Turn off for huge fleets where the
+  /// caller aggregates through the observer instead.
+  bool keep_audit = true;
+};
+
+class AttestationService {
+ public:
+  /// Everything a finished session establishes; streamed to the observer
+  /// and returned by collect_now() for synchronously-completed sessions.
+  struct SessionOutcome {
+    DeviceId device = 0;
+    sim::Time at;              // completion time
+    bool reachable = false;    // false: retry budget exhausted
+    int attempts = 0;
+    CollectionReport report;   // empty when unreachable
+    /// kOnDemand only: fresh measurement authentic and current.
+    bool fresh_valid = false;
+  };
+  using Observer = std::function<void(const SessionOutcome&)>;
+
+  struct Stats {
+    uint64_t rounds = 0;
+    uint64_t sessions = 0;
+    uint64_t responses = 0;
+    uint64_t retries = 0;
+    uint64_t unreachable_sessions = 0;
+    /// Spoofed source, unexpected MsgType, undecodable or duplicate
+    /// responses -- dropped without touching any session.
+    uint64_t stray_datagrams = 0;
+    uint64_t max_in_flight_seen = 0;
+  };
+
+  /// The service takes exclusive ownership of `transport`'s receiver:
+  /// exactly one service per transport instance (a second one would
+  /// silently steal the first one's deliveries).
+  AttestationService(sim::EventQueue& queue, Transport& transport,
+                     DeviceDirectory& directory, ServiceConfig config);
+  /// Cancels pending timeouts and detaches from the transport so nothing
+  /// fires into a destroyed service if the queue keeps running.
+  ~AttestationService();
+
+  // --- Periodic policy -------------------------------------------------------
+  /// Schedules the first full-directory round one T_C from now.
+  void start();
+  /// Quiesces immediately: cancels the next round AND aborts in-flight
+  /// sessions (nothing further is sent or recorded; late responses count
+  /// as stray datagrams).
+  void stop();
+
+  // --- Single-shot policy ----------------------------------------------------
+  /// Runs one round over `devices` (ids into the directory) right now,
+  /// requesting `k` records each (nullopt: config k). Returns the outcomes
+  /// of sessions that completed before this call returned -- all of them
+  /// over a DirectTransport whose targets are attached and reply (a silent
+  /// direct endpoint resolves later through the timeout path, like any
+  /// lost datagram); typically none over a NetworkTransport, where results
+  /// arrive later via the observer and audit logs as the caller runs the
+  /// event queue.
+  std::vector<SessionOutcome> collect_now(
+      const std::vector<DeviceId>& devices,
+      std::optional<uint32_t> k = std::nullopt);
+
+  bool round_in_progress() const { return round_active_; }
+
+  /// Per-device longitudinal record. Empty when keep_audit is off or no
+  /// round has reached the device yet.
+  const AuditLog& log(DeviceId id) const {
+    static const AuditLog kEmpty;
+    return id < logs_.size() ? logs_[id] : kEmpty;
+  }
+
+  /// Streamed per-session results (scenario metrics bridge). The observer
+  /// runs at session completion time, after the audit log was appended.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  const Stats& stats() const { return stats_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Session {
+    DeviceId device = 0;
+    net::NodeId node = 0;
+    int attempts = 0;
+    /// kOnDemand: the FIRST attempt's request timestamp. Responses are
+    /// judged against it so a slow answer to attempt 1 arriving after a
+    /// retry is still fresh-since-we-asked, not "tampering".
+    uint64_t treq = 0;
+    std::optional<sim::EventId> timeout;
+  };
+
+  void begin_periodic_round();
+  /// Throws (round in progress, duplicate/unknown target) BEFORE any
+  /// member state is mutated, so callers stay consistent on failure.
+  void admit_round(const std::vector<DeviceId>& devices);
+  void begin_round(const std::vector<DeviceId>& devices, uint32_t k);
+  /// Dispatches pending sessions up to the in-flight window, batching
+  /// identical first-attempt requests into one transport broadcast.
+  void pump();
+  void send_attempt(Session& session);
+  void arm_timeout(Session& session);
+  void on_receive(net::NodeId src, MsgType type, ByteView body);
+  void on_timeout(net::NodeId node);
+  void complete(net::NodeId node, bool reachable, CollectionReport report,
+                bool fresh_valid);
+  void finish_round();
+
+  sim::EventQueue& queue_;
+  Transport& transport_;
+  DeviceDirectory& directory_;
+  ServiceConfig config_;
+
+  std::vector<AuditLog> logs_;  // indexed by DeviceId; grown on demand
+  Observer observer_;
+
+  bool running_ = false;  // periodic policy armed
+  std::optional<sim::EventId> next_round_event_;
+
+  std::deque<DeviceId> pending_;
+  uint32_t round_k_ = 0;  // one uniform k per round, by construction
+  std::unordered_map<net::NodeId, Session> active_;
+  size_t in_flight_ = 0;
+  bool pumping_ = false;
+  bool round_active_ = false;
+  bool round_periodic_ = false;
+  std::vector<SessionOutcome>* sync_outcomes_ = nullptr;
+
+  Stats stats_;
+};
+
+}  // namespace erasmus::attest

@@ -1,0 +1,80 @@
+#include "attest/transport.h"
+
+#include "attest/prover.h"
+
+namespace erasmus::attest {
+
+void Transport::broadcast(const std::vector<net::NodeId>& peers, MsgType type,
+                          ByteView body) {
+  for (const net::NodeId peer : peers) send(peer, type, body);
+}
+
+NetworkTransport::NetworkTransport(net::Network& network, net::NodeId self)
+    : network_(network), self_(self) {
+  network_.set_handler(self_, [this](const net::Datagram& d) {
+    const auto framed = unframe(d.payload);
+    if (!framed) {
+      // Not even a well-formed frame: drop here so the service only ever
+      // sees typed messages.
+      ++malformed_frames_;
+      return;
+    }
+    if (receiver_) receiver_(d.src, framed->first, framed->second);
+  });
+}
+
+NetworkTransport::~NetworkTransport() {
+  network_.set_handler(self_, {});
+}
+
+void NetworkTransport::send(net::NodeId peer, MsgType type, ByteView body) {
+  network_.send(self_, peer, frame(type, body));
+}
+
+void NetworkTransport::broadcast(const std::vector<net::NodeId>& peers,
+                                 MsgType type, ByteView body) {
+  network_.broadcast(self_, peers, frame(type, body));
+}
+
+void NetworkTransport::set_receiver(Receiver receiver) {
+  receiver_ = std::move(receiver);
+}
+
+void DirectTransport::attach(net::NodeId node, Prover& prover) {
+  provers_[node] = &prover;
+}
+
+void DirectTransport::send(net::NodeId peer, MsgType type, ByteView body) {
+  last_processing_ = sim::Duration(0);
+  const auto it = provers_.find(peer);
+  if (it == provers_.end()) return;
+  Prover& prover = *it->second;
+
+  if (type == MsgType::kCollectRequest) {
+    const auto req = CollectRequest::deserialize(body);
+    if (!req) return;
+    const auto res = prover.handle_collect(*req);
+    last_processing_ = res.processing;
+    if (receiver_) {
+      receiver_(peer, MsgType::kCollectResponse, res.response.serialize());
+    }
+    return;
+  }
+  if (type == MsgType::kOdRequest) {
+    const auto req = OdRequest::deserialize(body);
+    if (!req) return;
+    const auto res = prover.handle_od(*req);
+    last_processing_ = res.processing;
+    if (res.response && receiver_) {
+      receiver_(peer, MsgType::kOdResponse, res.response->serialize());
+    }
+    return;
+  }
+  // Provers only serve requests; anything else is silently dropped.
+}
+
+void DirectTransport::set_receiver(Receiver receiver) {
+  receiver_ = std::move(receiver);
+}
+
+}  // namespace erasmus::attest

@@ -1,0 +1,111 @@
+// Transport backends for the verifier-side attestation service.
+//
+// The collection protocol itself (protocol.h) is transport-agnostic; this
+// interface decouples the AttestationService from net::Network so the same
+// session state machine drives both deployment shapes the codebase uses:
+//
+//  * NetworkTransport -- the simulated datagram network (latency, loss,
+//    link filters). Responses arrive asynchronously via the EventQueue;
+//    the service's timeout/retry machinery does real work.
+//  * DirectTransport  -- the in-process path Fleet::collect_round uses:
+//    requests are dispatched straight into the prover's handler and the
+//    response is looped back synchronously at the current virtual time
+//    (zero latency, no queue involvement) -- exactly the
+//    reachability-at-an-instant semantics swarm collection needs (§6).
+//
+// Addresses are net::NodeIds in both backends; the DirectTransport's
+// address space is its own attach() table and is independent of any
+// Network instance.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "attest/protocol.h"
+#include "net/network.h"
+#include "sim/time.h"
+
+namespace erasmus::attest {
+
+class Prover;
+
+class Transport {
+ public:
+  /// Delivery callback: source endpoint plus the unframed message. The
+  /// body view is only valid for the duration of the call.
+  using Receiver =
+      std::function<void(net::NodeId src, MsgType type, ByteView body)>;
+
+  virtual ~Transport() = default;
+
+  /// Sends one framed protocol message to `peer`. Delivery guarantees are
+  /// the backend's: the network may drop or delay, the direct backend
+  /// replies synchronously.
+  virtual void send(net::NodeId peer, MsgType type, ByteView body) = 0;
+
+  /// Sends the same message to every peer (batched round dispatch). The
+  /// default loops over send(); backends may do better.
+  virtual void broadcast(const std::vector<net::NodeId>& peers, MsgType type,
+                         ByteView body);
+
+  /// Installs the service-side delivery callback (replaces any previous).
+  virtual void set_receiver(Receiver receiver) = 0;
+
+  /// One-way latency estimate for timeout sizing; zero for direct.
+  virtual sim::Duration latency() const = 0;
+};
+
+/// Attaches the service to one node of a simulated datagram network.
+class NetworkTransport : public Transport {
+ public:
+  /// `self` must already be registered on `network`; the transport
+  /// installs its own datagram handler there (and removes it again on
+  /// destruction, so in-flight datagrams cannot fire into a freed object).
+  NetworkTransport(net::Network& network, net::NodeId self);
+  ~NetworkTransport() override;
+
+  void send(net::NodeId peer, MsgType type, ByteView body) override;
+  void broadcast(const std::vector<net::NodeId>& peers, MsgType type,
+                 ByteView body) override;
+  void set_receiver(Receiver receiver) override;
+  sim::Duration latency() const override { return network_.latency(); }
+
+  net::NodeId self() const { return self_; }
+  /// Datagrams dropped because they did not unframe to a known MsgType.
+  uint64_t malformed_frames() const { return malformed_frames_; }
+
+ private:
+  net::Network& network_;
+  net::NodeId self_;
+  Receiver receiver_;
+  uint64_t malformed_frames_ = 0;
+};
+
+/// In-process transport: each endpoint is a Prover served synchronously.
+class DirectTransport : public Transport {
+ public:
+  /// Registers `prover` as endpoint `node` (any id space the caller
+  /// likes -- fleets use the global device id).
+  void attach(net::NodeId node, Prover& prover);
+
+  /// Dispatches to the attached prover and loops the reply straight back
+  /// into the receiver before returning. Unknown endpoints and requests
+  /// the prover rejects (OD auth failure) produce no reply, like a silent
+  /// datagram drop.
+  void send(net::NodeId peer, MsgType type, ByteView body) override;
+  void set_receiver(Receiver receiver) override;
+  sim::Duration latency() const override { return sim::Duration(0); }
+
+  /// Prover-side processing time charged for the last served request
+  /// (busy-wait + buffer read + packet construction; see
+  /// Prover::CollectResult). Zero when the last send produced no reply.
+  sim::Duration last_processing() const { return last_processing_; }
+
+ private:
+  std::unordered_map<net::NodeId, Prover*> provers_;
+  Receiver receiver_;
+  sim::Duration last_processing_;
+};
+
+}  // namespace erasmus::attest

@@ -1,182 +1,54 @@
 #include "attest/verifier.h"
 
-#include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace erasmus::attest {
-
-std::string to_string(MeasurementStatus s) {
-  switch (s) {
-    case MeasurementStatus::kHealthy:
-      return "healthy";
-    case MeasurementStatus::kInfected:
-      return "infected";
-    case MeasurementStatus::kBadMac:
-      return "bad-mac";
-    case MeasurementStatus::kOffSchedule:
-      return "off-schedule";
-  }
-  return "unknown";
-}
 
 Verifier::Verifier(VerifierConfig config) : config_(std::move(config)) {
   if (config_.key.empty()) {
     throw std::invalid_argument("Verifier: key K required");
   }
-  goldens_.emplace_back(0, config_.golden_digest);
+  record_.algo = config_.algo;
+  record_.key = config_.key;
+  record_.tick = config_.tick;
+  record_.goldens.emplace_back(0, config_.golden_digest);
 }
 
 void Verifier::set_schedule(const Scheduler* scheduler, uint64_t t0_ticks) {
-  scheduler_ = scheduler;
-  schedule_t0_ = t0_ticks;
+  record_.scheduler = scheduler;
+  record_.schedule_t0 = t0_ticks;
 }
 
 void Verifier::set_golden_digest(Bytes digest) {
-  config_.golden_digest = digest;
-  goldens_.assign(1, {0, std::move(digest)});
+  config_.golden_digest = digest;  // config() mirrors the latest epoch
+  record_.set_golden(std::move(digest));
 }
 
 void Verifier::rotate_golden_digest(Bytes digest, uint64_t from_ticks) {
-  if (!goldens_.empty() && from_ticks < goldens_.back().first) {
-    throw std::invalid_argument(
-        "rotate_golden_digest: epochs must be appended in time order");
-  }
-  config_.golden_digest = digest;
-  goldens_.emplace_back(from_ticks, std::move(digest));
+  record_.rotate_golden(digest, from_ticks);  // throws before any mutation
+  config_.golden_digest = std::move(digest);
 }
 
 const Bytes& Verifier::golden_digest_at(uint64_t t_ticks) const {
-  // Latest epoch whose start is <= t_ticks (epochs sorted ascending).
-  for (auto it = goldens_.rbegin(); it != goldens_.rend(); ++it) {
-    if (it->first <= t_ticks) return it->second;
-  }
-  return goldens_.front().second;
+  return record_.golden_at(t_ticks);
 }
 
-const Bytes& Verifier::golden_digest() const {
-  return goldens_.back().second;
-}
-
-MeasurementVerdict Verifier::judge(const Measurement& m) const {
-  MeasurementVerdict v{m, MeasurementStatus::kBadMac};
-  if (!verify_measurement(config_.algo, config_.key, m)) {
-    return v;
-  }
-  v.status = equal(m.digest, golden_digest_at(m.timestamp))
-                 ? MeasurementStatus::kHealthy
-                 : MeasurementStatus::kInfected;
-  return v;
-}
+const Bytes& Verifier::golden_digest() const { return record_.golden(); }
 
 CollectionReport Verifier::verify_collection(const CollectResponse& resp,
                                              sim::Time now,
                                              size_t expected_k) const {
-  CollectionReport report;
-  report.verdicts.reserve(resp.measurements.size());
-
-  // Expected timestamps, if a schedule is registered.
-  std::unordered_set<uint64_t> expected_times;
-  std::vector<uint64_t> expected_seq;
-  if (scheduler_) {
-    const uint64_t now_ticks = now.ns() / config_.tick.ns();
-    expected_seq =
-        expected_schedule(*scheduler_, schedule_t0_, now_ticks, config_.tick);
-    expected_times.insert(expected_seq.begin(), expected_seq.end());
-  }
-
-  uint64_t prev_t = UINT64_MAX;  // responses are newest-first: decreasing
-  bool order_ok = true;
-  std::optional<uint64_t> newest_authentic;
-
-  for (const auto& m : resp.measurements) {
-    MeasurementVerdict v = judge(m);
-    if (v.status != MeasurementStatus::kBadMac) {
-      if (scheduler_ && !expected_times.contains(m.timestamp)) {
-        // Authentic MAC over a timestamp the schedule never produced: a
-        // replayed/displaced record (e.g. the §3.4 clock attack).
-        v.status = MeasurementStatus::kOffSchedule;
-        report.tampering_detected = true;
-      } else {
-        if (!newest_authentic) newest_authentic = m.timestamp;
-        if (v.status == MeasurementStatus::kInfected) {
-          report.infection_detected = true;
-        }
-      }
-      if (m.timestamp >= prev_t) order_ok = false;
-      prev_t = m.timestamp;
-    } else {
-      report.tampering_detected = true;
-    }
-    report.verdicts.push_back(std::move(v));
-  }
-
-  if (!order_ok) {
-    report.tampering_detected = true;
-    report.note += "reordered history; ";
-  }
-
-  if (expected_k > 0 && resp.measurements.size() < expected_k) {
-    // Short response: fewer records than requested. Only incriminating once
-    // the device has been up long enough to have produced them.
-    if (!expected_seq.empty() && expected_seq.size() >= expected_k) {
-      report.tampering_detected = true;
-      report.missing += expected_k - resp.measurements.size();
-      report.note += "short response; ";
-    }
-  }
-
-  // Gap analysis: within the span covered by the response, every expected
-  // time must be present (a deleted record leaves a hole).
-  if (scheduler_ && !resp.measurements.empty()) {
-    std::unordered_set<uint64_t> returned;
-    for (const auto& m : resp.measurements) returned.insert(m.timestamp);
-    const uint64_t oldest = resp.measurements.back().timestamp;
-    const uint64_t newest = resp.measurements.front().timestamp;
-    for (uint64_t t : expected_seq) {
-      if (t > oldest && t < newest && !returned.contains(t)) {
-        ++report.missing;
-        report.tampering_detected = true;
-      }
-    }
-    if (report.missing > 0) report.note += "schedule gap; ";
-  }
-
-  if (newest_authentic) {
-    const sim::Time t(*newest_authentic * config_.tick.ns());
-    report.freshness = now - t;
-  } else {
-    report.tampering_detected = true;
-    report.note += "no authentic measurement; ";
-  }
-
-  return report;
+  return attest::verify_collection(record_, resp, now, expected_k);
 }
 
 OdRequest Verifier::make_od_request(uint64_t now_ticks, uint32_t k) const {
-  OdRequest req;
-  req.treq = now_ticks;
-  req.k = k;
-  req.mac = crypto::Mac::compute(config_.algo, config_.key,
-                                 OdRequest::mac_input(req.treq, req.k));
-  return req;
+  return attest::make_od_request(record_, now_ticks, k);
 }
 
 Verifier::OdReport Verifier::verify_od_response(const OdResponse& resp,
                                                 sim::Time now,
                                                 uint64_t treq) const {
-  OdReport report;
-  report.fresh = judge(resp.fresh);
-  // The fresh measurement must be authentic and taken at or after t_req.
-  report.fresh_valid =
-      report.fresh.status != MeasurementStatus::kBadMac &&
-      resp.fresh.timestamp >= treq;
-  CollectResponse history{resp.history};
-  report.history = verify_collection(history, now);
-  if (report.fresh.status == MeasurementStatus::kInfected) {
-    report.history.infection_detected = true;
-  }
-  return report;
+  return attest::verify_od_response(record_, resp, now, treq);
 }
 
 }  // namespace erasmus::attest

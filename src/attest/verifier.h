@@ -1,60 +1,27 @@
-// The ERASMUS verifier.
+// The single-device ERASMUS verifier wrapper.
 //
-// Holds the device key K and the golden (expected) memory digest; validates
-// collected measurement histories (Fig. 2, right side), builds and checks
-// ERASMUS+OD exchanges (Fig. 4), and derives the QoA facts a collection
-// establishes: infection evidence, tampering evidence, freshness.
+// Holds the device key K and the golden (expected) memory digest as one
+// DeviceRecord, and delegates all judging to the shared verifier core in
+// directory.h: validating collected measurement histories (Fig. 2, right
+// side), building and checking ERASMUS+OD exchanges (Fig. 4), and deriving
+// the QoA facts a collection establishes.
 //
-// Per §3.4, *any* inconsistency in the returned history -- a bad MAC, an
-// off-schedule timestamp, a gap, a reordering, or fewer records than
-// requested -- is treated as evidence of malware: benign operation never
-// produces it (the store is only written by protected code).
+// For fleets, enroll records in a DeviceDirectory and call the core
+// directly (or through an AttestationService) instead of instantiating one
+// Verifier per device; `record()` lets a DeviceDirectory alias this
+// verifier's live state (golden rotations included) via link().
 #pragma once
 
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "attest/directory.h"
 #include "attest/protocol.h"
+#include "attest/report.h"
 #include "attest/schedule.h"
 #include "sim/time.h"
 
 namespace erasmus::attest {
-
-enum class MeasurementStatus : uint8_t {
-  kHealthy,     // authentic and digest matches the golden state
-  kInfected,    // authentic but digest differs: malware was resident at t
-  kBadMac,      // forged or corrupted record
-  kOffSchedule, // authentic MAC but timestamp not on the expected schedule
-};
-
-std::string to_string(MeasurementStatus s);
-
-struct MeasurementVerdict {
-  Measurement m;
-  MeasurementStatus status = MeasurementStatus::kBadMac;
-};
-
-struct CollectionReport {
-  std::vector<MeasurementVerdict> verdicts;  // newest first
-  /// Authentic digest mismatch in some measurement: malware was present at
-  /// that time (detected even if it has since left -- the mobile-malware
-  /// win over on-demand RA).
-  bool infection_detected = false;
-  /// Evidence of history manipulation: bad MAC, schedule gap/violation,
-  /// reordering, or a short response.
-  bool tampering_detected = false;
-  /// now - timestamp of the newest *authentic* measurement; nullopt when
-  /// nothing authentic came back.
-  std::optional<sim::Duration> freshness;
-  /// Expected-but-missing measurements (when a schedule is configured).
-  size_t missing = 0;
-  std::string note;
-
-  bool device_trustworthy() const {
-    return !infection_detected && !tampering_detected;
-  }
-};
 
 struct VerifierConfig {
   crypto::MacAlgo algo = crypto::MacAlgo::kHmacSha256;
@@ -94,25 +61,19 @@ class Verifier {
   /// Builds an authenticated ERASMUS+OD / on-demand request (Fig. 4).
   OdRequest make_od_request(uint64_t now_ticks, uint32_t k) const;
 
-  struct OdReport {
-    MeasurementVerdict fresh;
-    CollectionReport history;
-    /// Fresh measurement authentic and its timestamp plausibly current.
-    bool fresh_valid = false;
-  };
+  using OdReport = attest::OdReport;
   OdReport verify_od_response(const OdResponse& resp, sim::Time now,
                               uint64_t treq) const;
 
   const VerifierConfig& config() const { return config_; }
+  /// This verifier's live device record -- alias it into a DeviceDirectory
+  /// with link() to let the shared core / AttestationService judge this
+  /// device while tracking golden rotations made here.
+  const DeviceRecord& record() const { return record_; }
 
  private:
-  MeasurementVerdict judge(const Measurement& m) const;
-
   VerifierConfig config_;
-  /// Golden-digest epochs: (first valid RROC tick, digest), sorted by tick.
-  std::vector<std::pair<uint64_t, Bytes>> goldens_;
-  const Scheduler* scheduler_ = nullptr;  // not owned
-  uint64_t schedule_t0_ = 0;
+  DeviceRecord record_;
 };
 
 }  // namespace erasmus::attest

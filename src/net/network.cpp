@@ -6,6 +6,7 @@ namespace erasmus::net {
 
 NodeId Network::add_node(Handler handler) {
   handlers_.push_back(std::move(handler));
+  node_stats_.emplace_back();
   return static_cast<NodeId>(handlers_.size() - 1);
 }
 
@@ -21,19 +22,37 @@ void Network::send(NodeId src, NodeId dst, Bytes payload) {
     throw std::out_of_range("Network: unknown endpoint");
   }
   ++stats_.sent;
+  ++node_stats_[dst].sent;
   if (filter_ && !filter_(src, dst)) {
     ++stats_.dropped_disconnected;
+    ++node_stats_[dst].dropped_disconnected;
     return;
   }
   if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
     ++stats_.dropped_loss;
+    ++node_stats_[dst].dropped_loss;
     return;
   }
   queue_.schedule_after(
       latency_, [this, d = Datagram{src, dst, std::move(payload)}] {
         ++stats_.delivered;
+        ++node_stats_[d.dst].delivered;
         if (handlers_[d.dst]) handlers_[d.dst](d);
       });
+}
+
+void Network::broadcast(NodeId src, const std::vector<NodeId>& dsts,
+                        ByteView payload) {
+  for (const NodeId dst : dsts) {
+    send(src, dst, Bytes(payload.begin(), payload.end()));
+  }
+}
+
+const Network::Stats& Network::node_stats(NodeId dst) const {
+  if (dst >= node_stats_.size()) {
+    throw std::out_of_range("Network: unknown node");
+  }
+  return node_stats_[dst];
 }
 
 }  // namespace erasmus::net

@@ -56,6 +56,13 @@ class Network {
   /// (datagram networks do not report loss to the sender).
   void send(NodeId src, NodeId dst, Bytes payload);
 
+  /// Sends one payload to many destinations: one independent loss/link
+  /// draw and one delivery event per destination, in `dsts` order --
+  /// byte-identical to the equivalent send() loop. Used for batched
+  /// collection-round dispatch.
+  void broadcast(NodeId src, const std::vector<NodeId>& dsts,
+                 ByteView payload);
+
   sim::Duration latency() const { return latency_; }
 
   struct Stats {
@@ -65,6 +72,10 @@ class Network {
     uint64_t dropped_disconnected = 0;
   };
   const Stats& stats() const { return stats_; }
+  /// Delivery stats for traffic TO one node (what did device d actually
+  /// receive / lose?) -- the per-device observability fleet debugging
+  /// needs.
+  const Stats& node_stats(NodeId dst) const;
 
  private:
   sim::EventQueue& queue_;
@@ -74,6 +85,7 @@ class Network {
   LinkFilter filter_;
   std::vector<Handler> handlers_;
   Stats stats_;
+  std::vector<Stats> node_stats_;  // indexed by destination
 };
 
 }  // namespace erasmus::net

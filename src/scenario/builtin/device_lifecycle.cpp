@@ -1,15 +1,19 @@
 // Scenario `device_lifecycle`: the full lifecycle of an unattended device.
 //
-// Provisioning (HKDF per-device keys), steady state (collector daemon over
-// a lossy link feeding the audit log), software update (attest-before /
-// install / attest-after with golden-digest rotation), incident (malware
-// detected through the daemon path) and decommissioning (authenticated
+// Provisioning (HKDF per-device keys), steady state (the AttestationService
+// collecting over a lossy link into the device's audit log), software
+// update (attest-before / install / attest-after with golden-digest
+// rotation -- the directory links the Verifier's live record, so the
+// rotation is immediately visible to the service), incident (malware
+// detected through the service path) and decommissioning (authenticated
 // secure erasure + proof of erasure). (Port of
 // examples/device_lifecycle.cpp.)
-#include "attest/collector.h"
+#include "attest/directory.h"
 #include "attest/maintenance.h"
 #include "attest/measurement.h"
 #include "attest/prover.h"
+#include "attest/service.h"
+#include "attest/transport.h"
 #include "crypto/hkdf.h"
 #include "scenario/scenario.h"
 
@@ -62,7 +66,7 @@ class DeviceLifecycleScenario : public Scenario {
         device.memory().view(device.app_region(), true));
     attest::Verifier verifier(std::move(vc));
 
-    // --- 2. Steady state: collector daemon over a lossy link --------------
+    // --- 2. Steady state: AttestationService over a lossy link ------------
     net::Network network(sim, Duration::millis(20),
                          params.get_double("loss", 0.15),
                          params.get_u64("net_seed", 3));
@@ -70,22 +74,29 @@ class DeviceLifecycleScenario : public Scenario {
     const net::NodeId dev_node = network.add_node({});
     prover.bind(network, dev_node);
 
-    attest::AuditLog log;
-    attest::CollectorConfig cc;
-    cc.tc = Duration::minutes(params.get_u64("tc_min", 60));
-    cc.k = static_cast<uint32_t>(params.get_u64("k", 8));
-    cc.response_timeout = Duration::seconds(5);
-    cc.max_retries = 3;
-    attest::Collector collector(sim, network, hq, dev_node, verifier, log,
-                                cc);
+    attest::DeviceDirectory directory;
+    // Linked, not copied: the software-update rotation below must stay
+    // visible to the service.
+    const attest::DeviceId dev =
+        directory.link(dev_node, &verifier.record());
+    attest::NetworkTransport transport(network, hq);
+    attest::ServiceConfig sc;
+    sc.tc = Duration::minutes(params.get_u64("tc_min", 60));
+    sc.k = static_cast<uint32_t>(params.get_u64("k", 8));
+    sc.response_timeout = Duration::seconds(5);
+    sc.max_retries = 3;
+    attest::AttestationService service(sim, transport, directory, sc);
 
     prover.start();
-    collector.start();
+    service.start();
     sim.run_until(Time::zero() + Duration::hours(24));
-    sink.note("day1_rounds", collector.stats().rounds);
-    sink.note("day1_responses", collector.stats().responses);
-    sink.note("day1_retries", collector.stats().retries);
-    sink.note("day1_trustworthy_fraction", log.trustworthy_fraction());
+    // No caching of the log() reference: it binds to an empty sentinel
+    // until the first round touches the device (e.g. under a huge tc_min).
+    sink.note("day1_rounds", service.stats().rounds);
+    sink.note("day1_responses", service.stats().responses);
+    sink.note("day1_retries", service.stats().retries);
+    sink.note("day1_trustworthy_fraction",
+              service.log(dev).trustworthy_fraction());
 
     // --- 3. Software update -----------------------------------------------
     attest::MaintenanceAuthority authority(verifier, sim);
@@ -101,21 +112,21 @@ class DeviceLifecycleScenario : public Scenario {
                             bytes_of("IMPLANT"), false);
     });
     sim.run_until(sim.now() + Duration::hours(24));
-    const auto first = log.first_infection_seen();
+    const auto first = service.log(dev).first_infection_seen();
     sink.note("infection_detected", first.has_value());
     if (first) {
+      const auto qoa = service.log(dev).empirical_qoa();
       sink.note("infection_seen_at_h", first->to_seconds() / 3600.0);
       sink.note("empirical_mean_freshness_min",
-                log.empirical_qoa().mean_freshness.to_seconds() / 60.0);
-      sink.note("audit_rounds",
-                static_cast<uint64_t>(log.empirical_qoa().rounds));
+                qoa.mean_freshness.to_seconds() / 60.0);
+      sink.note("audit_rounds", static_cast<uint64_t>(qoa.rounds));
     }
 
     // --- 5. Decommissioning -------------------------------------------------
     // Updates require a healthy device (attest-before), but secure erasure
     // is exactly what you do to a COMPROMISED device -- it needs only an
     // authentic command, and the erased state is then proven fresh.
-    collector.stop();
+    service.stop();
     const auto blocked =
         authority.run_update(prover, bytes_of("recovery image"));
     const auto erase = authority.run_erase(prover);

@@ -6,9 +6,11 @@
 // inside the control windows -- the worst case for a strict schedule. The
 // three conflict policies run over a simulated week; a mid-week infection
 // must still be caught. (Port of examples/unattended_plant_sensor.cpp.)
+#include "attest/directory.h"
 #include "attest/measurement.h"
 #include "attest/prover.h"
-#include "attest/verifier.h"
+#include "attest/service.h"
+#include "attest/transport.h"
 #include "malware/malware.h"
 #include "scenario/scenario.h"
 
@@ -47,12 +49,19 @@ PlantRun run_week(attest::ConflictPolicy policy, double window_factor,
   attest::Prover prover(sim, device, device.app_region(),
                         device.store_region(), std::move(sched), pc);
 
-  attest::VerifierConfig vc;
-  vc.key = key;
-  vc.golden_digest = crypto::Hash::digest(
+  // Verifier side: one directory record judged through the shared service
+  // over the in-process transport.
+  attest::DeviceRecord record;
+  record.key = key;
+  record.set_golden(crypto::Hash::digest(
       crypto::HashAlgo::kSha256,
-      device.memory().view(device.app_region(), true));
-  attest::Verifier verifier(std::move(vc));
+      device.memory().view(device.app_region(), true)));
+  attest::DeviceDirectory directory;
+  const attest::DeviceId dev = directory.add(/*node=*/0, std::move(record));
+  attest::DirectTransport transport;
+  transport.attach(/*node=*/0, prover);
+  attest::AttestationService service(sim, transport, directory,
+                                     attest::ServiceConfig{});
 
   prover.start();
 
@@ -71,10 +80,9 @@ PlantRun run_week(attest::ConflictPolicy policy, double window_factor,
   PlantRun result;
   for (Time at = Time::zero() + Duration::hours(12);
        at <= Time::zero() + horizon; at = at + Duration::hours(12)) {
-    sim.schedule_at(at, [&] {
-      const auto res = prover.handle_collect(attest::CollectRequest{40});
-      const auto report = verifier.verify_collection(res.response, sim.now());
-      result.infection_detected |= report.infection_detected;
+    sim.schedule_at(at, [&, dev] {
+      const auto outcomes = service.collect_now({dev}, /*k=*/40);
+      result.infection_detected |= outcomes.at(0).report.infection_detected;
     });
   }
 

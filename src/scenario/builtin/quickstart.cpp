@@ -1,12 +1,16 @@
 // Scenario `quickstart`: the smallest complete ERASMUS deployment.
 //
-// One SMART+ device self-measures every T_M; a verifier collects after an
-// unattended stretch, validates the history, and reports Quality of
-// Attestation. (Port of the former examples/quickstart.cpp.)
+// One SMART+ device self-measures every T_M; the verifier side -- a
+// one-entry DeviceDirectory behind an AttestationService -- collects after
+// an unattended stretch over the in-process DirectTransport, validates the
+// history, and reports Quality of Attestation. (Port of the former
+// examples/quickstart.cpp.)
+#include "attest/directory.h"
 #include "attest/measurement.h"
 #include "attest/prover.h"
 #include "attest/qoa.h"
-#include "attest/verifier.h"
+#include "attest/service.h"
+#include "attest/transport.h"
 #include "scenario/scenario.h"
 
 namespace erasmus::scenario {
@@ -55,14 +59,20 @@ class QuickstartScenario : public Scenario {
                           attest::ProverConfig{});
     prover.start();
 
-    attest::VerifierConfig vc;
-    vc.key = device_key;
-    vc.golden_digest = crypto::Hash::digest(
+    attest::DeviceRecord record;
+    record.key = device_key;
+    record.set_golden(crypto::Hash::digest(
         crypto::HashAlgo::kSha256,
-        device.memory().view(device.app_region(), /*privileged=*/true));
-    attest::Verifier verifier(std::move(vc));
-    verifier.set_schedule(&prover.scheduler(),
-                          /*t0_ticks=*/tm / Duration::seconds(1));
+        device.memory().view(device.app_region(), /*privileged=*/true)));
+    record.scheduler = &prover.scheduler();
+    record.schedule_t0 = tm / Duration::seconds(1);
+
+    attest::DeviceDirectory directory;
+    const attest::DeviceId dev = directory.add(/*node=*/0, std::move(record));
+    attest::DirectTransport transport;
+    transport.attach(/*node=*/0, prover);
+    attest::AttestationService service(sim, transport, directory,
+                                       attest::ServiceConfig{});
 
     sim.run_until(Time::zero() + unattended);
     sink.note("measurements", prover.stats().measurements);
@@ -70,12 +80,13 @@ class QuickstartScenario : public Scenario {
 
     const attest::QoAParams qoa{tm, tc};
     const size_t k = qoa.measurements_per_collection();
-    const auto res = prover.handle_collect(
-        attest::CollectRequest{static_cast<uint32_t>(k)});
-    const auto report = verifier.verify_collection(res.response, sim.now(), k);
+    const auto outcomes =
+        service.collect_now({dev}, static_cast<uint32_t>(k));
+    const attest::CollectionReport& report = outcomes.at(0).report;
 
     sink.note("k", static_cast<uint64_t>(k));
-    sink.note("collect_processing_ms", res.processing.to_millis());
+    sink.note("collect_processing_ms",
+              transport.last_processing().to_millis());
     sink.note("trustworthy", report.device_trustworthy());
     sink.note("infection_detected", report.infection_detected);
     sink.note("tampering_detected", report.tampering_detected);

@@ -35,7 +35,14 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
         config_.tm_for ? config_.tm_for(id) : std::nullopt;
     stacks_.push_back(swarm::build_device_stack(
         *shards_[shard_of(id)].queue, config_.fleet, id, tm));
+    directory_.add(id, swarm::build_device_record(config_.fleet, id,
+                                                  *stacks_[id].arch));
+    transport_.attach(id, *stacks_[id].prover);
   }
+  attest::ServiceConfig sc;
+  sc.keep_audit = false;  // million-device fleets aggregate via rows instead
+  service_ = std::make_unique<attest::AttestationService>(
+      coordinator_queue_, transport_, directory_, sc);
 }
 
 void ShardedFleetRunner::schedule_on_device(
@@ -96,15 +103,25 @@ FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
   result.round = round;
   result.at = at;
   result.present = present_count();
+
+  std::vector<attest::DeviceId> targets;
+  targets.reserve(stacks_.size());
   for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
     if (!present_[id] || !tree.parent[id].has_value()) continue;
-    ++result.reachable;
-    attest::CollectRequest req{static_cast<uint32_t>(config_.k)};
-    const auto res = stacks_[id].prover->handle_collect(req);
-    const auto report =
-        stacks_[id].verifier->verify_collection(res.response, at);
-    const bool healthy =
-        report.device_trustworthy() && report.freshness.has_value();
+    targets.push_back(id);
+  }
+  // The coordinator's own clock provides session timestamps/timeouts; over
+  // the DirectTransport every session completes synchronously at `at`, in
+  // global id order. run_until (not advance_to) so the cancelled timeout
+  // entries the previous round left behind are reclaimed instead of
+  // accumulating one per session per round for the runner's lifetime.
+  coordinator_queue_.run_until(at);
+  const auto outcomes =
+      service_->collect_now(targets, static_cast<uint32_t>(config_.k));
+  result.reachable = outcomes.size();
+  for (const auto& outcome : outcomes) {
+    const bool healthy = outcome.report.device_trustworthy() &&
+                         outcome.report.freshness.has_value();
     if (healthy) {
       ++result.healthy;
     } else {

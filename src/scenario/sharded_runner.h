@@ -25,6 +25,9 @@
 #include <optional>
 #include <vector>
 
+#include "attest/directory.h"
+#include "attest/service.h"
+#include "attest/transport.h"
 #include "scenario/metrics.h"
 #include "swarm/fleet.h"
 
@@ -60,9 +63,9 @@ class ShardedFleetRunner {
 
   size_t size() const { return stacks_.size(); }
   attest::Prover& prover(swarm::DeviceId id) { return *stacks_[id].prover; }
-  attest::Verifier& verifier(swarm::DeviceId id) {
-    return *stacks_[id].verifier;
-  }
+  /// The shared verifier-side state: one record per device, judged through
+  /// the AttestationService at collection barriers.
+  const attest::DeviceDirectory& directory() const { return directory_; }
   swarm::RandomWaypointMobility& mobility() { return mobility_; }
 
   /// Schedules `fn(prover)` at virtual time `at` on the owning shard's
@@ -106,6 +109,16 @@ class ShardedFleetRunner {
   std::vector<bool> present_;
   std::function<void(ShardedFleetRunner&, size_t, sim::Time)> round_hook_;
   bool started_ = false;
+
+  // Verifier side: one shared service over the whole fleet. Collection at
+  // barriers is single-threaded on the coordinator, whose own queue (the
+  // timeout clock) is advanced to each barrier instant -- sessions over
+  // the DirectTransport complete synchronously, so thread count never
+  // enters the picture and metrics stay byte-identical.
+  sim::EventQueue coordinator_queue_;
+  attest::DeviceDirectory directory_;
+  attest::DirectTransport transport_;
+  std::unique_ptr<attest::AttestationService> service_;
 };
 
 }  // namespace erasmus::scenario

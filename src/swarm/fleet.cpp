@@ -35,16 +35,19 @@ DeviceStack build_device_stack(sim::EventQueue& queue,
       std::make_unique<attest::RegularScheduler>(tm_override.value_or(
           config.tm)),
       pc);
-
-  attest::VerifierConfig vc;
-  vc.algo = config.algo;
-  vc.key = fleet_device_key(config.key_seed, id);
-  vc.golden_digest = crypto::Hash::digest(
-      attest::hash_for(config.algo),
-      stack.arch->memory().view(stack.arch->app_region(),
-                                /*privileged=*/true));
-  stack.verifier = std::make_unique<attest::Verifier>(std::move(vc));
   return stack;
+}
+
+attest::DeviceRecord build_device_record(const FleetConfig& config,
+                                         DeviceId id,
+                                         hw::SmartPlusArch& arch) {
+  attest::DeviceRecord record;
+  record.algo = config.algo;
+  record.key = fleet_device_key(config.key_seed, id);
+  record.set_golden(crypto::Hash::digest(
+      attest::hash_for(config.algo),
+      arch.memory().view(arch.app_region(), /*privileged=*/true)));
+  return record;
 }
 
 sim::Duration stagger_offset(sim::Duration tm, DeviceId id, size_t n) {
@@ -60,7 +63,17 @@ Fleet::Fleet(sim::EventQueue& queue, FleetConfig config)
   stacks_.reserve(config_.devices);
   for (DeviceId id = 0; id < config_.devices; ++id) {
     stacks_.push_back(build_device_stack(queue_, config_, id));
+    // Directory node id == global device id (the DirectTransport's address
+    // space is its own attach table).
+    directory_.add(id, build_device_record(config_, id, *stacks_[id].arch));
+    transport_.attach(id, *stacks_[id].prover);
   }
+  attest::ServiceConfig sc;
+  // Callers consume rounds through the returned DeviceStatus rows; keeping
+  // per-device audit logs would grow without bound over a long run.
+  sc.keep_audit = false;
+  service_ = std::make_unique<attest::AttestationService>(
+      queue_, transport_, directory_, sc);
 }
 
 void Fleet::start() {
@@ -79,21 +92,23 @@ std::vector<DeviceStatus> Fleet::collect_round(DeviceId root, size_t k) {
   const Topology topo = mobility_.snapshot(now);
   const auto tree = topo.bfs_tree(root);
 
-  std::vector<DeviceStatus> statuses;
-  statuses.reserve(stacks_.size());
+  std::vector<attest::DeviceId> targets;
+  targets.reserve(stacks_.size());
   for (DeviceId id = 0; id < stacks_.size(); ++id) {
-    DeviceStatus status;
-    status.device = id;
-    status.attested = tree.parent[id].has_value();
-    if (status.attested) {
-      attest::CollectRequest req{static_cast<uint32_t>(k)};
-      const auto res = stacks_[id].prover->handle_collect(req);
-      const auto report =
-          stacks_[id].verifier->verify_collection(res.response, now);
-      status.healthy = report.device_trustworthy() &&
-                       report.freshness.has_value();
-    }
-    statuses.push_back(status);
+    if (tree.parent[id].has_value()) targets.push_back(id);
+  }
+  // Every session completes synchronously over the DirectTransport, so the
+  // outcomes cover exactly `targets`, in order.
+  const auto outcomes =
+      service_->collect_now(targets, static_cast<uint32_t>(k));
+
+  std::vector<DeviceStatus> statuses(stacks_.size());
+  for (DeviceId id = 0; id < stacks_.size(); ++id) statuses[id].device = id;
+  for (const auto& outcome : outcomes) {
+    DeviceStatus& status = statuses[outcome.device];
+    status.attested = true;
+    status.healthy = outcome.report.device_trustworthy() &&
+                     outcome.report.freshness.has_value();
   }
   return statuses;
 }

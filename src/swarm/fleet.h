@@ -1,10 +1,13 @@
-// A fleet: N full ERASMUS prover devices plus per-device verifier state,
+// A fleet: N full ERASMUS prover devices plus one shared verifier side,
 // wired to a shared event queue and a mobility model.
 //
 // Where protocols.h evaluates swarm *timing* analytically, Fleet runs the
 // real device stack -- per-device SMART+ architecture, keys, schedules
 // (staggered per §6), stores, malware -- and collects through the mobility
-// model's connectivity. Used by the swarm example and the mobility bench's
+// model's connectivity. The verifier side is ONE AttestationService over a
+// DeviceDirectory (key + golden digest per device) and a DirectTransport:
+// the in-process, zero-latency path that matches instant-reachability
+// collection. Used by the swarm example and the mobility bench's
 // end-to-end mode. For multi-threaded 1000+ device runs see
 // scenario/sharded_runner.h, which shards the same per-device stacks
 // across per-thread event queues.
@@ -14,8 +17,10 @@
 #include <optional>
 #include <vector>
 
+#include "attest/directory.h"
 #include "attest/prover.h"
-#include "attest/verifier.h"
+#include "attest/service.h"
+#include "attest/transport.h"
 #include "swarm/mobility.h"
 #include "swarm/qosa.h"
 
@@ -40,15 +45,14 @@ struct FleetConfig {
 /// provisioned with an independent K at manufacture.
 Bytes fleet_device_key(uint64_t seed, DeviceId id);
 
-/// One full device: SMART+ architecture, prover, matching verifier. The
-/// construction depends only on (config, id) -- never on which EventQueue
-/// the prover is wired to -- which is what lets the sharded runner split a
-/// fleet across per-thread queues and still reproduce a single-queue run
-/// bit for bit.
+/// One full device: SMART+ architecture plus prover. The construction
+/// depends only on (config, id) -- never on which EventQueue the prover is
+/// wired to -- which is what lets the sharded runner split a fleet across
+/// per-thread queues and still reproduce a single-queue run bit for bit.
+/// The verifier side lives in a shared DeviceDirectory, not on the device.
 struct DeviceStack {
   std::unique_ptr<hw::SmartPlusArch> arch;
   std::unique_ptr<attest::Prover> prover;
-  std::unique_ptr<attest::Verifier> verifier;
 };
 
 /// Builds device `id` of the fleet described by `config`, scheduling on
@@ -57,6 +61,12 @@ struct DeviceStack {
 DeviceStack build_device_stack(
     sim::EventQueue& queue, const FleetConfig& config, DeviceId id,
     std::optional<sim::Duration> tm_override = std::nullopt);
+
+/// The verifier-side record for device `id`: its provisioned key and the
+/// golden digest of the freshly-built (known-good) attested memory.
+attest::DeviceRecord build_device_record(const FleetConfig& config,
+                                         DeviceId id,
+                                         hw::SmartPlusArch& arch);
 
 /// The first-measurement offset device `id` of `n` uses under staggered
 /// scheduling: (id + 1) * tm / n.
@@ -71,14 +81,20 @@ class Fleet {
 
   size_t size() const { return stacks_.size(); }
   attest::Prover& prover(DeviceId id) { return *stacks_[id].prover; }
-  attest::Verifier& verifier(DeviceId id) { return *stacks_[id].verifier; }
   RandomWaypointMobility& mobility() { return mobility_; }
+
+  /// The shared verifier-side state: one record per device, judged by the
+  /// verifier core (attest::verify_collection and friends).
+  const attest::DeviceDirectory& directory() const { return directory_; }
+  /// The shared collection engine (per-device audit logs, stats).
+  attest::AttestationService& service() { return *service_; }
 
   /// One collection round at the current virtual time: the (mobile)
   /// verifier is co-located with device `root`; every device with a
   /// multi-hop path to root at this instant is collected (k records each)
-  /// and verified. Reachability-at-an-instant is exactly what ERASMUS
-  /// collection needs -- no sustained topology (paper §6).
+  /// and verified through the shared AttestationService over the
+  /// in-process DirectTransport. Reachability-at-an-instant is exactly
+  /// what ERASMUS collection needs -- no sustained topology (paper §6).
   std::vector<DeviceStatus> collect_round(DeviceId root, size_t k);
 
  private:
@@ -86,6 +102,9 @@ class Fleet {
   FleetConfig config_;
   RandomWaypointMobility mobility_;
   std::vector<DeviceStack> stacks_;
+  attest::DeviceDirectory directory_;
+  attest::DirectTransport transport_;
+  std::unique_ptr<attest::AttestationService> service_;
 };
 
 }  // namespace erasmus::swarm

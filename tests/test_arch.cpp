@@ -3,6 +3,8 @@
 // HYDRA's secure boot and process-priority rules.
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "hw/arch.h"
 
 namespace erasmus::hw {
@@ -27,12 +29,12 @@ TEST(SmartPlus, KeyReadableOnlyInsideProtectedCode) {
 
 TEST(SmartPlus, KeyAccessOutsideProtectedThrows) {
   auto arch = make_smart();
-  // Smuggle the context out of the protected section and use it later:
-  // the architecture revokes access at section exit.
-  SecurityArch::ProtectedContext* leaked = nullptr;
+  // Smuggle a copy of the capability out of the protected section and use
+  // it later: the architecture revokes access at section exit.
+  std::optional<SecurityArch::ProtectedContext> leaked;
   arch.run_protected(
-      [&](SecurityArch::ProtectedContext& ctx) { leaked = &ctx; });
-  ASSERT_NE(leaked, nullptr);
+      [&](SecurityArch::ProtectedContext& ctx) { leaked.emplace(ctx); });
+  ASSERT_TRUE(leaked.has_value());
   EXPECT_THROW((void)leaked->key(), SecurityViolation);
 }
 

@@ -105,6 +105,85 @@ TEST(Network, NullHandlerDropsSilently) {
   EXPECT_EQ(net.stats().delivered, 1u);
 }
 
+TEST(Network, PerDestinationStatsTrackEachNode) {
+  EventQueue q;
+  Network net(q, Duration::millis(1));
+  const NodeId a = net.add_node({});
+  const NodeId b = net.add_node([](const Datagram&) {});
+  const NodeId c = net.add_node([](const Datagram&) {});
+  for (int i = 0; i < 3; ++i) net.send(a, b, Bytes{1});
+  for (int i = 0; i < 2; ++i) net.send(a, c, Bytes{2});
+  q.run();
+
+  EXPECT_EQ(net.node_stats(b).sent, 3u);
+  EXPECT_EQ(net.node_stats(b).delivered, 3u);
+  EXPECT_EQ(net.node_stats(c).sent, 2u);
+  EXPECT_EQ(net.node_stats(c).delivered, 2u);
+  EXPECT_EQ(net.node_stats(a).sent, 0u);
+  EXPECT_EQ(net.stats().sent, 5u);
+  EXPECT_THROW(net.node_stats(99), std::out_of_range);
+}
+
+TEST(Network, PerDestinationStatsSplitDropCauses) {
+  EventQueue q;
+  Network net(q, Duration::millis(1), /*loss=*/0.5, /*seed=*/3);
+  const NodeId a = net.add_node({});
+  const NodeId b = net.add_node([](const Datagram&) {});
+  const NodeId c = net.add_node([](const Datagram&) {});
+  net.set_link_filter([&](NodeId, NodeId dst) { return dst != c; });
+  for (int i = 0; i < 200; ++i) net.send(a, b, Bytes{1});
+  net.send(a, c, Bytes{2});
+  q.run();
+
+  const auto& to_b = net.node_stats(b);
+  EXPECT_EQ(to_b.dropped_disconnected, 0u);
+  EXPECT_GT(to_b.dropped_loss, 0u);
+  EXPECT_EQ(to_b.delivered + to_b.dropped_loss, 200u);
+  const auto& to_c = net.node_stats(c);
+  EXPECT_EQ(to_c.dropped_disconnected, 1u);
+  EXPECT_EQ(to_c.delivered, 0u);
+}
+
+TEST(Network, BroadcastReachesEveryDestinationInOrder) {
+  EventQueue q;
+  Network net(q, Duration::millis(2));
+  std::vector<NodeId> order;
+  const NodeId src = net.add_node({});
+  const NodeId b = net.add_node([&](const Datagram& d) {
+    order.push_back(d.dst);
+    EXPECT_EQ(d.src, src);
+    EXPECT_EQ(d.payload, (Bytes{0xaa, 0xbb}));
+  });
+  const NodeId c = net.add_node([&](const Datagram& d) {
+    order.push_back(d.dst);
+  });
+  net.broadcast(src, {c, b}, Bytes{0xaa, 0xbb});
+  q.run();
+
+  EXPECT_EQ(order, (std::vector<NodeId>{c, b}))
+      << "broadcast delivers in destination-list order";
+  EXPECT_EQ(net.stats().sent, 2u);
+  EXPECT_EQ(net.node_stats(b).delivered, 1u);
+  EXPECT_EQ(net.node_stats(c).delivered, 1u);
+}
+
+TEST(Network, BroadcastDrawsLossPerDestination) {
+  EventQueue q;
+  Network net(q, Duration::millis(1), /*loss=*/0.25, /*seed=*/11);
+  size_t received = 0;
+  const NodeId src = net.add_node({});
+  std::vector<NodeId> dsts;
+  for (int i = 0; i < 40; ++i) {
+    dsts.push_back(net.add_node([&](const Datagram&) { ++received; }));
+  }
+  for (int round = 0; round < 100; ++round) {
+    net.broadcast(src, dsts, Bytes{1});
+  }
+  q.run();
+  // Independent per-destination draws: ~75% of 4000 get through.
+  EXPECT_NEAR(static_cast<double>(received) / 4000.0, 0.75, 0.03);
+}
+
 TEST(Network, InFlightOrderPreservedPerLink) {
   EventQueue q;
   Network net(q, Duration::millis(3));

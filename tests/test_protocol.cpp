@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "attest/protocol.h"
+#include "common/serde.h"
 
 namespace erasmus::attest {
 namespace {
@@ -132,6 +133,81 @@ TEST_P(TruncationProperty, EveryPrefixRejectedOrFullLength) {
 INSTANTIATE_TEST_SUITE_P(Cuts, TruncationProperty,
                          ::testing::Values(0, 1, 7, 8, 9, 12, 44, 80, 81, 100,
                                            150, 200, 250));
+
+TEST(Malformed, EmptyPayloadsRejectedEverywhere) {
+  const Bytes empty;
+  EXPECT_FALSE(CollectRequest::deserialize(empty).has_value());
+  EXPECT_FALSE(CollectResponse::deserialize(empty).has_value());
+  EXPECT_FALSE(OdRequest::deserialize(empty).has_value());
+  EXPECT_FALSE(OdResponse::deserialize(empty).has_value());
+  EXPECT_FALSE(Measurement::deserialize(empty).has_value());
+  EXPECT_FALSE(unframe(empty).has_value());
+}
+
+TEST(Malformed, TypeOnlyFramesCarryEmptyBodies) {
+  // A 1-byte datagram unframes to an empty body; every body parser must
+  // then reject it rather than fabricate a message.
+  const auto framed = unframe(Bytes{2});  // kCollectResponse, nothing else
+  ASSERT_TRUE(framed.has_value());
+  EXPECT_TRUE(framed->second.empty());
+  EXPECT_FALSE(CollectResponse::deserialize(framed->second).has_value());
+}
+
+TEST(Malformed, OversizedCountFieldFailsFastWithoutAllocating) {
+  // Claims 2^32-1 measurements but carries none: must reject on the first
+  // missing record, never pre-allocate from the attacker's header.
+  ByteWriter w;
+  w.u32(0xFFFFFFFFu);
+  EXPECT_FALSE(CollectResponse::deserialize(w.bytes()).has_value());
+}
+
+TEST(Malformed, OversizedVarLengthFieldsRejected) {
+  // A measurement whose digest claims to be 2^32-1 bytes long.
+  ByteWriter w;
+  w.u64(/*timestamp=*/42);
+  w.u32(0xFFFFFFFFu);  // digest length prefix
+  w.raw(bytes_of("short"));
+  EXPECT_FALSE(Measurement::deserialize(w.bytes()).has_value());
+
+  // The same lying record embedded in a response with a sane count.
+  ByteWriter resp;
+  resp.u32(1);
+  resp.raw(w.bytes());
+  EXPECT_FALSE(CollectResponse::deserialize(resp.bytes()).has_value());
+
+  // And an OD request whose MAC field length overruns the frame.
+  ByteWriter od;
+  od.u64(/*treq=*/1000);
+  od.u32(/*k=*/4);
+  od.u32(0x7FFFFFFFu);  // mac length prefix
+  EXPECT_FALSE(OdRequest::deserialize(od.bytes()).has_value());
+}
+
+TEST(Malformed, OversizedKRoundTripsAsData) {
+  // k is data, not a length: the full u32 range must survive the wire
+  // (clamping is the prover's business, not the codec's).
+  const CollectRequest req{0xFFFFFFFFu};
+  const auto back = CollectRequest::deserialize(req.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->k, 0xFFFFFFFFu);
+}
+
+// Truncation property for CollectResponse, mirroring the OdResponse one:
+// every strict prefix of a valid wire image must be rejected.
+class CollectTruncationProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CollectTruncationProperty, EveryPrefixRejected) {
+  CollectResponse resp;
+  resp.measurements = {make_m(30), make_m(20), make_m(10)};
+  const Bytes wire = resp.serialize();
+  const size_t cut = GetParam() % wire.size();
+  const Bytes prefix(wire.begin(), wire.begin() + cut);
+  EXPECT_FALSE(CollectResponse::deserialize(prefix).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, CollectTruncationProperty,
+                         ::testing::Values(0, 1, 3, 4, 5, 12, 44, 80, 84, 85,
+                                           120, 160, 200, 243));
 
 TEST(Fuzz, RandomBytesNeverCrashDeserializers) {
   uint32_t x = 0xC0FFEE;

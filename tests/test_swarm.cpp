@@ -323,8 +323,8 @@ TEST(Fleet, PerDeviceKeysAreIndependent) {
   ASSERT_EQ(m.size(), 1u);
   attest::CollectResponse cross;
   cross.measurements = m;
-  const auto report = fleet.verifier(0).verify_collection(
-      cross, queue.now());
+  const auto report = attest::verify_collection(fleet.directory().record(0),
+                                                cross, queue.now());
   EXPECT_TRUE(report.tampering_detected)
       << "cross-device measurement must fail MAC verification";
 }
