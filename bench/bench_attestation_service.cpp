@@ -41,22 +41,24 @@ RoundResult run_round(size_t window) {
                        /*seed=*/42);
   const net::NodeId verifier_node = network.add_node({});
 
-  swarm::FleetConfig fc;
-  fc.devices = kDevices;
-  fc.app_ram_bytes = 1024;
-  fc.store_slots = 16;
-  fc.tm = Duration::minutes(10);
-  fc.key_seed = 42;
+  swarm::DeviceSpec base;
+  base.app_ram_bytes = 1024;
+  base.store_slots = 16;
+  base.tm = Duration::minutes(10);
+  const swarm::FleetPlan plan =
+      swarm::FleetPlan::uniform(kDevices, /*key_seed=*/42, base);
+  const std::vector<swarm::DeviceSpec> specs = plan.expand();
 
   std::vector<swarm::DeviceStack> stacks;
   attest::DeviceDirectory directory;
   stacks.reserve(kDevices);
   for (swarm::DeviceId id = 0; id < kDevices; ++id) {
-    stacks.push_back(swarm::build_device_stack(queue, fc, id));
+    stacks.push_back(swarm::build_device_stack(queue, specs[id]));
     const net::NodeId node = network.add_node({});
     stacks[id].prover->bind(network, node);
-    directory.add(node, swarm::build_device_record(fc, id, *stacks[id].arch));
-    stacks[id].prover->start(swarm::stagger_offset(fc.tm, id, kDevices));
+    directory.add(node, swarm::build_device_record(specs[id], stacks[id]));
+    stacks[id].prover->start(
+        swarm::stagger_offset(specs[id].tm, id, kDevices));
   }
 
   // Accumulate a few self-measurements per device before collecting.

@@ -115,15 +115,16 @@ int main() {
   std::printf("--- End-to-end Fleet round (real provers, per-device keys) "
               "---\n");
   sim::EventQueue queue;
-  swarm::FleetConfig fc;
-  fc.devices = 12;
-  fc.tm = Duration::minutes(10);
-  fc.app_ram_bytes = 1024;
-  fc.mobility.field_size = 80.0;
-  fc.mobility.radio_range = 45.0;
-  fc.mobility.speed_min = 1.0;
-  fc.mobility.speed_max = 3.0;
-  swarm::Fleet fleet(queue, fc);
+  swarm::DeviceSpec base;
+  base.tm = Duration::minutes(10);
+  base.app_ram_bytes = 1024;
+  swarm::FleetPlan plan =
+      swarm::FleetPlan::uniform(12, /*key_seed=*/7, base);
+  plan.mobility.field_size = 80.0;
+  plan.mobility.radio_range = 45.0;
+  plan.mobility.speed_min = 1.0;
+  plan.mobility.speed_max = 3.0;
+  swarm::Fleet fleet(queue, plan);
   fleet.start();
   // One infected straggler.
   queue.schedule_at(Time::zero() + Duration::minutes(25), [&] {

@@ -24,8 +24,15 @@ using namespace erasmus::scenario;
 
 namespace {
 
-int cmd_list() {
+int cmd_list(bool names_only) {
   const auto scenarios = ScenarioRegistry::instance().list();
+  if (names_only) {
+    // One bare name per line: stable output for scripts/CI loops.
+    for (const Scenario* s : scenarios) {
+      std::printf("%s\n", s->name().c_str());
+    }
+    return 0;
+  }
   std::printf("%zu registered scenarios:\n\n", scenarios.size());
   for (const Scenario* s : scenarios) {
     std::printf("  %-18s %s\n", s->name().c_str(), s->description().c_str());
@@ -127,12 +134,15 @@ int main(int argc, char** argv) {
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
     std::printf(
         "usage:\n"
-        "  erasmus_run list\n"
+        "  erasmus_run list [--names]\n"
         "  erasmus_run describe <scenario>\n"
         "  erasmus_run run <scenario> [key=value ...] [out=metrics.json]\n");
     return args.empty() ? 2 : 0;
   }
-  if (args[0] == "list") return cmd_list();
+  if (args[0] == "list" &&
+      (args.size() == 1 || (args.size() == 2 && args[1] == "--names"))) {
+    return cmd_list(args.size() == 2);
+  }
   if (args[0] == "describe" && args.size() == 2) return cmd_describe(args[1]);
   if (args[0] == "run" && args.size() >= 2) {
     return cmd_run(args[1], {args.begin() + 2, args.end()});

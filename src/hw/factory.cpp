@@ -1,0 +1,60 @@
+#include "hw/factory.h"
+
+#include <stdexcept>
+
+#include "hw/trustlite.h"
+
+namespace erasmus::hw {
+
+const char* to_string(ArchKind kind) {
+  switch (kind) {
+    case ArchKind::kSmartPlus: return "smartplus";
+    case ArchKind::kHydra: return "hydra";
+    case ArchKind::kTrustLite: return "trustlite";
+  }
+  return "?";
+}
+
+ArchKind arch_kind_from_string(std::string_view name) {
+  if (name == "smartplus" || name == "smart+") return ArchKind::kSmartPlus;
+  if (name == "hydra") return ArchKind::kHydra;
+  if (name == "trustlite" || name == "tytan") return ArchKind::kTrustLite;
+  throw std::invalid_argument("unknown architecture '" + std::string(name) +
+                              "' (expected smartplus, hydra or trustlite)");
+}
+
+BuiltArch make_arch(ArchKind kind, Bytes key, size_t app_ram_bytes,
+                    size_t store_bytes, size_t rom_bytes) {
+  BuiltArch built;
+  switch (kind) {
+    case ArchKind::kSmartPlus: {
+      auto arch = std::make_unique<SmartPlusArch>(std::move(key), rom_bytes,
+                                                  app_ram_bytes, store_bytes);
+      built.app_region = arch->app_region();
+      built.store_region = arch->store_region();
+      built.arch = std::move(arch);
+      break;
+    }
+    case ArchKind::kHydra: {
+      auto arch = std::make_unique<HydraArch>(std::move(key), app_ram_bytes,
+                                              store_bytes);
+      arch->secure_boot();
+      built.app_region = arch->app_region();
+      built.store_region = arch->store_region();
+      built.arch = std::move(arch);
+      break;
+    }
+    case ArchKind::kTrustLite: {
+      auto arch = std::make_unique<TrustLiteArch>(std::move(key),
+                                                  app_ram_bytes, store_bytes);
+      arch->lock_rules();
+      built.app_region = arch->app_region();
+      built.store_region = arch->store_region();
+      built.arch = std::move(arch);
+      break;
+    }
+  }
+  return built;
+}
+
+}  // namespace erasmus::hw

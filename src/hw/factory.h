@@ -1,0 +1,50 @@
+// Architecture factory: build any supported security architecture behind
+// the common SecurityArch interface.
+//
+// The paper evaluates ERASMUS on SMART+ (MSP430) and HYDRA (ARM/seL4) and
+// claims applicability to TrustLite/TyTAN; the fleet layer must therefore
+// provision *mixed* populations. ArchKind names a concrete architecture,
+// make_arch() constructs it fully booted (HYDRA's secure boot run,
+// TrustLite's EA-MPU rules locked) so a freshly built device is ready for
+// its first protected-mode measurement, and BuiltArch carries the two
+// region handles the ERASMUS core needs -- attested app memory and the
+// unprotected measurement store -- which each architecture exposes under a
+// different concrete type.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "hw/arch.h"
+
+namespace erasmus::hw {
+
+enum class ArchKind : uint8_t {
+  kSmartPlus,  // SMART+ on OpenMSP430: ROM code + hard-wired access rules
+  kHydra,      // HYDRA on I.MX6: seL4 + PrAtt, secure boot
+  kTrustLite,  // TrustLite/TyTAN: EA-MPU rule table, locked at boot
+};
+
+/// Canonical lower-case name ("smartplus", "hydra", "trustlite").
+const char* to_string(ArchKind kind);
+
+/// Inverse of to_string; also accepts the paper spellings "smart+",
+/// "tytan". Throws std::invalid_argument on anything else.
+ArchKind arch_kind_from_string(std::string_view name);
+
+/// A constructed architecture plus the region handles the ERASMUS stack
+/// needs. The concrete type is erased behind SecurityArch.
+struct BuiltArch {
+  std::unique_ptr<SecurityArch> arch;
+  RegionId app_region{};
+  RegionId store_region{};
+};
+
+/// Builds a ready-to-measure architecture of `kind`: HYDRA is secure-booted
+/// and TrustLite's rule table is locked before this returns. `rom_bytes`
+/// only applies to SMART+ (HYDRA/TrustLite fix their own image sizes).
+BuiltArch make_arch(ArchKind kind, Bytes key, size_t app_ram_bytes,
+                    size_t store_bytes, size_t rom_bytes = 8 * 1024);
+
+}  // namespace erasmus::hw

@@ -1,15 +1,13 @@
 // Scenario `campaign_sweep`: the scriptable QoA parameter explorer.
 //
-// One SMART+ device, a mobile-malware campaign, and the audit summary --
-// the quickest way to explore T_M/T_C/schedule choices without writing
-// code. (Port of the former examples/erasmus_sim_cli.cpp flag parser onto
-// scenario parameters.)
-#include "attest/measurement.h"
-#include "attest/prover.h"
+// One device (a DeviceSpec, so architecture and schedule are both knobs),
+// a mobile-malware campaign, and the audit summary -- the quickest way to
+// explore T_M/T_C/schedule choices without writing code.
 #include "attest/qoa.h"
 #include "attest/verifier.h"
 #include "malware/campaign.h"
 #include "scenario/scenario.h"
+#include "swarm/provision.h"
 
 namespace erasmus::scenario {
 namespace {
@@ -25,77 +23,76 @@ class CampaignSweepScenario : public Scenario {
   }
   std::vector<ParamSpec> param_specs() const override {
     return {
-        {"tm_min", "10", "regular T_M (minutes)"},
-        {"tc_min", "60", "collection period T_C (minutes)"},
-        {"horizon_hours", "48", "campaign length (hours)"},
+        {"arch", "smartplus", "security architecture (smartplus, hydra, "
+                              "trustlite)"},
+        {"tm", "10m", "regular T_M"},
+        {"tc", "60m", "collection period T_C"},
+        {"horizon", "48h", "campaign length"},
         {"infections", "20", "mobile-malware infections"},
-        {"dwell_min", "15", "dwell per infection (minutes)"},
+        {"dwell", "15m", "dwell per infection"},
         {"seed", "1", "arrival seed"},
         {"irregular", "0", "use irregular U[irr_lo,irr_hi] schedule"},
-        {"irr_lo_min", "5", "irregular lower bound (minutes)"},
-        {"irr_hi_min", "15", "irregular upper bound (minutes)"},
+        {"irr_lo", "5m", "irregular lower bound"},
+        {"irr_hi", "15m", "irregular upper bound"},
         {"slots", "64", "measurement store capacity (records)"},
     };
   }
 
   int run(const ParamMap& params, MetricsSink& sink) const override {
-    const uint64_t tm_min = params.get_u64("tm_min", 10);
-    const uint64_t tc_min = params.get_u64("tc_min", 60);
-    const uint64_t horizon_hours = params.get_u64("horizon_hours", 48);
-    const size_t slots = static_cast<size_t>(params.get_u64("slots", 64));
+    const Duration tm = params.get_duration("tm", Duration::minutes(10));
+    const Duration tc = params.get_duration("tc", Duration::minutes(60));
+    const Duration horizon =
+        params.get_duration("horizon", Duration::hours(48));
+    const Duration dwell = params.get_duration("dwell", Duration::minutes(15));
     const bool irregular = params.get_bool("irregular", false);
 
-    const size_t kRecordBytes =
-        1 + attest::Measurement::wire_size(crypto::MacAlgo::kHmacSha256);
-    const Bytes key = bytes_of("cli-device-key-0123456789abcdef!");
+    swarm::DeviceSpec spec;
+    spec.arch = hw::arch_kind_from_string(
+        params.get_str("arch", "smartplus"));
+    spec.profile = swarm::default_profile_for(spec.arch);
+    spec.tm = tm;
+    spec.scheduler = irregular ? swarm::SchedulerKind::kIrregular
+                               : swarm::SchedulerKind::kRegular;
+    spec.irregular_lower = params.get_duration("irr_lo", Duration::minutes(5));
+    spec.irregular_upper =
+        params.get_duration("irr_hi", Duration::minutes(15));
+    spec.store_slots = static_cast<size_t>(params.get_u64("slots", 64));
+    spec.key = bytes_of("cli-device-key-0123456789abcdef!");
 
     sim::EventQueue sim;
-    hw::SmartPlusArch device(key, 8 * 1024, 4 * 1024, slots * kRecordBytes);
-    std::unique_ptr<attest::Scheduler> sched;
-    if (irregular) {
-      sched = std::make_unique<attest::IrregularScheduler>(
-          key, Duration::minutes(params.get_u64("irr_lo_min", 5)),
-          Duration::minutes(params.get_u64("irr_hi_min", 15)));
-    } else {
-      sched = std::make_unique<attest::RegularScheduler>(
-          Duration::minutes(tm_min));
-    }
-    attest::Prover prover(sim, device, device.app_region(),
-                          device.store_region(), std::move(sched),
-                          attest::ProverConfig{});
-    attest::VerifierConfig vc;
-    vc.key = key;
-    vc.golden_digest = crypto::Hash::digest(
-        crypto::HashAlgo::kSha256,
-        device.memory().view(device.app_region(), true));
-    attest::Verifier verifier(std::move(vc));
-    prover.start();
+    swarm::DeviceStack device = swarm::build_device_stack(sim, spec);
 
-    const attest::QoAParams qoa{Duration::minutes(tm_min),
-                                Duration::minutes(tc_min)};
-    sink.note("tm_min", tm_min);
+    attest::VerifierConfig vc;
+    vc.key = spec.key;
+    vc.golden_digest = swarm::build_device_record(spec, device).golden();
+    attest::Verifier verifier(std::move(vc));
+    device.prover->start();
+
+    const attest::QoAParams qoa{tm, tc};
+    sink.note("arch", hw::to_string(spec.arch));
+    sink.note("tm_min", tm.to_seconds() / 60.0);
     sink.note("schedule", irregular ? "irregular" : "regular");
-    sink.note("tc_min", tc_min);
-    sink.note("horizon_hours", horizon_hours);
+    sink.note("tc_min", tc.to_seconds() / 60.0);
+    sink.note("horizon_hours", horizon.to_seconds() / 3600.0);
     sink.note("k_per_collection",
               static_cast<uint64_t>(qoa.measurements_per_collection()));
     sink.note("expected_freshness_min",
               qoa.expected_freshness().to_seconds() / 60.0);
     sink.note("min_buffer_slots",
               static_cast<uint64_t>(qoa.min_buffer_slots()));
-    sink.note("buffer_safe", qoa.buffer_safe(slots));
+    sink.note("buffer_safe", qoa.buffer_safe(spec.store_slots));
 
     malware::CampaignConfig cc;
-    cc.horizon = Duration::hours(horizon_hours);
-    cc.tc = Duration::minutes(tc_min);
+    cc.horizon = horizon;
+    cc.tc = tc;
     cc.infection_count =
         static_cast<size_t>(params.get_u64("infections", 20));
-    cc.dwell = Duration::minutes(params.get_u64("dwell_min", 15));
+    cc.dwell = dwell;
     cc.seed = params.get_u64("seed", 1);
-    const auto result = malware::run_mobile_campaign(sim, prover, verifier,
-                                                     cc);
+    const auto result = malware::run_mobile_campaign(sim, *device.prover,
+                                                     verifier, cc);
 
-    sink.note("measurements", prover.stats().measurements);
+    sink.note("measurements", device.prover->stats().measurements);
     sink.note("collections", static_cast<uint64_t>(result.collections));
     sink.note("infections_ground_truth",
               static_cast<uint64_t>(result.infections));
@@ -105,9 +102,7 @@ class CampaignSweepScenario : public Scenario {
     sink.note("detection_rate", result.detection_rate());
     sink.note("mean_detection_latency_min",
               result.mean_detection_latency().to_seconds() / 60.0);
-    const double analytic = attest::detection_prob_regular(
-        Duration::minutes(params.get_u64("dwell_min", 15)),
-        Duration::minutes(tm_min));
+    const double analytic = attest::detection_prob_regular(dwell, tm);
     sink.note("analytic_detection_bound",
               analytic > 1.0 ? 1.0 : analytic);
     return 0;

@@ -29,36 +29,39 @@ class ChurnFleetScenario : public Scenario {
         {"threads", "1", "shard/worker threads"},
         {"seed", "11", "mobility + key + churn seed"},
         {"rounds", "10", "collection rounds"},
-        {"interval_min", "20", "minutes between collections"},
+        {"interval", "20m", "time between collections"},
         {"k", "4", "records collected per device per round"},
         {"leave_prob", "0.15", "P(present device leaves) per round"},
         {"rejoin_prob", "0.5", "P(absent device rejoins) per round"},
-        {"tm_min", "10", "self-measurement period T_M (minutes)"},
+        {"tm", "10m", "self-measurement period T_M"},
     };
   }
 
   int run(const ParamMap& params, MetricsSink& sink) const override {
+    swarm::DeviceSpec base;
+    base.tm = params.get_duration("tm", Duration::minutes(10));
+    base.app_ram_bytes = 2 * 1024;
+    base.store_slots = 32;
+
     ShardedFleetConfig cfg;
-    cfg.fleet.devices = static_cast<size_t>(params.get_u64("devices", 40));
-    cfg.fleet.tm = Duration::minutes(params.get_u64("tm_min", 10));
-    cfg.fleet.app_ram_bytes = 2 * 1024;
-    cfg.fleet.store_slots = 32;
-    cfg.fleet.key_seed = params.get_u64("seed", 11);
-    cfg.fleet.mobility.field_size = 120.0;
-    cfg.fleet.mobility.radio_range = 50.0;
-    cfg.fleet.mobility.speed_min = 1.0;
-    cfg.fleet.mobility.speed_max = 4.0;
-    cfg.fleet.mobility.seed = params.get_u64("seed", 11);
+    cfg.plan = swarm::FleetPlan::uniform(
+        static_cast<size_t>(params.get_u64("devices", 40)),
+        params.get_u64("seed", 11), base);
+    cfg.plan.mobility.field_size = 120.0;
+    cfg.plan.mobility.radio_range = 50.0;
+    cfg.plan.mobility.speed_min = 1.0;
+    cfg.plan.mobility.speed_max = 4.0;
+    cfg.plan.mobility.seed = params.get_u64("seed", 11);
     cfg.threads = static_cast<size_t>(params.get_u64("threads", 1));
     cfg.rounds = static_cast<size_t>(params.get_u64("rounds", 10));
     cfg.round_interval =
-        Duration::minutes(params.get_u64("interval_min", 20));
+        params.get_duration("interval", Duration::minutes(20));
     cfg.k = static_cast<size_t>(params.get_u64("k", 4));
 
     const double leave_prob = params.get_double("leave_prob", 0.15);
     const double rejoin_prob = params.get_double("rejoin_prob", 0.5);
 
-    sink.note("devices", static_cast<uint64_t>(cfg.fleet.devices));
+    sink.note("devices", static_cast<uint64_t>(cfg.plan.devices()));
     sink.note("seed", params.get_u64("seed", 11));
     sink.note("leave_prob", leave_prob);
     sink.note("rejoin_prob", rejoin_prob);

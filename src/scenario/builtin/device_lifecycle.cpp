@@ -1,21 +1,19 @@
 // Scenario `device_lifecycle`: the full lifecycle of an unattended device.
 //
-// Provisioning (HKDF per-device keys), steady state (the AttestationService
-// collecting over a lossy link into the device's audit log), software
-// update (attest-before / install / attest-after with golden-digest
-// rotation -- the directory links the Verifier's live record, so the
-// rotation is immediately visible to the service), incident (malware
-// detected through the service path) and decommissioning (authenticated
-// secure erasure + proof of erasure). (Port of
-// examples/device_lifecycle.cpp.)
+// Provisioning (HKDF per-device keys into a DeviceSpec), steady state (the
+// AttestationService collecting over a lossy link into the device's audit
+// log), software update (attest-before / install / attest-after with
+// golden-digest rotation -- the directory links the Verifier's live
+// record, so the rotation is immediately visible to the service), incident
+// (malware detected through the service path) and decommissioning
+// (authenticated secure erasure + proof of erasure).
 #include "attest/directory.h"
 #include "attest/maintenance.h"
-#include "attest/measurement.h"
-#include "attest/prover.h"
 #include "attest/service.h"
 #include "attest/transport.h"
 #include "crypto/hkdf.h"
 #include "scenario/scenario.h"
+#include "swarm/provision.h"
 
 namespace erasmus::scenario {
 namespace {
@@ -32,8 +30,10 @@ class DeviceLifecycleScenario : public Scenario {
   }
   std::vector<ParamSpec> param_specs() const override {
     return {
-        {"tm_min", "10", "self-measurement period T_M (minutes)"},
-        {"tc_min", "60", "collector period T_C (minutes)"},
+        {"arch", "smartplus", "security architecture (smartplus, hydra, "
+                              "trustlite)"},
+        {"tm", "10m", "self-measurement period T_M"},
+        {"tc", "60m", "collector period T_C"},
         {"loss", "0.15", "network packet-loss probability"},
         {"net_seed", "3", "network loss seed"},
         {"k", "8", "records per collection"},
@@ -41,29 +41,28 @@ class DeviceLifecycleScenario : public Scenario {
   }
 
   int run(const ParamMap& params, MetricsSink& sink) const override {
-    const size_t kRecordBytes =
-        1 + attest::Measurement::wire_size(crypto::MacAlgo::kHmacSha256);
-
     // --- 1. Provisioning --------------------------------------------------
     const Bytes master = bytes_of("fleet master secret: keep in HSM!");
     const Bytes k_device = crypto::hkdf(master, bytes_of("device-0042"),
                                         bytes_of("erasmus/device-key"), 32);
     sink.note("provisioned_key_bytes", static_cast<uint64_t>(k_device.size()));
 
+    swarm::DeviceSpec spec;
+    spec.arch = hw::arch_kind_from_string(
+        params.get_str("arch", "smartplus"));
+    spec.profile = swarm::default_profile_for(spec.arch);
+    spec.tm = params.get_duration("tm", Duration::minutes(10));
+    spec.app_ram_bytes = 4 * 1024;
+    spec.store_slots = 32;
+    spec.key = k_device;
+
     sim::EventQueue sim;
-    hw::SmartPlusArch device(k_device, 8 * 1024, 4 * 1024,
-                             32 * kRecordBytes);
-    attest::Prover prover(
-        sim, device, device.app_region(), device.store_region(),
-        std::make_unique<attest::RegularScheduler>(
-            Duration::minutes(params.get_u64("tm_min", 10))),
-        attest::ProverConfig{});
+    swarm::DeviceStack device = swarm::build_device_stack(sim, spec);
+    attest::Prover& prover = *device.prover;
 
     attest::VerifierConfig vc;
     vc.key = k_device;
-    vc.golden_digest = crypto::Hash::digest(
-        crypto::HashAlgo::kSha256,
-        device.memory().view(device.app_region(), true));
+    vc.golden_digest = swarm::build_device_record(spec, device).golden();
     attest::Verifier verifier(std::move(vc));
 
     // --- 2. Steady state: AttestationService over a lossy link ------------
@@ -81,7 +80,7 @@ class DeviceLifecycleScenario : public Scenario {
         directory.link(dev_node, &verifier.record());
     attest::NetworkTransport transport(network, hq);
     attest::ServiceConfig sc;
-    sc.tc = Duration::minutes(params.get_u64("tc_min", 60));
+    sc.tc = params.get_duration("tc", Duration::minutes(60));
     sc.k = static_cast<uint32_t>(params.get_u64("k", 8));
     sc.response_timeout = Duration::seconds(5);
     sc.max_retries = 3;
@@ -91,7 +90,8 @@ class DeviceLifecycleScenario : public Scenario {
     service.start();
     sim.run_until(Time::zero() + Duration::hours(24));
     // No caching of the log() reference: it binds to an empty sentinel
-    // until the first round touches the device (e.g. under a huge tc_min).
+    // until the first round touches the device (e.g. under a huge tc).
+    sink.note("arch", hw::to_string(spec.arch));
     sink.note("day1_rounds", service.stats().rounds);
     sink.note("day1_responses", service.stats().responses);
     sink.note("day1_retries", service.stats().retries);

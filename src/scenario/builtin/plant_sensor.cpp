@@ -4,15 +4,16 @@
 // A pressure controller on an 8 MHz MSP430-class MCU runs a hard-real-time
 // control task every T_M, phased so nominal measurement instants land
 // inside the control windows -- the worst case for a strict schedule. The
-// three conflict policies run over a simulated week; a mid-week infection
-// must still be caught. (Port of examples/unattended_plant_sensor.cpp.)
+// three conflict policies are three DeviceSpecs differing only in
+// `conflict_policy` (the lenient retry window comes with the policy); each
+// runs over a simulated week and a mid-week infection must still be
+// caught.
 #include "attest/directory.h"
-#include "attest/measurement.h"
-#include "attest/prover.h"
 #include "attest/service.h"
 #include "attest/transport.h"
 #include "malware/malware.h"
 #include "scenario/scenario.h"
+#include "swarm/provision.h"
 
 namespace erasmus::scenario {
 namespace {
@@ -30,34 +31,23 @@ struct PlantRun {
 
 PlantRun run_week(attest::ConflictPolicy policy, double window_factor,
                   Duration tm, Duration task_len, Duration horizon) {
-  const size_t kRecordBytes =
-      1 + attest::Measurement::wire_size(crypto::MacAlgo::kHmacSha256);
-  const Bytes key = bytes_of("plant-sensor-key-0123456789abcde");
+  swarm::DeviceSpec spec;
+  spec.tm = tm;
+  spec.conflict_policy = policy;
+  spec.lenient_window_factor = window_factor;
+  spec.app_ram_bytes = 10 * 1024;
+  spec.store_slots = 64;
+  spec.key = bytes_of("plant-sensor-key-0123456789abcde");
 
   sim::EventQueue sim;
-  hw::SmartPlusArch device(key, 8 * 1024, 10 * 1024, 64 * kRecordBytes);
-
-  attest::ProverConfig pc;
-  pc.conflict_policy = policy;
-
-  std::unique_ptr<attest::Scheduler> sched =
-      std::make_unique<attest::RegularScheduler>(tm);
-  if (policy == attest::ConflictPolicy::kAbortAndReschedule) {
-    sched = std::make_unique<attest::LenientScheduler>(std::move(sched),
-                                                       window_factor);
-  }
-  attest::Prover prover(sim, device, device.app_region(),
-                        device.store_region(), std::move(sched), pc);
+  swarm::DeviceStack device = swarm::build_device_stack(sim, spec);
+  attest::Prover& prover = *device.prover;
 
   // Verifier side: one directory record judged through the shared service
   // over the in-process transport.
-  attest::DeviceRecord record;
-  record.key = key;
-  record.set_golden(crypto::Hash::digest(
-      crypto::HashAlgo::kSha256,
-      device.memory().view(device.app_region(), true)));
   attest::DeviceDirectory directory;
-  const attest::DeviceId dev = directory.add(/*node=*/0, std::move(record));
+  const attest::DeviceId dev =
+      directory.add(/*node=*/0, swarm::build_device_record(spec, device));
   attest::DirectTransport transport;
   transport.attach(/*node=*/0, prover);
   attest::AttestationService service(sim, transport, directory,
@@ -112,22 +102,22 @@ class PlantSensorScenario : public Scenario {
   }
   std::vector<ParamSpec> param_specs() const override {
     return {
-        {"tm_min", "20", "measurement period == control-task period (min)"},
-        {"task_min", "2", "control-task length (minutes)"},
+        {"tm", "20m", "measurement period == control-task period"},
+        {"task", "2m", "control-task length"},
         {"days", "7", "simulated days"},
         {"window_factor", "2", "lenient w: retry window as multiple of T_M"},
     };
   }
 
   int run(const ParamMap& params, MetricsSink& sink) const override {
-    const Duration tm = Duration::minutes(params.get_u64("tm_min", 20));
+    const Duration tm = params.get_duration("tm", Duration::minutes(20));
     const Duration task_len =
-        Duration::minutes(params.get_u64("task_min", 2));
+        params.get_duration("task", Duration::minutes(2));
     const Duration horizon =
         Duration::hours(24 * params.get_u64("days", 7));
     const double w = params.get_double("window_factor", 2.0);
 
-    sink.note("tm_min", params.get_u64("tm_min", 20));
+    sink.note("tm_min", tm.to_seconds() / 60.0);
     sink.note("days", params.get_u64("days", 7));
 
     bool lenient_clean = false, lenient_detected = false;

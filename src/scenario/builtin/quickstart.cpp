@@ -1,17 +1,17 @@
 // Scenario `quickstart`: the smallest complete ERASMUS deployment.
 //
-// One SMART+ device self-measures every T_M; the verifier side -- a
-// one-entry DeviceDirectory behind an AttestationService -- collects after
-// an unattended stretch over the in-process DirectTransport, validates the
-// history, and reports Quality of Attestation. (Port of the former
-// examples/quickstart.cpp.)
+// One device -- provisioned from a DeviceSpec, so `arch=hydra` swaps the
+// whole security architecture under the unchanged stack -- self-measures
+// every T_M; the verifier side (a one-entry DeviceDirectory behind an
+// AttestationService) collects after an unattended stretch over the
+// in-process DirectTransport, validates the history, and reports Quality
+// of Attestation.
 #include "attest/directory.h"
-#include "attest/measurement.h"
-#include "attest/prover.h"
 #include "attest/qoa.h"
 #include "attest/service.h"
 #include "attest/transport.h"
 #include "scenario/scenario.h"
+#include "swarm/provision.h"
 
 namespace erasmus::scenario {
 namespace {
@@ -28,55 +28,53 @@ class QuickstartScenario : public Scenario {
   }
   std::vector<ParamSpec> param_specs() const override {
     return {
-        {"tm_min", "10", "self-measurement period T_M (minutes)"},
-        {"tc_min", "60", "collection period T_C (minutes)"},
-        {"unattended_min", "61", "unattended run before the collection"},
+        {"arch", "smartplus", "security architecture (smartplus, hydra, "
+                              "trustlite)"},
+        {"tm", "10m", "self-measurement period T_M"},
+        {"tc", "60m", "collection period T_C"},
+        {"unattended", "61m", "unattended run before the collection"},
         {"app_ram_kb", "8", "attested application memory (KiB)"},
         {"store_slots", "16", "measurement store capacity (records)"},
     };
   }
 
   int run(const ParamMap& params, MetricsSink& sink) const override {
-    const Duration tm = Duration::minutes(params.get_u64("tm_min", 10));
-    const Duration tc = Duration::minutes(params.get_u64("tc_min", 60));
+    const Duration tm = params.get_duration("tm", Duration::minutes(10));
+    const Duration tc = params.get_duration("tc", Duration::minutes(60));
     const Duration unattended =
-        Duration::minutes(params.get_u64("unattended_min", 61));
-    const size_t app_ram =
+        params.get_duration("unattended", Duration::minutes(61));
+
+    swarm::DeviceSpec spec;
+    spec.arch = hw::arch_kind_from_string(
+        params.get_str("arch", "smartplus"));
+    spec.profile = swarm::default_profile_for(spec.arch);
+    spec.tm = tm;
+    spec.app_ram_bytes =
         static_cast<size_t>(params.get_u64("app_ram_kb", 8)) * 1024;
-    const size_t slots =
+    spec.store_slots =
         static_cast<size_t>(params.get_u64("store_slots", 16));
-    const size_t kRecordBytes =
-        1 + attest::Measurement::wire_size(crypto::MacAlgo::kHmacSha256);
+    spec.key = bytes_of("quickstart-key-0123456789abcdef!");
 
-    const Bytes device_key = bytes_of("quickstart-key-0123456789abcdef!");
     sim::EventQueue sim;
-    hw::SmartPlusArch device(device_key, /*rom=*/8 * 1024, app_ram,
-                             slots * kRecordBytes);
+    swarm::DeviceStack device = swarm::build_device_stack(sim, spec);
+    device.prover->start();
 
-    attest::Prover prover(sim, device, device.app_region(),
-                          device.store_region(),
-                          std::make_unique<attest::RegularScheduler>(tm),
-                          attest::ProverConfig{});
-    prover.start();
-
-    attest::DeviceRecord record;
-    record.key = device_key;
-    record.set_golden(crypto::Hash::digest(
-        crypto::HashAlgo::kSha256,
-        device.memory().view(device.app_region(), /*privileged=*/true)));
-    record.scheduler = &prover.scheduler();
+    attest::DeviceRecord record = swarm::build_device_record(spec, device);
+    record.scheduler = &device.prover->scheduler();
     record.schedule_t0 = tm / Duration::seconds(1);
 
     attest::DeviceDirectory directory;
     const attest::DeviceId dev = directory.add(/*node=*/0, std::move(record));
     attest::DirectTransport transport;
-    transport.attach(/*node=*/0, prover);
+    transport.attach(/*node=*/0, *device.prover);
     attest::AttestationService service(sim, transport, directory,
                                        attest::ServiceConfig{});
 
     sim.run_until(Time::zero() + unattended);
-    sink.note("measurements", prover.stats().measurements);
-    sink.note("busy_s", prover.stats().total_measurement_time.to_seconds());
+    sink.note("arch", hw::to_string(spec.arch));
+    sink.note("measurements", device.prover->stats().measurements);
+    sink.note("busy_s",
+              device.prover->stats().total_measurement_time.to_seconds());
 
     const attest::QoAParams qoa{tm, tc};
     const size_t k = qoa.measurements_per_collection();

@@ -7,9 +7,9 @@
 // Contrasts with an on-demand swarm attestation attempt over the same
 // mobility and shows staggered scheduling keeping the swarm available.
 //
-// Port of the former examples/swarm_patrol.cpp onto the ShardedFleetRunner:
-// `threads=8 devices=1000` uses all cores and produces byte-identical
-// metrics to `threads=1`.
+// Provisioned through a uniform FleetPlan (the `arch` parameter selects
+// the security architecture fleet-wide); `threads=8 devices=1000` uses all
+// cores and produces byte-identical metrics to `threads=1`.
 #include "scenario/scenario.h"
 #include "scenario/sharded_runner.h"
 #include "swarm/protocols.h"
@@ -33,9 +33,11 @@ class SwarmPatrolScenario : public Scenario {
         {"threads", "1", "shard/worker threads (wall-clock only; metrics "
                          "are thread-count independent)"},
         {"seed", "2024", "mobility + key seed"},
-        {"tm_min", "10", "self-measurement period T_M (minutes)"},
+        {"arch", "smartplus", "security architecture (smartplus, hydra, "
+                              "trustlite)"},
+        {"tm", "10m", "self-measurement period T_M"},
         {"rounds", "6", "collection rounds"},
-        {"interval_min", "30", "minutes between rover passes"},
+        {"interval", "30m", "time between rover passes"},
         {"k", "8", "records collected per device per round"},
         {"field", "200", "field side (metres)"},
         {"range", "60", "radio range (metres)"},
@@ -43,43 +45,51 @@ class SwarmPatrolScenario : public Scenario {
         {"speed_max", "12", "max speed (m/s)"},
         {"infect_device", "13", "device infected mid-patrol (skipped when "
                                 ">= devices)"},
-        {"infect_min", "42", "infection time (minutes)"},
+        {"infect_at", "42m", "infection time into the patrol"},
     };
   }
 
   int run(const ParamMap& params, MetricsSink& sink) const override {
+    swarm::DeviceSpec base;
+    base.arch = hw::arch_kind_from_string(
+        params.get_str("arch", "smartplus"));
+    base.profile = swarm::default_profile_for(base.arch);
+    base.tm = params.get_duration("tm", Duration::minutes(10));
+    base.app_ram_bytes = 2 * 1024;
+    base.store_slots = 64;
+
     ShardedFleetConfig cfg;
-    cfg.fleet.devices = static_cast<size_t>(params.get_u64("devices", 20));
-    cfg.fleet.tm = Duration::minutes(params.get_u64("tm_min", 10));
-    cfg.fleet.app_ram_bytes = 2 * 1024;
-    cfg.fleet.store_slots = 64;
-    cfg.fleet.staggered = true;
-    cfg.fleet.key_seed = params.get_u64("seed", 2024);
-    cfg.fleet.mobility.field_size = params.get_double("field", 200.0);
-    cfg.fleet.mobility.radio_range = params.get_double("range", 60.0);
-    cfg.fleet.mobility.speed_min = params.get_double("speed_min", 6.0);
-    cfg.fleet.mobility.speed_max = params.get_double("speed_max", 12.0);
-    cfg.fleet.mobility.seed = params.get_u64("seed", 2024);
+    cfg.plan = swarm::FleetPlan::uniform(
+        static_cast<size_t>(params.get_u64("devices", 20)),
+        params.get_u64("seed", 2024), base);
+    cfg.plan.staggered = true;
+    cfg.plan.mobility.field_size = params.get_double("field", 200.0);
+    cfg.plan.mobility.radio_range = params.get_double("range", 60.0);
+    cfg.plan.mobility.speed_min = params.get_double("speed_min", 6.0);
+    cfg.plan.mobility.speed_max = params.get_double("speed_max", 12.0);
+    cfg.plan.mobility.seed = params.get_u64("seed", 2024);
     cfg.threads = static_cast<size_t>(params.get_u64("threads", 1));
     cfg.rounds = static_cast<size_t>(params.get_u64("rounds", 6));
     cfg.round_interval =
-        Duration::minutes(params.get_u64("interval_min", 30));
+        params.get_duration("interval", Duration::minutes(30));
     cfg.k = static_cast<size_t>(params.get_u64("k", 8));
 
-    sink.note("devices", static_cast<uint64_t>(cfg.fleet.devices));
+    sink.note("devices", static_cast<uint64_t>(cfg.plan.devices()));
     sink.note("seed", params.get_u64("seed", 2024));
-    sink.note("tm_min", params.get_u64("tm_min", 10));
+    sink.note("arch", hw::to_string(base.arch));
+    sink.note("tm_min", base.tm.to_seconds() / 60.0);
     sink.note("rounds", static_cast<uint64_t>(cfg.rounds));
 
     ShardedFleetRunner runner(cfg);
 
     // Range-check before narrowing: a 64-bit id must not wrap into range.
     const uint64_t infect_raw = params.get_u64("infect_device", 13);
-    if (infect_raw < cfg.fleet.devices) {
+    if (infect_raw < cfg.plan.devices()) {
       const auto infect = static_cast<swarm::DeviceId>(infect_raw);
       runner.schedule_on_device(
           infect,
-          Time::zero() + Duration::minutes(params.get_u64("infect_min", 42)),
+          Time::zero() +
+              params.get_duration("infect_at", Duration::minutes(42)),
           [](attest::Prover& p) {
             p.memory().write(p.attested_region(), 64, bytes_of("IMPLANT"),
                              false);
@@ -110,11 +120,11 @@ class SwarmPatrolScenario : public Scenario {
     // Staggering keeps the swarm available (§6, last paragraph).
     sink.note("max_busy_aligned",
               static_cast<uint64_t>(swarm::max_concurrent_busy(
-                  cfg.fleet.devices, cfg.fleet.tm, Duration::seconds(7),
+                  cfg.plan.devices(), base.tm, Duration::seconds(7),
                   false)));
     sink.note("max_busy_staggered",
               static_cast<uint64_t>(swarm::max_concurrent_busy(
-                  cfg.fleet.devices, cfg.fleet.tm, Duration::seconds(7),
+                  cfg.plan.devices(), base.tm, Duration::seconds(7),
                   true)));
     return 0;
   }

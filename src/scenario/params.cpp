@@ -16,6 +16,56 @@ namespace {
 
 }  // namespace
 
+sim::Duration parse_duration(const std::string& text) {
+  size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  const std::string unit = text.substr(used);
+  if (used == 0 || unit.empty() || value < 0.0 ||
+      !(value == value) /* NaN */) {
+    throw std::invalid_argument(
+        "'" + text +
+        "' is not a valid duration (expected <number><unit>, e.g. 10m, "
+        "90s, 2h; units: ms, s, m/min, h, d)");
+  }
+  double ns_per_unit = 0.0;
+  if (unit == "ms") {
+    ns_per_unit = 1e6;
+  } else if (unit == "s") {
+    ns_per_unit = 1e9;
+  } else if (unit == "m" || unit == "min") {
+    ns_per_unit = 60e9;
+  } else if (unit == "h") {
+    ns_per_unit = 3600e9;
+  } else if (unit == "d") {
+    ns_per_unit = 86400e9;
+  } else {
+    throw std::invalid_argument("'" + text +
+                                "' has an unknown duration unit '" + unit +
+                                "' (units: ms, s, m/min, h, d)");
+  }
+  const double total_ns = value * ns_per_unit;
+  if (total_ns > 9e18) {  // Duration is 64-bit nanoseconds (~584 years)
+    throw std::invalid_argument("'" + text + "' overflows the virtual clock");
+  }
+  return sim::Duration(static_cast<uint64_t>(total_ns));
+}
+
+std::vector<sim::Duration> parse_duration_list(const std::string& text) {
+  std::vector<sim::Duration> list;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t comma = std::min(text.find(',', pos), text.size());
+    list.push_back(parse_duration(text.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return list;
+}
+
 ParamMap ParamMap::from_args(const std::vector<std::string>& args) {
   ParamMap map;
   for (const auto& arg : args) {
@@ -80,6 +130,18 @@ bool ParamMap::get_bool(std::string_view key, bool def) const {
   if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
   if (v == "0" || v == "false" || v == "no" || v == "off") return false;
   bad_value(key, v, "boolean (1/0/true/false/yes/no/on/off)");
+}
+
+sim::Duration ParamMap::get_duration(std::string_view key,
+                                     sim::Duration def) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  try {
+    return parse_duration(it->second);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("parameter '" + std::string(key) +
+                                "': " + e.what());
+  }
 }
 
 std::vector<std::string> ParamMap::unknown_keys(

@@ -12,7 +12,19 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/time.h"
+
 namespace erasmus::scenario {
+
+/// Parses a human-friendly duration: a non-negative number with a required
+/// unit suffix -- "10m", "90s", "1.5h", "250ms", "2d". Units: ms, s, m (or
+/// min), h, d. Throws std::invalid_argument on a missing/unknown unit, a
+/// negative or non-numeric value.
+sim::Duration parse_duration(const std::string& text);
+
+/// Comma-separated parse_duration list ("5m,10m,20m"); rejects empty lists
+/// and empty entries.
+std::vector<sim::Duration> parse_duration_list(const std::string& text);
 
 struct ParamSpec {
   std::string key;
@@ -37,6 +49,10 @@ class ParamMap {
   uint64_t get_u64(std::string_view key, uint64_t def) const;
   double get_double(std::string_view key, double def) const;
   bool get_bool(std::string_view key, bool def) const;
+  /// Duration with a required unit ("10m", "90s", "2h" -- see
+  /// parse_duration). Every T_M/T_C-style knob goes through this, so CLI
+  /// users never guess whether a raw number means seconds or minutes.
+  sim::Duration get_duration(std::string_view key, sim::Duration def) const;
 
   /// Sorted key -> value view (deterministic iteration for sinks).
   const std::map<std::string, std::string, std::less<>>& entries() const {

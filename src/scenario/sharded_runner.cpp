@@ -2,41 +2,42 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace erasmus::scenario {
 
+using swarm::detail::throw_bad_device_id;
+
 ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
-    : config_(std::move(config)), mobility_([&] {
-        swarm::MobilityConfig m = config_.fleet.mobility;
-        m.devices = config_.fleet.devices;
+    : config_(std::move(config)), specs_(config_.plan.expand()),
+      mobility_([&] {
+        swarm::MobilityConfig m = config_.plan.mobility;
+        m.devices = config_.plan.devices();
         return m;
       }()) {
   if (config_.threads == 0) {
     throw std::invalid_argument("ShardedFleetRunner: threads must be >= 1");
   }
-  if (config_.fleet.devices == 0) {
+  if (specs_.empty()) {
     throw std::invalid_argument("ShardedFleetRunner: need >= 1 device");
   }
-  if (config_.root >= config_.fleet.devices) {
+  if (config_.root >= specs_.size()) {
     throw std::invalid_argument("ShardedFleetRunner: root out of range");
   }
-  shards_.resize(std::min(config_.threads, config_.fleet.devices));
+  shards_.resize(std::min(config_.threads, specs_.size()));
   for (auto& shard : shards_) {
     shard.queue = std::make_unique<sim::EventQueue>();
   }
 
   // Build in global id order: stack construction is partition-independent,
   // only the owning queue differs.
-  stacks_.reserve(config_.fleet.devices);
-  present_.assign(config_.fleet.devices, true);
-  for (swarm::DeviceId id = 0; id < config_.fleet.devices; ++id) {
-    const std::optional<sim::Duration> tm =
-        config_.tm_for ? config_.tm_for(id) : std::nullopt;
-    stacks_.push_back(swarm::build_device_stack(
-        *shards_[shard_of(id)].queue, config_.fleet, id, tm));
-    directory_.add(id, swarm::build_device_record(config_.fleet, id,
-                                                  *stacks_[id].arch));
+  stacks_.reserve(specs_.size());
+  present_.assign(specs_.size(), true);
+  for (swarm::DeviceId id = 0; id < specs_.size(); ++id) {
+    stacks_.push_back(swarm::build_device_stack(*shards_[shard_of(id)].queue,
+                                                specs_[id]));
+    directory_.add(id, swarm::build_device_record(specs_[id], stacks_[id]));
     transport_.attach(id, *stacks_[id].prover);
   }
   attest::ServiceConfig sc;
@@ -45,15 +46,32 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
       coordinator_queue_, transport_, directory_, sc);
 }
 
+attest::Prover& ShardedFleetRunner::prover(swarm::DeviceId id) {
+  if (id >= stacks_.size()) {
+    throw_bad_device_id("ShardedFleetRunner::prover", id, stacks_.size());
+  }
+  return *stacks_[id].prover;
+}
+
+const swarm::DeviceSpec& ShardedFleetRunner::spec(swarm::DeviceId id) const {
+  if (id >= specs_.size()) {
+    throw_bad_device_id("ShardedFleetRunner::spec", id, specs_.size());
+  }
+  return specs_[id];
+}
+
 void ShardedFleetRunner::schedule_on_device(
     swarm::DeviceId id, sim::Time at,
     std::function<void(attest::Prover&)> fn) {
-  attest::Prover& prover = *stacks_[id].prover;
+  attest::Prover& target = prover(id);
   shards_[shard_of(id)].queue->schedule_at(
-      at, [&prover, fn = std::move(fn)] { fn(prover); });
+      at, [&target, fn = std::move(fn)] { fn(target); });
 }
 
 void ShardedFleetRunner::set_present(swarm::DeviceId id, bool present) {
+  if (id >= stacks_.size()) {
+    throw_bad_device_id("ShardedFleetRunner::set_present", id, stacks_.size());
+  }
   if (present_[id] == present) return;
   present_[id] = present;
   if (!started_) return;
@@ -138,12 +156,9 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
   started_ = true;
   for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
     if (!present_[id]) continue;
-    if (config_.fleet.staggered) {
-      const sim::Duration tm =
-          config_.tm_for ? config_.tm_for(id).value_or(config_.fleet.tm)
-                         : config_.fleet.tm;
-      stacks_[id].prover->start(
-          swarm::stagger_offset(tm, id, stacks_.size()));
+    if (config_.plan.staggered) {
+      stacks_[id].prover->start(swarm::stagger_offset(
+          swarm::nominal_tm(specs_[id]), id, stacks_.size()));
     } else {
       stacks_[id].prover->start();
     }

@@ -1,15 +1,17 @@
 // ShardedFleetRunner: a multi-threaded, deterministic large-fleet driver.
 //
 // swarm::Fleet runs every device on one EventQueue -- fine for 10 devices,
-// hopeless for 1000+. This runner partitions the fleet into `threads`
-// shards, each with its OWN sim::EventQueue, and advances all shards in
-// parallel between collection-round barriers.
+// hopeless for 1000+. This runner expands a swarm::FleetPlan (possibly
+// heterogeneous: mixed architectures, mixed T_M, mixed policies) and
+// partitions the fleet into `threads` shards, each with its OWN
+// sim::EventQueue, advancing all shards in parallel between
+// collection-round barriers.
 //
 // Determinism argument (asserted by tests at 1/2/8 threads):
 //  * Between barriers devices are independent: a prover's events touch only
-//    its own arch/store/timer, and its construction (keys, schedule,
-//    stagger offset) depends only on (config, global id) -- never on the
-//    shard layout. So any partition executes the same per-device event
+//    its own arch/store/timer, and its construction (spec, keys, schedule,
+//    stagger offset) is a pure function of (plan, global id) -- never of
+//    the shard layout. So any partition executes the same per-device event
 //    sequence.
 //  * Everything cross-device -- mobility queries (whose lazy trajectory
 //    extension consumes a shared RNG and is therefore query-order
@@ -22,19 +24,19 @@
 
 #include <functional>
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "attest/directory.h"
 #include "attest/service.h"
 #include "attest/transport.h"
 #include "scenario/metrics.h"
-#include "swarm/fleet.h"
+#include "swarm/provision.h"
 
 namespace erasmus::scenario {
 
 struct ShardedFleetConfig {
-  swarm::FleetConfig fleet;
+  /// What to build: N per-device specs, mobility, stagger policy.
+  swarm::FleetPlan plan;
   /// Shard/worker count. 1 runs everything on the calling thread.
   size_t threads = 1;
   size_t rounds = 6;
@@ -43,9 +45,6 @@ struct ShardedFleetConfig {
   swarm::DeviceId root = 0;
   /// Records requested per device per collection.
   size_t k = 8;
-  /// Per-device measurement period override (heterogeneous T_M fleets);
-  /// nullopt entries / absent function fall back to fleet.tm.
-  std::function<std::optional<sim::Duration>(swarm::DeviceId)> tm_for;
 };
 
 struct FleetRoundResult {
@@ -62,7 +61,10 @@ class ShardedFleetRunner {
   explicit ShardedFleetRunner(ShardedFleetConfig config);
 
   size_t size() const { return stacks_.size(); }
-  attest::Prover& prover(swarm::DeviceId id) { return *stacks_[id].prover; }
+  /// Bounds-checked: throws std::out_of_range naming the offending id.
+  attest::Prover& prover(swarm::DeviceId id);
+  /// The spec device `id` was built from (same bounds check).
+  const swarm::DeviceSpec& spec(swarm::DeviceId id) const;
   /// The shared verifier-side state: one record per device, judged through
   /// the AttestationService at collection barriers.
   const attest::DeviceDirectory& directory() const { return directory_; }
@@ -85,7 +87,7 @@ class ShardedFleetRunner {
   /// Leaving stops the prover's measurement timer and removes the device
   /// from topology/collection; rejoining restarts its schedule.
   void set_present(swarm::DeviceId id, bool present);
-  bool present(swarm::DeviceId id) const { return present_[id]; }
+  bool present(swarm::DeviceId id) const { return present_.at(id); }
   size_t present_count() const;
 
   /// Starts all provers, advances shard queues in parallel to each round
@@ -103,6 +105,7 @@ class ShardedFleetRunner {
   FleetRoundResult collect_round(size_t round, sim::Time at);
 
   ShardedFleetConfig config_;
+  std::vector<swarm::DeviceSpec> specs_;  // indexed by global DeviceId
   swarm::RandomWaypointMobility mobility_;
   std::vector<Shard> shards_;
   std::vector<swarm::DeviceStack> stacks_;  // indexed by global DeviceId

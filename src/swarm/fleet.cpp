@@ -1,71 +1,23 @@
 #include "swarm/fleet.h"
 
-#include "attest/measurement.h"
-#include "common/serde.h"
-#include "crypto/hmac_drbg.h"
+#include <stdexcept>
+#include <string>
 
 namespace erasmus::swarm {
 
-Bytes fleet_device_key(uint64_t seed, DeviceId id) {
-  ByteWriter w;
-  w.u64(seed);
-  w.u32(id);
-  crypto::HmacDrbg drbg(w.bytes(), bytes_of("erasmus-fleet-key"));
-  return drbg.generate(32);
-}
-
-DeviceStack build_device_stack(sim::EventQueue& queue,
-                               const FleetConfig& config, DeviceId id,
-                               std::optional<sim::Duration> tm_override) {
-  const size_t store_bytes =
-      config.store_slots *
-      (1 + attest::Measurement::wire_size(config.algo));  // flag + record
-
-  DeviceStack stack;
-  stack.arch = std::make_unique<hw::SmartPlusArch>(
-      fleet_device_key(config.key_seed, id), /*rom_bytes=*/8 * 1024,
-      config.app_ram_bytes, store_bytes);
-
-  attest::ProverConfig pc;
-  pc.algo = config.algo;
-  pc.profile = config.profile;
-  stack.prover = std::make_unique<attest::Prover>(
-      queue, *stack.arch, stack.arch->app_region(),
-      stack.arch->store_region(),
-      std::make_unique<attest::RegularScheduler>(tm_override.value_or(
-          config.tm)),
-      pc);
-  return stack;
-}
-
-attest::DeviceRecord build_device_record(const FleetConfig& config,
-                                         DeviceId id,
-                                         hw::SmartPlusArch& arch) {
-  attest::DeviceRecord record;
-  record.algo = config.algo;
-  record.key = fleet_device_key(config.key_seed, id);
-  record.set_golden(crypto::Hash::digest(
-      attest::hash_for(config.algo),
-      arch.memory().view(arch.app_region(), /*privileged=*/true)));
-  return record;
-}
-
-sim::Duration stagger_offset(sim::Duration tm, DeviceId id, size_t n) {
-  return tm * (id + 1) / static_cast<uint64_t>(n);
-}
-
-Fleet::Fleet(sim::EventQueue& queue, FleetConfig config)
-    : queue_(queue), config_(config), mobility_([&] {
-        MobilityConfig m = config.mobility;
-        m.devices = config.devices;
+Fleet::Fleet(sim::EventQueue& queue, FleetPlan plan)
+    : queue_(queue), plan_(std::move(plan)), specs_(plan_.expand()),
+      mobility_([&] {
+        MobilityConfig m = plan_.mobility;
+        m.devices = plan_.devices();
         return m;
       }()) {
-  stacks_.reserve(config_.devices);
-  for (DeviceId id = 0; id < config_.devices; ++id) {
-    stacks_.push_back(build_device_stack(queue_, config_, id));
+  stacks_.reserve(specs_.size());
+  for (DeviceId id = 0; id < specs_.size(); ++id) {
+    stacks_.push_back(build_device_stack(queue_, specs_[id]));
     // Directory node id == global device id (the DirectTransport's address
     // space is its own attach table).
-    directory_.add(id, build_device_record(config_, id, *stacks_[id].arch));
+    directory_.add(id, build_device_record(specs_[id], stacks_[id]));
     transport_.attach(id, *stacks_[id].prover);
   }
   attest::ServiceConfig sc;
@@ -76,11 +28,25 @@ Fleet::Fleet(sim::EventQueue& queue, FleetConfig config)
       queue_, transport_, directory_, sc);
 }
 
+attest::Prover& Fleet::prover(DeviceId id) {
+  if (id >= stacks_.size()) {
+    detail::throw_bad_device_id("Fleet::prover", id, stacks_.size());
+  }
+  return *stacks_[id].prover;
+}
+
+const DeviceSpec& Fleet::spec(DeviceId id) const {
+  if (id >= specs_.size()) {
+    detail::throw_bad_device_id("Fleet::spec", id, specs_.size());
+  }
+  return specs_[id];
+}
+
 void Fleet::start() {
   for (DeviceId id = 0; id < stacks_.size(); ++id) {
-    if (config_.staggered) {
+    if (plan_.staggered) {
       stacks_[id].prover->start(
-          stagger_offset(config_.tm, id, stacks_.size()));
+          stagger_offset(nominal_tm(specs_[id]), id, stacks_.size()));
     } else {
       stacks_[id].prover->start();
     }

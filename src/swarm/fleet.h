@@ -2,9 +2,10 @@
 // wired to a shared event queue and a mobility model.
 //
 // Where protocols.h evaluates swarm *timing* analytically, Fleet runs the
-// real device stack -- per-device SMART+ architecture, keys, schedules
-// (staggered per §6), stores, malware -- and collects through the mobility
-// model's connectivity. The verifier side is ONE AttestationService over a
+// real device stacks a FleetPlan describes -- per-device architecture
+// (SMART+/HYDRA/TrustLite, possibly mixed), keys, schedules (staggered per
+// §6), stores, malware -- and collects through the mobility model's
+// connectivity. The verifier side is ONE AttestationService over a
 // DeviceDirectory (key + golden digest per device) and a DirectTransport:
 // the in-process, zero-latency path that matches instant-reachability
 // collection. Used by the swarm example and the mobility bench's
@@ -14,7 +15,6 @@
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "attest/directory.h"
@@ -22,65 +22,23 @@
 #include "attest/service.h"
 #include "attest/transport.h"
 #include "swarm/mobility.h"
+#include "swarm/provision.h"
 #include "swarm/qosa.h"
 
 namespace erasmus::swarm {
 
-struct FleetConfig {
-  size_t devices = 10;
-  /// Per-device attested memory; kept small so fleet sims stay fast.
-  size_t app_ram_bytes = 4 * 1024;
-  size_t store_slots = 16;
-  crypto::MacAlgo algo = crypto::MacAlgo::kHmacSha256;
-  sim::Duration tm = sim::Duration::minutes(10);
-  /// Stagger first measurements at i * T_M / N (paper §6: bounds the
-  /// fraction of the swarm busy at any instant).
-  bool staggered = true;
-  sim::DeviceProfile profile = sim::DeviceProfile::msp430_8mhz();
-  MobilityConfig mobility;
-  uint64_t key_seed = 7;
-};
-
-/// Per-device key: derived from the fleet seed; in reality each device is
-/// provisioned with an independent K at manufacture.
-Bytes fleet_device_key(uint64_t seed, DeviceId id);
-
-/// One full device: SMART+ architecture plus prover. The construction
-/// depends only on (config, id) -- never on which EventQueue the prover is
-/// wired to -- which is what lets the sharded runner split a fleet across
-/// per-thread queues and still reproduce a single-queue run bit for bit.
-/// The verifier side lives in a shared DeviceDirectory, not on the device.
-struct DeviceStack {
-  std::unique_ptr<hw::SmartPlusArch> arch;
-  std::unique_ptr<attest::Prover> prover;
-};
-
-/// Builds device `id` of the fleet described by `config`, scheduling on
-/// `queue`. `tm_override` replaces config.tm for this device (heterogeneous
-/// fleets).
-DeviceStack build_device_stack(
-    sim::EventQueue& queue, const FleetConfig& config, DeviceId id,
-    std::optional<sim::Duration> tm_override = std::nullopt);
-
-/// The verifier-side record for device `id`: its provisioned key and the
-/// golden digest of the freshly-built (known-good) attested memory.
-attest::DeviceRecord build_device_record(const FleetConfig& config,
-                                         DeviceId id,
-                                         hw::SmartPlusArch& arch);
-
-/// The first-measurement offset device `id` of `n` uses under staggered
-/// scheduling: (id + 1) * tm / n.
-sim::Duration stagger_offset(sim::Duration tm, DeviceId id, size_t n);
-
 class Fleet {
  public:
-  explicit Fleet(sim::EventQueue& queue, FleetConfig config);
+  explicit Fleet(sim::EventQueue& queue, FleetPlan plan);
 
-  /// Starts all provers (staggered or aligned).
+  /// Starts all provers (staggered or aligned, per the plan).
   void start();
 
   size_t size() const { return stacks_.size(); }
-  attest::Prover& prover(DeviceId id) { return *stacks_[id].prover; }
+  /// Bounds-checked: throws std::out_of_range naming the offending id.
+  attest::Prover& prover(DeviceId id);
+  /// The spec device `id` was built from (same bounds check).
+  const DeviceSpec& spec(DeviceId id) const;
   RandomWaypointMobility& mobility() { return mobility_; }
 
   /// The shared verifier-side state: one record per device, judged by the
@@ -99,7 +57,8 @@ class Fleet {
 
  private:
   sim::EventQueue& queue_;
-  FleetConfig config_;
+  FleetPlan plan_;
+  std::vector<DeviceSpec> specs_;
   RandomWaypointMobility mobility_;
   std::vector<DeviceStack> stacks_;
   attest::DeviceDirectory directory_;

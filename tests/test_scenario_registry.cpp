@@ -35,6 +35,44 @@ TEST(ParamMap, TypedGettersValidate) {
   EXPECT_THROW(params.get_bool("bad", false), std::invalid_argument);
 }
 
+TEST(ParamMap, ParsesHumanFriendlyDurations) {
+  using sim::Duration;
+  const auto params = ParamMap::from_args(
+      {"tm=10m", "tc=90s", "horizon=2h", "blip=250ms", "week=7d",
+       "frac=1.5h"});
+  EXPECT_EQ(params.get_duration("tm", Duration{}), Duration::minutes(10));
+  EXPECT_EQ(params.get_duration("tc", Duration{}), Duration::seconds(90));
+  EXPECT_EQ(params.get_duration("horizon", Duration{}), Duration::hours(2));
+  EXPECT_EQ(params.get_duration("blip", Duration{}), Duration::millis(250));
+  EXPECT_EQ(params.get_duration("week", Duration{}), Duration::hours(24 * 7));
+  EXPECT_EQ(params.get_duration("frac", Duration{}), Duration::minutes(90));
+  EXPECT_EQ(params.get_duration("absent", Duration::minutes(3)),
+            Duration::minutes(3));
+  // "min" spelling is accepted too.
+  EXPECT_EQ(parse_duration("5min"), Duration::minutes(5));
+}
+
+TEST(ParamMap, RejectsBadDurations) {
+  using sim::Duration;
+  for (const char* bad : {"10", "m", "", "10q", "-5m", "10 m", "nanm"}) {
+    const auto params = ParamMap::from_args({std::string("tm=") + bad});
+    EXPECT_THROW(params.get_duration("tm", Duration{}),
+                 std::invalid_argument)
+        << "'" << bad << "' must be rejected";
+  }
+}
+
+TEST(ParamMap, ParsesDurationLists) {
+  using sim::Duration;
+  const auto list = parse_duration_list("5m,10m,1h");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], Duration::minutes(5));
+  EXPECT_EQ(list[2], Duration::hours(1));
+  EXPECT_THROW(parse_duration_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_duration_list("5m,"), std::invalid_argument);
+  EXPECT_THROW(parse_duration_list("5m,,10m"), std::invalid_argument);
+}
+
 TEST(ParamMap, UnknownKeysAgainstSpecs) {
   const std::vector<ParamSpec> specs = {{"devices", "10", ""},
                                         {"seed", "1", ""}};
@@ -90,10 +128,11 @@ TEST(ScenarioRegistry, RejectsNullAndEmptyName) {
 // builtin object library, as erasmus_run does).
 TEST(ScenarioRegistry, BuiltinsRegistered) {
   auto& registry = ScenarioRegistry::instance();
-  EXPECT_GE(registry.size(), 8u);
+  EXPECT_GE(registry.size(), 9u);
   for (const char* name :
        {"quickstart", "device_lifecycle", "malware_hunt", "plant_sensor",
-        "swarm_patrol", "campaign_sweep", "mixed_tm_fleet", "churn_fleet"}) {
+        "swarm_patrol", "campaign_sweep", "mixed_tm_fleet", "churn_fleet",
+        "mixed_arch_fleet"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
 }

@@ -14,17 +14,18 @@ using sim::Duration;
 using sim::Time;
 
 ShardedFleetConfig small_config(size_t threads) {
+  swarm::DeviceSpec base;
+  base.tm = Duration::minutes(10);
+  base.app_ram_bytes = 1024;
+  base.store_slots = 16;
+
   ShardedFleetConfig cfg;
-  cfg.fleet.devices = 24;
-  cfg.fleet.tm = Duration::minutes(10);
-  cfg.fleet.app_ram_bytes = 1024;
-  cfg.fleet.store_slots = 16;
-  cfg.fleet.key_seed = 42;
-  cfg.fleet.mobility.field_size = 120.0;
-  cfg.fleet.mobility.radio_range = 50.0;
-  cfg.fleet.mobility.speed_min = 4.0;
-  cfg.fleet.mobility.speed_max = 9.0;
-  cfg.fleet.mobility.seed = 42;
+  cfg.plan = swarm::FleetPlan::uniform(24, /*key_seed=*/42, base);
+  cfg.plan.mobility.field_size = 120.0;
+  cfg.plan.mobility.radio_range = 50.0;
+  cfg.plan.mobility.speed_min = 4.0;
+  cfg.plan.mobility.speed_max = 9.0;
+  cfg.plan.mobility.seed = 42;
   cfg.threads = threads;
   cfg.rounds = 4;
   cfg.round_interval = Duration::minutes(30);
@@ -61,8 +62,8 @@ TEST(ShardedFleetRunner, DeterministicAcross1_2_8Threads) {
 
 TEST(ShardedFleetRunner, MoreThreadsThanDevicesClampsToFleetSize) {
   ShardedFleetConfig cfg = small_config(64);
-  cfg.fleet.devices = 3;
-  cfg.fleet.mobility.radio_range = 500.0;  // fully connected
+  cfg.plan.set_devices(3);
+  cfg.plan.mobility.radio_range = 500.0;  // fully connected
   const std::string wide = run_to_json(cfg, /*infect=*/false);
   cfg.threads = 1;
   EXPECT_EQ(run_to_json(cfg, /*infect=*/false), wide);
@@ -71,9 +72,8 @@ TEST(ShardedFleetRunner, MoreThreadsThanDevicesClampsToFleetSize) {
 TEST(ShardedFleetRunner, HeterogeneousTmStaysDeterministic) {
   auto with_mixed_tm = [](size_t threads) {
     ShardedFleetConfig cfg = small_config(threads);
-    cfg.tm_for = [](swarm::DeviceId id) {
-      return Duration::minutes(5 + 5 * (id % 3));
-    };
+    cfg.plan.cycle_tm({Duration::minutes(5), Duration::minutes(10),
+                       Duration::minutes(15)});
     return run_to_json(cfg);
   };
   EXPECT_EQ(with_mixed_tm(1), with_mixed_tm(8));
@@ -98,7 +98,7 @@ TEST(ShardedFleetRunner, ChurnAtBarriersStaysDeterministic) {
     });
     const auto rounds = runner.run(sink);
     sink.end_run();
-    EXPECT_LT(rounds.back().present, cfg.fleet.devices);
+    EXPECT_LT(rounds.back().present, cfg.plan.devices());
     return out.str();
   };
   EXPECT_EQ(with_churn(1), with_churn(4));
@@ -106,7 +106,7 @@ TEST(ShardedFleetRunner, ChurnAtBarriersStaysDeterministic) {
 
 TEST(ShardedFleetRunner, AbsentDevicesAreNotCollected) {
   ShardedFleetConfig cfg = small_config(2);
-  cfg.fleet.mobility.radio_range = 500.0;  // everyone in range of root
+  cfg.plan.mobility.radio_range = 500.0;  // everyone in range of root
   cfg.rounds = 1;
   NullSink sink;
   ShardedFleetRunner runner(cfg);
@@ -114,8 +114,8 @@ TEST(ShardedFleetRunner, AbsentDevicesAreNotCollected) {
   runner.set_present(6, false);
   const auto rounds = runner.run(sink);
   ASSERT_EQ(rounds.size(), 1u);
-  EXPECT_EQ(rounds[0].present, cfg.fleet.devices - 2);
-  EXPECT_EQ(rounds[0].reachable, cfg.fleet.devices - 2);
+  EXPECT_EQ(rounds[0].present, cfg.plan.devices() - 2);
+  EXPECT_EQ(rounds[0].reachable, cfg.plan.devices() - 2);
   // Absent provers took no part: their timers were never started.
   EXPECT_EQ(runner.prover(5).stats().collections, 0u);
   EXPECT_EQ(runner.prover(5).stats().measurements, 0u);
@@ -126,7 +126,7 @@ TEST(ShardedFleetRunner, ValidatesConfig) {
   cfg.threads = 0;
   EXPECT_THROW(ShardedFleetRunner{cfg}, std::invalid_argument);
   cfg = small_config(1);
-  cfg.fleet.devices = 0;
+  cfg.plan.set_devices(0);
   EXPECT_THROW(ShardedFleetRunner{cfg}, std::invalid_argument);
   cfg = small_config(1);
   cfg.root = 24;

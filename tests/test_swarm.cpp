@@ -247,13 +247,16 @@ TEST(Qosa, AllHealthyRequiresEveryDevice) {
   EXPECT_EQ(to_string(QosaLevel::kFull), "full");
 }
 
+DeviceSpec small_spec() {
+  DeviceSpec spec;
+  spec.tm = Duration::minutes(10);
+  spec.app_ram_bytes = 512;
+  return spec;
+}
+
 TEST(Fleet, StaggeredMeasurementsSpreadOverPeriod) {
   sim::EventQueue queue;
-  FleetConfig cfg;
-  cfg.devices = 5;
-  cfg.tm = Duration::minutes(10);
-  cfg.app_ram_bytes = 512;
-  Fleet fleet(queue, cfg);
+  Fleet fleet(queue, FleetPlan::uniform(5, /*key_seed=*/7, small_spec()));
   fleet.start();
   queue.run_until(Time::zero() + Duration::minutes(10));
   // Offsets are i*T_M/5: all five have measured exactly once after one T_M.
@@ -264,13 +267,10 @@ TEST(Fleet, StaggeredMeasurementsSpreadOverPeriod) {
 
 TEST(Fleet, CollectRoundVerifiesHealthyDevices) {
   sim::EventQueue queue;
-  FleetConfig cfg;
-  cfg.devices = 6;
-  cfg.tm = Duration::minutes(10);
-  cfg.app_ram_bytes = 512;
-  cfg.mobility.field_size = 40.0;   // dense: likely fully connected
-  cfg.mobility.radio_range = 60.0;
-  Fleet fleet(queue, cfg);
+  FleetPlan plan = FleetPlan::uniform(6, /*key_seed=*/7, small_spec());
+  plan.mobility.field_size = 40.0;   // dense: likely fully connected
+  plan.mobility.radio_range = 60.0;
+  Fleet fleet(queue, plan);
   fleet.start();
   queue.run_until(Time::zero() + Duration::hours(1));
 
@@ -287,13 +287,10 @@ TEST(Fleet, CollectRoundVerifiesHealthyDevices) {
 
 TEST(Fleet, InfectedDeviceFlaggedUnhealthy) {
   sim::EventQueue queue;
-  FleetConfig cfg;
-  cfg.devices = 4;
-  cfg.tm = Duration::minutes(10);
-  cfg.app_ram_bytes = 512;
-  cfg.mobility.field_size = 30.0;
-  cfg.mobility.radio_range = 60.0;
-  Fleet fleet(queue, cfg);
+  FleetPlan plan = FleetPlan::uniform(4, /*key_seed=*/7, small_spec());
+  plan.mobility.field_size = 30.0;
+  plan.mobility.radio_range = 60.0;
+  Fleet fleet(queue, plan);
   fleet.start();
   // Persistent malware on device 2.
   queue.schedule_at(Time::zero() + Duration::minutes(15), [&] {
@@ -311,10 +308,7 @@ TEST(Fleet, InfectedDeviceFlaggedUnhealthy) {
 
 TEST(Fleet, PerDeviceKeysAreIndependent) {
   sim::EventQueue queue;
-  FleetConfig cfg;
-  cfg.devices = 3;
-  cfg.app_ram_bytes = 512;
-  Fleet fleet(queue, cfg);
+  Fleet fleet(queue, FleetPlan::uniform(3, /*key_seed=*/7, small_spec()));
   fleet.start();
   queue.run_until(Time::zero() + Duration::minutes(15));
   // Device 1's measurement must not verify under device 0's key.
