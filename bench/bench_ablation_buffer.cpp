@@ -12,7 +12,7 @@
 #include "analysis/table.h"
 #include "attest/prover.h"
 #include "attest/qoa.h"
-#include "attest/verifier.h"
+#include "attest/directory.h"
 
 using namespace erasmus;
 using sim::Duration;
@@ -41,11 +41,11 @@ LossResult run(size_t n_slots, Duration tm, Duration tc, Duration horizon) {
   attest::Prover prover(queue, arch, arch.app_region(), arch.store_region(),
                         std::make_unique<attest::RegularScheduler>(tm),
                         attest::ProverConfig{});
-  attest::VerifierConfig vc;
-  vc.key = key;
-  vc.golden_digest = crypto::Hash::digest(
-      crypto::HashAlgo::kSha256, arch.memory().view(arch.app_region(), true));
-  attest::Verifier verifier(std::move(vc));
+  attest::DeviceRecord record;
+  record.key = key;
+  record.set_golden(crypto::Hash::digest(
+      crypto::HashAlgo::kSha256,
+      arch.memory().view(arch.app_region(), true)));
 
   prover.start();
   std::set<uint64_t> unique_timestamps;
@@ -56,7 +56,7 @@ LossResult run(size_t n_slots, Duration tm, Duration tc, Duration horizon) {
       const auto res = prover.handle_collect(
           attest::CollectRequest{static_cast<uint32_t>(k)});
       const auto report =
-          verifier.verify_collection(res.response, queue.now());
+          attest::verify_collection(record, res.response, queue.now());
       for (const auto& v : report.verdicts) {
         if (v.status != attest::MeasurementStatus::kBadMac) {
           unique_timestamps.insert(v.m.timestamp);

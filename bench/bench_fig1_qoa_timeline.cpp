@@ -15,7 +15,7 @@
 #include "analysis/table.h"
 #include "attest/prover.h"
 #include "attest/qoa.h"
-#include "attest/verifier.h"
+#include "attest/directory.h"
 #include "common/hex.h"
 #include "malware/campaign.h"
 #include "malware/malware.h"
@@ -32,7 +32,7 @@ struct Device {
   sim::EventQueue queue;
   hw::SmartPlusArch arch;
   attest::Prover prover;
-  attest::Verifier verifier;
+  attest::DeviceRecord record;
 
   Device(Duration tm)
       : arch(bytes_of("fig1-device-key-0123456789abcdef"), 4096, 2048,
@@ -40,13 +40,13 @@ struct Device {
         prover(queue, arch, arch.app_region(), arch.store_region(),
                std::make_unique<attest::RegularScheduler>(tm),
                attest::ProverConfig{}),
-        verifier([&] {
-          attest::VerifierConfig vc;
-          vc.key = bytes_of("fig1-device-key-0123456789abcdef");
-          vc.golden_digest = crypto::Hash::digest(
+        record([&] {
+          attest::DeviceRecord r;
+          r.key = bytes_of("fig1-device-key-0123456789abcdef");
+          r.set_golden(crypto::Hash::digest(
               crypto::HashAlgo::kSha256,
-              arch.memory().view(arch.app_region(), true));
-          return vc;
+              arch.memory().view(arch.app_region(), true)));
+          return r;
         }()) {}
 };
 
@@ -78,7 +78,7 @@ void timeline_demo() {
   dev.queue.run_until(Time::zero() + tc);
   const auto res = dev.prover.handle_collect(attest::CollectRequest{6});
   const auto report =
-      dev.verifier.verify_collection(res.response, dev.queue.now());
+      attest::verify_collection(dev.record, res.response, dev.queue.now());
 
   std::printf("Collection at 60:00 returned %zu measurements:\n",
               report.verdicts.size());
@@ -121,7 +121,7 @@ void campaign_sweep(analysis::BenchReport& bench) {
     cfg.dwell = Duration::minutes(5);
     cfg.seed = 1000 + tm_min;
     const auto result = malware::run_mobile_campaign(dev.queue, dev.prover,
-                                                     dev.verifier, cfg);
+                                                     dev.record, cfg);
     const double analytic = attest::detection_prob_regular(
         cfg.dwell, Duration::minutes(tm_min));
     bench.sample("detection_rate", result.detection_rate());

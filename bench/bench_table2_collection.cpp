@@ -36,12 +36,12 @@ int main() {
                         std::make_unique<attest::RegularScheduler>(
                             sim::Duration::minutes(10)),
                         pc);
-  attest::VerifierConfig vc;
-  vc.algo = pc.algo;
-  vc.key = key;
-  vc.golden_digest = crypto::Hash::digest(
-      attest::hash_for(pc.algo), arch.memory().view(arch.app_region(), true));
-  attest::Verifier verifier(std::move(vc));
+  attest::DeviceRecord record;
+  record.algo = pc.algo;
+  record.key = key;
+  record.set_golden(crypto::Hash::digest(
+      attest::hash_for(pc.algo),
+      arch.memory().view(arch.app_region(), true)));
 
   prover.start();
   // Let a few scheduled self-measurements accumulate; stop on an idle
@@ -51,10 +51,10 @@ int main() {
   // --- ERASMUS collection ----------------------------------------------------
   const auto collect = prover.handle_collect(attest::CollectRequest{4});
   const auto report =
-      verifier.verify_collection(collect.response, queue.now());
+      attest::verify_collection(record, collect.response, queue.now());
 
   // --- ERASMUS+OD --------------------------------------------------------------
-  const auto req = verifier.make_od_request(prover.rroc().read(), 4);
+  const auto req = attest::make_od_request(record, prover.rroc().read(), 4);
   const auto od = prover.handle_od(req);
 
   const double verify_req_ms = profile.request_auth_time().to_millis();

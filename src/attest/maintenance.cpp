@@ -98,11 +98,10 @@ std::optional<sim::Duration> handle_maintenance(Prover& prover,
 bool MaintenanceAuthority::attest_now(Prover& prover,
                                       ByteView expected_digest) {
   const uint64_t now_ticks = prover.rroc().read();
-  const OdRequest req = verifier_.make_od_request(now_ticks, 0);
+  const OdRequest req = make_od_request(record_, now_ticks, 0);
   const auto res = prover.handle_od(req);
   if (!res.response) return false;
-  if (!verify_measurement(verifier_.config().algo, verifier_.config().key,
-                          res.response->fresh)) {
+  if (!verify_measurement(record_.algo, record_.key, res.response->fresh)) {
     return false;
   }
   return equal(res.response->fresh.digest, expected_digest);
@@ -111,11 +110,10 @@ bool MaintenanceAuthority::attest_now(Prover& prover,
 MaintenanceAuthority::UpdateOutcome MaintenanceAuthority::run_update(
     Prover& prover, ByteView new_image) {
   UpdateOutcome outcome;
-  const auto algo = verifier_.config().algo;
+  const auto algo = record_.algo;
 
   // 1. Attest BEFORE: never push an update onto a compromised device.
-  outcome.pre_attestation_ok =
-      attest_now(prover, verifier_.golden_digest());
+  outcome.pre_attestation_ok = attest_now(prover, record_.golden());
   if (!outcome.pre_attestation_ok) return outcome;
 
   // Each OD request needs a strictly fresher t_req (anti-replay), so let
@@ -129,7 +127,7 @@ MaintenanceAuthority::UpdateOutcome MaintenanceAuthority::run_update(
   req.image.assign(new_image.begin(), new_image.end());
   const Bytes image_digest = crypto::Hash::digest(hash_for(algo), req.image);
   req.mac = crypto::Mac::compute(
-      algo, verifier_.config().key,
+      algo, record_.key,
       MaintenanceRequest::mac_input(req.op, req.treq, image_digest, algo));
   outcome.request_accepted = handle_maintenance(prover, req).has_value();
   if (!outcome.request_accepted) return outcome;
@@ -147,7 +145,7 @@ MaintenanceAuthority::UpdateOutcome MaintenanceAuthority::run_update(
   // 4. Rotate the verifier's reference state from the install time on;
   //    pre-update history keeps verifying against the previous epoch.
   if (outcome.post_attestation_ok) {
-    verifier_.rotate_golden_digest(outcome.new_golden_digest, req.treq);
+    record_.rotate_golden(outcome.new_golden_digest, req.treq);
   }
   return outcome;
 }
@@ -155,14 +153,14 @@ MaintenanceAuthority::UpdateOutcome MaintenanceAuthority::run_update(
 MaintenanceAuthority::EraseOutcome MaintenanceAuthority::run_erase(
     Prover& prover) {
   EraseOutcome outcome;
-  const auto algo = verifier_.config().algo;
+  const auto algo = record_.algo;
 
   MaintenanceRequest req;
   req.op = MaintenanceRequest::Op::kErase;
   req.treq = prover.rroc().read();
   const Bytes empty_digest = crypto::Hash::digest(hash_for(algo), {});
   req.mac = crypto::Mac::compute(
-      algo, verifier_.config().key,
+      algo, record_.key,
       MaintenanceRequest::mac_input(req.op, req.treq, empty_digest, algo));
   outcome.request_accepted = handle_maintenance(prover, req).has_value();
   if (!outcome.request_accepted) return outcome;

@@ -15,8 +15,8 @@
 //            measurement proves the erased state.
 #pragma once
 
+#include "attest/directory.h"
 #include "attest/prover.h"
-#include "attest/verifier.h"
 
 namespace erasmus::attest {
 
@@ -44,11 +44,16 @@ struct MaintenanceRequest {
 std::optional<sim::Duration> handle_maintenance(Prover& prover,
                                                 const MaintenanceRequest& req);
 
-/// Verifier-side orchestration of the full §1-NOTE flow.
+/// Verifier-side orchestration of the full §1-NOTE flow, judging and
+/// rotating the device's DeviceRecord through the shared verifier core
+/// (link the record into a DeviceDirectory and the rotation is visible to
+/// any AttestationService overseeing the device).
 class MaintenanceAuthority {
  public:
-  MaintenanceAuthority(Verifier& verifier, sim::EventQueue& queue)
-      : verifier_(verifier), queue_(queue) {}
+  /// `record` must outlive the authority; run_update() rotates its golden
+  /// epochs in place on success.
+  MaintenanceAuthority(DeviceRecord& record, sim::EventQueue& queue)
+      : record_(record), queue_(queue) {}
 
   struct UpdateOutcome {
     bool pre_attestation_ok = false;   // device healthy before the update
@@ -73,7 +78,7 @@ class MaintenanceAuthority {
   /// Fresh on-demand measurement, compared against `expected_digest`.
   bool attest_now(Prover& prover, ByteView expected_digest);
 
-  Verifier& verifier_;
+  DeviceRecord& record_;
   sim::EventQueue& queue_;
 };
 

@@ -44,33 +44,62 @@ void DirectTransport::attach(net::NodeId node, Prover& prover) {
   provers_[node] = &prover;
 }
 
-void DirectTransport::send(net::NodeId peer, MsgType type, ByteView body) {
+void DirectTransport::serve_collect(net::NodeId peer,
+                                    const CollectRequest& req) {
   last_processing_ = sim::Duration(0);
   const auto it = provers_.find(peer);
   if (it == provers_.end()) return;
-  Prover& prover = *it->second;
+  const auto res = it->second->handle_collect(req);
+  last_processing_ = res.processing;
+  if (receiver_) {
+    receiver_(peer, MsgType::kCollectResponse, res.response.serialize());
+  }
+}
 
+void DirectTransport::serve_od(net::NodeId peer, const OdRequest& req) {
+  last_processing_ = sim::Duration(0);
+  const auto it = provers_.find(peer);
+  if (it == provers_.end()) return;
+  const auto res = it->second->handle_od(req);
+  last_processing_ = res.processing;
+  if (res.response && receiver_) {
+    receiver_(peer, MsgType::kOdResponse, res.response->serialize());
+  }
+}
+
+void DirectTransport::send(net::NodeId peer, MsgType type, ByteView body) {
+  last_processing_ = sim::Duration(0);
+  if (type == MsgType::kCollectRequest) {
+    const auto req = CollectRequest::deserialize(body);
+    if (req) serve_collect(peer, *req);
+    return;
+  }
+  if (type == MsgType::kOdRequest) {
+    const auto req = OdRequest::deserialize(body);
+    if (req) serve_od(peer, *req);
+    return;
+  }
+  // Provers only serve requests; anything else is silently dropped.
+}
+
+void DirectTransport::broadcast(const std::vector<net::NodeId>& peers,
+                                MsgType type, ByteView body) {
+  // A round's batched dispatch carries one shared body (uniform k), so
+  // decode it once and run a single dispatch loop instead of re-parsing
+  // per peer -- observable behaviour stays identical to the send() loop.
+  last_processing_ = sim::Duration(0);
   if (type == MsgType::kCollectRequest) {
     const auto req = CollectRequest::deserialize(body);
     if (!req) return;
-    const auto res = prover.handle_collect(*req);
-    last_processing_ = res.processing;
-    if (receiver_) {
-      receiver_(peer, MsgType::kCollectResponse, res.response.serialize());
-    }
+    for (const net::NodeId peer : peers) serve_collect(peer, *req);
     return;
   }
   if (type == MsgType::kOdRequest) {
     const auto req = OdRequest::deserialize(body);
     if (!req) return;
-    const auto res = prover.handle_od(*req);
-    last_processing_ = res.processing;
-    if (res.response && receiver_) {
-      receiver_(peer, MsgType::kOdResponse, res.response->serialize());
-    }
+    for (const net::NodeId peer : peers) serve_od(peer, *req);
     return;
   }
-  // Provers only serve requests; anything else is silently dropped.
 }
 
 void DirectTransport::set_receiver(Receiver receiver) {

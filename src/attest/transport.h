@@ -94,6 +94,11 @@ class DirectTransport : public Transport {
   /// the prover rejects (OD auth failure) produce no reply, like a silent
   /// datagram drop.
   void send(net::NodeId peer, MsgType type, ByteView body) override;
+  /// Batched round dispatch, symmetric with NetworkTransport::broadcast:
+  /// one pass that decodes the shared request once and serves each peer in
+  /// `peers` order -- observable effects identical to the send() loop.
+  void broadcast(const std::vector<net::NodeId>& peers, MsgType type,
+                 ByteView body) override;
   void set_receiver(Receiver receiver) override;
   sim::Duration latency() const override { return sim::Duration(0); }
 
@@ -103,6 +108,11 @@ class DirectTransport : public Transport {
   sim::Duration last_processing() const { return last_processing_; }
 
  private:
+  /// Per-peer dispatch of an already-decoded request (send() and
+  /// broadcast() decode once, then share these).
+  void serve_collect(net::NodeId peer, const CollectRequest& req);
+  void serve_od(net::NodeId peer, const OdRequest& req);
+
   std::unordered_map<net::NodeId, Prover*> provers_;
   Receiver receiver_;
   sim::Duration last_processing_;

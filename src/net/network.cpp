@@ -17,34 +17,53 @@ void Network::set_handler(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
 }
 
-void Network::send(NodeId src, NodeId dst, Bytes payload) {
-  if (src >= handlers_.size() || dst >= handlers_.size()) {
-    throw std::out_of_range("Network: unknown endpoint");
-  }
+bool Network::admit(NodeId src, NodeId dst) {
   ++stats_.sent;
   ++node_stats_[dst].sent;
   if (filter_ && !filter_(src, dst)) {
     ++stats_.dropped_disconnected;
     ++node_stats_[dst].dropped_disconnected;
-    return;
+    return false;
   }
   if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
     ++stats_.dropped_loss;
     ++node_stats_[dst].dropped_loss;
-    return;
+    return false;
   }
-  queue_.schedule_after(
-      latency_, [this, d = Datagram{src, dst, std::move(payload)}] {
-        ++stats_.delivered;
-        ++node_stats_[d.dst].delivered;
-        if (handlers_[d.dst]) handlers_[d.dst](d);
-      });
+  return true;
+}
+
+void Network::deliver(Datagram dgram) {
+  queue_.schedule_after(latency_, [this, d = std::move(dgram)] {
+    ++stats_.delivered;
+    ++node_stats_[d.dst].delivered;
+    if (handlers_[d.dst]) handlers_[d.dst](d);
+  });
+}
+
+void Network::send(NodeId src, NodeId dst, Bytes payload) {
+  if (src >= handlers_.size() || dst >= handlers_.size()) {
+    throw std::out_of_range("Network: unknown endpoint");
+  }
+  if (!admit(src, dst)) return;
+  deliver(Datagram{src, dst, std::move(payload)});
 }
 
 void Network::broadcast(NodeId src, const std::vector<NodeId>& dsts,
                         ByteView payload) {
+  if (src >= handlers_.size()) {
+    throw std::out_of_range("Network: unknown endpoint");
+  }
   for (const NodeId dst : dsts) {
-    send(src, dst, Bytes(payload.begin(), payload.end()));
+    if (dst >= handlers_.size()) {
+      throw std::out_of_range("Network: unknown endpoint");
+    }
+    // Same per-destination draw and event order as the equivalent send()
+    // loop -- but the payload is only copied for destinations that are
+    // actually delivered to, which is what makes swarm-wide radio floods
+    // (1 sender x N destinations, most out of range) affordable.
+    if (!admit(src, dst)) continue;
+    deliver(Datagram{src, dst, Bytes(payload.begin(), payload.end())});
   }
 }
 

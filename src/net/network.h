@@ -58,8 +58,9 @@ class Network {
 
   /// Sends one payload to many destinations: one independent loss/link
   /// draw and one delivery event per destination, in `dsts` order --
-  /// byte-identical to the equivalent send() loop. Used for batched
-  /// collection-round dispatch.
+  /// byte-identical to the equivalent send() loop, but the payload is
+  /// only copied for destinations actually delivered to. Used for
+  /// batched collection-round dispatch and overlay radio floods.
   void broadcast(NodeId src, const std::vector<NodeId>& dsts,
                  ByteView payload);
 
@@ -78,6 +79,10 @@ class Network {
   const Stats& node_stats(NodeId dst) const;
 
  private:
+  /// Stats + link-filter + loss draw for one (src, dst); true = deliver.
+  bool admit(NodeId src, NodeId dst);
+  void deliver(Datagram dgram);
+
   sim::EventQueue& queue_;
   sim::Duration latency_;
   double loss_probability_;

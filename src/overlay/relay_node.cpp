@@ -1,0 +1,249 @@
+#include "overlay/relay_node.h"
+
+#include <algorithm>
+
+#include "attest/protocol.h"
+
+namespace erasmus::overlay {
+
+namespace {
+/// Alternate-uplink memory per flood: enough for route repair in dense
+/// neighbourhoods without unbounded growth in them.
+constexpr size_t kMaxAlternates = 4;
+}  // namespace
+
+RelayNode::RelayNode(sim::EventQueue& queue, net::Network& network,
+                     net::NodeId self, attest::Prover& prover,
+                     size_t num_nodes, RelayNodeConfig config)
+    : queue_(queue), network_(network), self_(self), prover_(prover),
+      num_nodes_(num_nodes), config_(config) {
+  network_.set_handler(self_,
+                       [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+RelayNode::~RelayNode() {
+  // Detach so in-flight datagrams cannot fire into a freed node; pending
+  // serve/drain events are cancelled for the same reason.
+  network_.set_handler(self_, {});
+  for (const sim::EventId id : pending_events_) queue_.cancel(id);
+}
+
+void RelayNode::schedule(sim::Duration delay, std::function<void()> fn) {
+  auto id = std::make_shared<sim::EventId>();
+  *id = queue_.schedule_after(delay, [this, id, fn = std::move(fn)] {
+    pending_events_.erase(*id);
+    fn();
+  });
+  pending_events_.insert(*id);
+}
+
+void RelayNode::physical_broadcast(ByteView payload, net::NodeId except) {
+  // Offer the datagram to every node; the network's link filter delivers
+  // only to nodes in radio range at this instant (§6 semantics). One
+  // broadcast call so the payload is only copied per actual delivery.
+  scratch_dsts_.clear();
+  scratch_dsts_.reserve(num_nodes_);
+  for (net::NodeId node = 0; node < num_nodes_; ++node) {
+    if (node == self_ || node == except) continue;
+    scratch_dsts_.push_back(node);
+  }
+  network_.broadcast(self_, scratch_dsts_, payload);
+}
+
+void RelayNode::on_datagram(const net::Datagram& dgram) {
+  const auto framed = unframe_relay(dgram.payload);
+  if (!framed) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  switch (framed->first) {
+    case RelayMsg::kCollectFlood: {
+      const auto flood = CollectFlood::deserialize(framed->second);
+      if (!flood) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      handle_flood(*flood, dgram.src);
+      return;
+    }
+    case RelayMsg::kRelayReport: {
+      auto report = RelayReport::deserialize(framed->second);
+      if (!report) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      // Pure relay: never parse the inner response. Unknown flood (never
+      // heard it, or route state already pruned) -> nowhere to send it.
+      const auto it = routes_.find(report->flood);
+      if (it == routes_.end()) {
+        ++stats_.reports_orphaned;
+        return;
+      }
+      ++report->hops;
+      enqueue_report(report->flood,
+                     frame_relay(RelayMsg::kRelayReport, report->serialize()),
+                     /*relayed=*/true);
+      return;
+    }
+  }
+}
+
+bool RelayNode::first_sight(uint32_t flood) {
+  // Dedup window: transport flood ids are monotone, so once the watermark
+  // has moved this far past an id, any copy of it still circulating is a
+  // duplicate. MUST be wider than route memory: if a pruned route were
+  // mistaken for first sight, its echoes would re-flood exponentially.
+  constexpr uint32_t kWindow = 1u << 16;
+  if (flood + kWindow < flood_watermark_) return false;  // ancient echo
+  if (!seen_floods_.insert(flood).second) return false;
+  if (flood > flood_watermark_) {
+    flood_watermark_ = flood;
+    while (!seen_floods_.empty() &&
+           *seen_floods_.begin() + kWindow < flood_watermark_) {
+      seen_floods_.erase(seen_floods_.begin());
+    }
+  }
+  return true;
+}
+
+void RelayNode::handle_flood(const CollectFlood& flood, net::NodeId from) {
+  ++stats_.floods_seen;
+  if (!first_sight(flood.flood)) {
+    // Duplicate arrival: remember the sender as an alternate uplink for
+    // route repair; the flood was already served and forwarded.
+    const auto it = routes_.find(flood.flood);
+    if (it == routes_.end()) return;  // route state already pruned
+    FloodRoute& route = it->second;
+    if (from != route.parent &&
+        route.alternates.size() < kMaxAlternates &&
+        std::find(route.alternates.begin(), route.alternates.end(), from) ==
+            route.alternates.end()) {
+      route.alternates.push_back(from);
+    }
+    return;
+  }
+
+  routes_[flood.flood] = FloodRoute{from, {}};
+  prune_routes();
+
+  if (flood.target == kEveryone || flood.target == self_) serve(flood);
+
+  if (flood.ttl > 0) {
+    CollectFlood next = flood;
+    next.ttl = flood.ttl - 1;
+    ++stats_.floods_forwarded;
+    physical_broadcast(frame_relay(RelayMsg::kCollectFlood, next.serialize()),
+                       from);
+  }
+}
+
+void RelayNode::serve(const CollectFlood& flood) {
+  // Serve from the co-located prover: a buffer read plus (for OD) one MAC
+  // check -- collection itself triggers no measurement (§3, §6).
+  Bytes response;
+  uint8_t response_type = 0;
+  sim::Duration processing;
+  switch (static_cast<attest::MsgType>(flood.inner_type)) {
+    case attest::MsgType::kCollectRequest: {
+      const auto req = attest::CollectRequest::deserialize(flood.request);
+      if (!req) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      const auto res = prover_.handle_collect(*req);
+      response = res.response.serialize();
+      response_type = static_cast<uint8_t>(attest::MsgType::kCollectResponse);
+      processing = res.processing;
+      break;
+    }
+    case attest::MsgType::kOdRequest: {
+      const auto req = attest::OdRequest::deserialize(flood.request);
+      if (!req) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      const auto res = prover_.handle_od(*req);
+      if (!res.response) return;  // auth/freshness reject: silent (anti-DoS)
+      response = res.response->serialize();
+      response_type = static_cast<uint8_t>(attest::MsgType::kOdResponse);
+      processing = res.processing;
+      break;
+    }
+    default:
+      return;  // not a request; floods never carry responses
+  }
+  ++stats_.requests_served;
+
+  RelayReport report;
+  report.flood = flood.flood;
+  report.origin = self_;
+  report.hops = 0;
+  report.inner_type = response_type;
+  report.response = std::move(response);
+  const uint32_t flood_id = flood.flood;
+  Bytes frame = frame_relay(RelayMsg::kRelayReport, report.serialize());
+  schedule(processing, [this, flood_id, frame = std::move(frame)]() mutable {
+    enqueue_report(flood_id, std::move(frame), /*relayed=*/false);
+  });
+}
+
+void RelayNode::enqueue_report(uint32_t flood, Bytes frame, bool relayed) {
+  if (queue_out_.size() >= config_.queue_depth) {
+    ++stats_.reports_dropped;
+    return;
+  }
+  queue_out_.push_back({flood, std::move(frame), relayed});
+  if (!draining_) {
+    draining_ = true;
+    schedule(config_.forward_spacing, [this] { drain_one(); });
+  }
+}
+
+void RelayNode::drain_one() {
+  if (queue_out_.empty()) {
+    draining_ = false;
+    return;
+  }
+  QueuedReport item = std::move(queue_out_.front());
+  queue_out_.pop_front();
+
+  const auto it = routes_.find(item.flood);
+  if (it == routes_.end()) {
+    // Route state pruned while the report sat in the queue.
+    ++stats_.reports_orphaned;
+  } else {
+    if (item.relayed) ++stats_.reports_relayed;
+    network_.send(self_, uplink(it->second), std::move(item.frame));
+  }
+
+  if (queue_out_.empty()) {
+    draining_ = false;
+  } else {
+    schedule(config_.forward_spacing, [this] { drain_one(); });
+  }
+}
+
+net::NodeId RelayNode::uplink(FloodRoute& route) {
+  // Mobility-aware route repair: if the parent has moved out of range
+  // since the flood passed, swap in a still-connected alternate (a
+  // neighbour the same flood also arrived from). Without a probe, or with
+  // no live alternate, send toward the recorded parent and let the radio
+  // drop it -- datagram networks do not report loss to the sender.
+  if (!link_probe_ || link_probe_(self_, route.parent)) return route.parent;
+  for (net::NodeId alt : route.alternates) {
+    if (link_probe_(self_, alt)) {
+      ++stats_.route_repairs;
+      route.parent = alt;
+      return alt;
+    }
+  }
+  return route.parent;
+}
+
+void RelayNode::prune_routes() {
+  while (routes_.size() > config_.flood_memory) {
+    routes_.erase(routes_.begin());  // oldest flood id
+  }
+}
+
+}  // namespace erasmus::overlay

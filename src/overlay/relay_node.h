@@ -1,0 +1,132 @@
+// Per-device agent of the multi-hop collection overlay.
+//
+// A RelayNode owns its device's network handler and plays both overlay
+// roles:
+//
+//  * endpoint -- floods that target this node (or everyone) are served by
+//    the co-located Prover (a real buffer read, no cryptography) and the
+//    response enters the relay queue addressed up the flood's tree;
+//  * relay    -- reports from deeper nodes are stored in a bounded
+//    store-and-forward queue and forwarded one per `forward_spacing`
+//    toward this node's parent for that flood. Overflow drops (and drop
+//    accounting) model a constrained radio, not an infinite pipe.
+//
+// Route state is per flood id: the parent is the neighbour the flood was
+// first heard from, and every duplicate arrival is remembered as an
+// alternate uplink. When a report is about to be forwarded and a link
+// probe says the parent has moved out of range, the node repairs the
+// route onto a still-connected alternate (counted in stats) -- the
+// mobility-aware re-discovery that keeps a round alive when the topology
+// churns mid-collection.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "attest/prover.h"
+#include "overlay/wire.h"
+#include "sim/event_queue.h"
+
+namespace erasmus::overlay {
+
+struct RelayNodeConfig {
+  /// Store-and-forward buffer capacity (reports queued for the uplink).
+  size_t queue_depth = 16;
+  /// Radio serialization: one queued report leaves every this-often.
+  sim::Duration forward_spacing = sim::Duration::millis(1);
+  /// Route (uplink) state is kept for this many most-recent floods;
+  /// older floods' parent entries are pruned (their late reports become
+  /// orphans). Size it to the number of floods that can be in flight at
+  /// once -- a round broadcast plus one targeted flood per retried
+  /// session. NOTE: this bounds route state only; flood DEDUP uses a
+  /// separate id watermark, so pruning can never re-trigger a re-flood
+  /// (a pruned id mistaken for "first sight" would echo exponentially).
+  size_t flood_memory = 64;
+};
+
+class RelayNode {
+ public:
+  /// Local connectivity oracle ("can I still hear this neighbour?") used
+  /// for route repair before forwarding. Physically this is link-layer
+  /// beaconing; here it asks the same predicate the network applies at
+  /// send time. Empty = no repair, forward blindly like the radio would.
+  using LinkProbe = std::function<bool(net::NodeId self, net::NodeId peer)>;
+
+  /// `num_nodes` bounds the physical broadcast loop (node ids
+  /// [0, num_nodes) exist on `network`, this node and the verifier
+  /// included). The node installs itself as `self`'s datagram handler.
+  RelayNode(sim::EventQueue& queue, net::Network& network, net::NodeId self,
+            attest::Prover& prover, size_t num_nodes,
+            RelayNodeConfig config = {});
+  ~RelayNode();
+
+  RelayNode(const RelayNode&) = delete;
+  RelayNode& operator=(const RelayNode&) = delete;
+
+  void set_link_probe(LinkProbe probe) { link_probe_ = std::move(probe); }
+
+  struct Stats {
+    uint64_t floods_seen = 0;       // flood frames heard (duplicates incl.)
+    uint64_t floods_forwarded = 0;  // re-floods sent (first sight, ttl > 0)
+    uint64_t requests_served = 0;   // floods answered by the local prover
+    uint64_t reports_relayed = 0;   // reports forwarded toward a parent
+    uint64_t reports_dropped = 0;   // store-and-forward queue overflow
+    uint64_t reports_orphaned = 0;  // reports for floods we never saw/pruned
+    uint64_t route_repairs = 0;     // parent swapped to an alternate uplink
+    uint64_t malformed_frames = 0;  // frames that did not parse (cf.
+                                    // NetworkTransport::malformed_frames)
+  };
+  const Stats& stats() const { return stats_; }
+  net::NodeId self() const { return self_; }
+
+ private:
+  struct FloodRoute {
+    net::NodeId parent = 0;
+    std::vector<net::NodeId> alternates;  // duplicate-arrival uplinks
+  };
+  struct QueuedReport {
+    uint32_t flood = 0;
+    Bytes frame;
+    bool relayed = false;  // someone else's report (vs served locally)
+  };
+
+  void on_datagram(const net::Datagram& dgram);
+  void handle_flood(const CollectFlood& flood, net::NodeId from);
+  void serve(const CollectFlood& flood);
+  /// Enqueues one report frame for store-and-forward; drops on overflow.
+  void enqueue_report(uint32_t flood, Bytes frame, bool relayed);
+  void drain_one();
+  /// The route's current uplink, after any route repair.
+  net::NodeId uplink(FloodRoute& route);
+  void physical_broadcast(ByteView payload, net::NodeId except);
+  void prune_routes();
+  /// schedule_after with cancellation-on-destruction bookkeeping.
+  void schedule(sim::Duration delay, std::function<void()> fn);
+
+  sim::EventQueue& queue_;
+  net::Network& network_;
+  net::NodeId self_;
+  attest::Prover& prover_;
+  size_t num_nodes_;
+  RelayNodeConfig config_;
+  LinkProbe link_probe_;
+
+  /// First-sight dedup, decoupled from route pruning. Transport flood ids
+  /// are monotone, so anything at or below the watermark minus the window
+  /// is a duplicate by construction.
+  bool first_sight(uint32_t flood);
+
+  std::vector<net::NodeId> scratch_dsts_;  // physical_broadcast reuse
+  std::map<uint32_t, FloodRoute> routes_;  // flood id -> uplink state
+  std::set<uint32_t> seen_floods_;         // recent ids above watermark
+  uint32_t flood_watermark_ = 0;           // highest flood id seen
+  std::deque<QueuedReport> queue_out_;
+  bool draining_ = false;
+  std::unordered_set<sim::EventId> pending_events_;
+  Stats stats_;
+};
+
+}  // namespace erasmus::overlay

@@ -1,0 +1,110 @@
+#include "overlay/relay_transport.h"
+
+namespace erasmus::overlay {
+
+namespace {
+bool valid_msg_type(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(attest::MsgType::kCollectRequest) &&
+         raw <= static_cast<uint8_t>(attest::MsgType::kOdResponse);
+}
+}  // namespace
+
+RelayTransport::RelayTransport(net::Network& network, net::NodeId self,
+                               size_t num_nodes, RelayTransportConfig config)
+    : network_(network), self_(self), num_nodes_(num_nodes), config_(config) {
+  network_.set_handler(self_,
+                       [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+RelayTransport::~RelayTransport() {
+  network_.set_handler(self_, {});
+}
+
+void RelayTransport::launch_flood(net::NodeId target, attest::MsgType type,
+                                  ByteView body) {
+  CollectFlood flood;
+  flood.flood = next_flood_++;
+  flood.target = target;
+  flood.ttl = config_.ttl;
+  flood.inner_type = static_cast<uint8_t>(type);
+  flood.request.assign(body.begin(), body.end());
+
+  delivered_[flood.flood];  // open the dedup window for this flood
+  while (delivered_.size() > config_.flood_memory) {
+    delivered_.erase(delivered_.begin());
+  }
+
+  const Bytes payload =
+      frame_relay(RelayMsg::kCollectFlood, flood.serialize());
+  scratch_dsts_.clear();
+  scratch_dsts_.reserve(num_nodes_);
+  for (net::NodeId node = 0; node < num_nodes_; ++node) {
+    if (node != self_) scratch_dsts_.push_back(node);
+  }
+  network_.broadcast(self_, scratch_dsts_, payload);
+}
+
+void RelayTransport::send(net::NodeId peer, attest::MsgType type,
+                          ByteView body) {
+  // A unicast is a targeted flood: everyone forwards, only `peer` serves.
+  // The fresh flood id rebuilds the parent tree from the topology as it is
+  // NOW, so per-device retries double as route re-discovery.
+  ++stats_.targeted_floods;
+  launch_flood(peer, type, body);
+}
+
+void RelayTransport::broadcast(const std::vector<net::NodeId>& /*peers*/,
+                               attest::MsgType type, ByteView body) {
+  // One flood covers the whole swarm regardless of the batch: flooding is
+  // round-wide by nature. Non-targeted nodes' responses are deduplicated
+  // by the service's session table like any stray datagram.
+  ++stats_.floods_sent;
+  launch_flood(kEveryone, type, body);
+}
+
+void RelayTransport::set_receiver(Receiver receiver) {
+  receiver_ = std::move(receiver);
+}
+
+sim::Duration RelayTransport::latency() const {
+  return (network_.latency() + config_.forward_spacing) *
+         (static_cast<uint64_t>(config_.ttl) + 1);
+}
+
+void RelayTransport::on_datagram(const net::Datagram& dgram) {
+  const auto framed = unframe_relay(dgram.payload);
+  if (!framed) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  if (framed->first == RelayMsg::kCollectFlood) {
+    // Our own flood echoed back by a neighbour; nothing to do.
+    return;
+  }
+  const auto report = RelayReport::deserialize(framed->second);
+  if (!report || !valid_msg_type(report->inner_type)) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  const auto it = delivered_.find(report->flood);
+  if (it == delivered_.end()) {
+    // A flood id we never launched, or one already outside the dedup
+    // window: a straggler from a long-finished round (or a forgery).
+    ++stats_.stale_reports;
+    return;
+  }
+  if (!it->second.insert(report->origin).second) {
+    ++stats_.duplicate_reports;  // same report over a second path
+    return;
+  }
+  ++stats_.reports_received;
+  if (hops_.size() <= report->hops) hops_.resize(report->hops + 1, 0);
+  ++hops_[report->hops];
+  if (receiver_) {
+    receiver_(report->origin,
+              static_cast<attest::MsgType>(report->inner_type),
+              report->response);
+  }
+}
+
+}  // namespace erasmus::overlay

@@ -1,0 +1,100 @@
+// overlay::RelayTransport -- the attest::Transport over the collection
+// overlay.
+//
+// This is the seam that lets the unified AttestationService (windows,
+// timeouts, retries, round policies) drive tree-routed swarm collection
+// unchanged: the service sees an ordinary Transport whose peers happen to
+// be reachable only over whatever multi-hop path exists right now.
+//
+//  * broadcast(peers, ...) -- a round dispatch becomes ONE CollectFlood to
+//    the whole swarm (flooding is inherently round-wide; size the
+//    service's in-flight window to the fleet accordingly). The flood
+//    builds its own parent tree as it propagates.
+//  * send(peer, ...)       -- a retry or per-device (OD) request becomes a
+//    targeted flood: everyone forwards, only `peer` serves. Because each
+//    flood rebuilds its tree from the CURRENT topology, a retry IS route
+//    re-discovery -- the §6 mobility argument in transport form.
+//  * receive               -- RelayReports are unwrapped, deduplicated per
+//    flood (dense topologies deliver the same report over several paths)
+//    and handed to the service keyed by the origin node, exactly as a
+//    direct response would be. Hop counts feed a histogram so scenarios
+//    can report how deep collection actually reached.
+//
+// Malformed frames are counted and dropped here, mirroring
+// NetworkTransport::malformed_frames(): the service only ever sees typed
+// messages.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "attest/transport.h"
+#include "overlay/wire.h"
+
+namespace erasmus::overlay {
+
+struct RelayTransportConfig {
+  /// Flood TTL: a flood reaches nodes up to ttl+1 hops out.
+  uint8_t ttl = 8;
+  /// Must match the relay nodes' forward_spacing; enters the latency
+  /// estimate the service sizes timeouts from.
+  sim::Duration forward_spacing = sim::Duration::millis(1);
+  /// Per-flood dedup/delivery state is kept for this many most-recent
+  /// floods. Size it to the floods that can await responses at once: one
+  /// round broadcast plus one targeted flood per in-flight retry (a
+  /// pruned window turns that flood's responses into stale reports and
+  /// forces another retry).
+  size_t flood_memory = 64;
+};
+
+class RelayTransport : public attest::Transport {
+ public:
+  /// Attaches to `self` (already registered on `network`); node ids
+  /// [0, num_nodes) exist, relay nodes and this endpoint included.
+  RelayTransport(net::Network& network, net::NodeId self, size_t num_nodes,
+                 RelayTransportConfig config = {});
+  ~RelayTransport() override;
+
+  void send(net::NodeId peer, attest::MsgType type, ByteView body) override;
+  void broadcast(const std::vector<net::NodeId>& peers, attest::MsgType type,
+                 ByteView body) override;
+  void set_receiver(Receiver receiver) override;
+  /// Worst-case one-way estimate: per-hop network latency plus relay
+  /// serialization, times the flood depth bound.
+  sim::Duration latency() const override;
+
+  struct Stats {
+    uint64_t floods_sent = 0;      // round broadcasts
+    uint64_t targeted_floods = 0;  // per-peer sends (retries, OD)
+    uint64_t reports_received = 0;
+    uint64_t duplicate_reports = 0;  // same (flood, origin) via another path
+    uint64_t stale_reports = 0;      // flood id outside the dedup window
+    uint64_t malformed_frames = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Reports received by relay count: [0] arrived directly, [h] crossed h
+  /// relays. Grown on demand.
+  const std::vector<uint64_t>& hop_histogram() const { return hops_; }
+
+  net::NodeId self() const { return self_; }
+
+ private:
+  void on_datagram(const net::Datagram& dgram);
+  void launch_flood(net::NodeId target, attest::MsgType type, ByteView body);
+
+  net::Network& network_;
+  net::NodeId self_;
+  size_t num_nodes_;
+  RelayTransportConfig config_;
+  Receiver receiver_;
+
+  uint32_t next_flood_ = 1;
+  std::vector<net::NodeId> scratch_dsts_;  // flood-launch reuse
+  std::map<uint32_t, std::set<net::NodeId>> delivered_;  // flood -> origins
+  std::vector<uint64_t> hops_;
+  Stats stats_;
+};
+
+}  // namespace erasmus::overlay

@@ -1,0 +1,68 @@
+#include "overlay/wire.h"
+
+#include "common/serde.h"
+
+namespace erasmus::overlay {
+
+Bytes CollectFlood::serialize() const {
+  ByteWriter w;
+  w.u32(flood);
+  w.u32(target);
+  w.u8(ttl);
+  w.u8(inner_type);
+  w.var_bytes(request);
+  return w.take();
+}
+
+std::optional<CollectFlood> CollectFlood::deserialize(ByteView data) {
+  ByteReader r(data);
+  CollectFlood f;
+  f.flood = r.u32();
+  f.target = r.u32();
+  f.ttl = r.u8();
+  f.inner_type = r.u8();
+  f.request = r.var_bytes();
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+Bytes RelayReport::serialize() const {
+  ByteWriter w;
+  w.u32(flood);
+  w.u32(origin);
+  w.u8(hops);
+  w.u8(inner_type);
+  w.var_bytes(response);
+  return w.take();
+}
+
+std::optional<RelayReport> RelayReport::deserialize(ByteView data) {
+  ByteReader r(data);
+  RelayReport report;
+  report.flood = r.u32();
+  report.origin = r.u32();
+  report.hops = r.u8();
+  report.inner_type = r.u8();
+  report.response = r.var_bytes();
+  if (!r.done()) return std::nullopt;
+  return report;
+}
+
+Bytes frame_relay(RelayMsg type, ByteView body) {
+  ByteWriter w;
+  w.u8(static_cast<uint8_t>(type));
+  w.raw(body);
+  return w.take();
+}
+
+std::optional<std::pair<RelayMsg, ByteView>> unframe_relay(ByteView data) {
+  if (data.empty()) return std::nullopt;
+  const uint8_t tag = data[0];
+  if (tag != static_cast<uint8_t>(RelayMsg::kCollectFlood) &&
+      tag != static_cast<uint8_t>(RelayMsg::kRelayReport)) {
+    return std::nullopt;
+  }
+  return std::make_pair(static_cast<RelayMsg>(tag), data.subspan(1));
+}
+
+}  // namespace erasmus::overlay

@@ -1,0 +1,77 @@
+// Wire protocol of the multi-hop collection overlay.
+//
+// The overlay moves ordinary attest:: protocol messages across a swarm
+// whose only connectivity is whatever multi-hop path exists at the instant
+// of each send (paper §6). Two frame types do all the work:
+//
+//  * CollectFlood -- carries one verifier request outward. Every flood has
+//    its own id and builds its own parent tree as it propagates: a node's
+//    uplink for flood F is whichever neighbour it first heard F from. The
+//    TTL bounds discovery depth; `target` scopes who serves the request
+//    (everyone for a round broadcast, one node for a retry).
+//  * RelayReport  -- carries one prover response back up the flood's
+//    parent tree, store-and-forward hop by hop. Relays never parse,
+//    verify or re-MAC the payload ("only relays reports and does not
+//    perform any computation", LISA-alpha); they only bump the hop count.
+//
+// The inner request/response bytes are exactly what attest::Transport
+// peers exchange, so the AttestationService session machine runs unchanged
+// on top: the overlay is routing, not protocol.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/bytes.h"
+#include "net/network.h"
+
+namespace erasmus::overlay {
+
+/// Wire tags, disjoint from attest::MsgType (which starts at 1) and
+/// swarm::SedaMsg (0x30-).
+enum class RelayMsg : uint8_t {
+  kCollectFlood = 0x20,
+  kRelayReport = 0x21,
+};
+
+/// CollectFlood::target wildcard: every node that hears the flood serves.
+inline constexpr net::NodeId kEveryone = 0xffffffffu;
+
+/// Flood-state memory sized for a fleet: in the worst case one round
+/// broadcast plus one targeted retry flood PER session is in flight at
+/// once. Undersizing is not a graceful degradation -- a relay that
+/// forgets a live flood orphans its reports, and a transport that
+/// forgets one turns valid responses into stale reports, forcing retry
+/// floods. Both RelayNodeConfig::flood_memory and
+/// RelayTransportConfig::flood_memory should use this for fleet-scale
+/// deployments.
+inline constexpr size_t flood_memory_for(size_t fleet) {
+  return fleet + 16;
+}
+
+struct CollectFlood {
+  uint32_t flood = 0;              // flood id == parent-tree id
+  net::NodeId target = kEveryone;  // who serves (kEveryone: all hearers)
+  uint8_t ttl = 8;                 // remaining re-flood budget
+  uint8_t inner_type = 0;          // attest::MsgType of `request`
+  Bytes request;                   // serialized attest request body
+
+  Bytes serialize() const;
+  static std::optional<CollectFlood> deserialize(ByteView data);
+};
+
+struct RelayReport {
+  uint32_t flood = 0;
+  net::NodeId origin = 0;   // the responding prover's node id
+  uint8_t hops = 0;         // relays traversed so far (origin sends 0)
+  uint8_t inner_type = 0;   // attest::MsgType of `response`
+  Bytes response;           // serialized attest response body
+
+  Bytes serialize() const;
+  static std::optional<RelayReport> deserialize(ByteView data);
+};
+
+Bytes frame_relay(RelayMsg type, ByteView body);
+std::optional<std::pair<RelayMsg, ByteView>> unframe_relay(ByteView data);
+
+}  // namespace erasmus::overlay

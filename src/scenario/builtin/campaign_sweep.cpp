@@ -4,7 +4,6 @@
 // a mobile-malware campaign, and the audit summary -- the quickest way to
 // explore T_M/T_C/schedule choices without writing code.
 #include "attest/qoa.h"
-#include "attest/verifier.h"
 #include "malware/campaign.h"
 #include "scenario/scenario.h"
 #include "swarm/provision.h"
@@ -62,10 +61,8 @@ class CampaignSweepScenario : public Scenario {
     sim::EventQueue sim;
     swarm::DeviceStack device = swarm::build_device_stack(sim, spec);
 
-    attest::VerifierConfig vc;
-    vc.key = spec.key;
-    vc.golden_digest = swarm::build_device_record(spec, device).golden();
-    attest::Verifier verifier(std::move(vc));
+    const attest::DeviceRecord record =
+        swarm::build_device_record(spec, device);
     device.prover->start();
 
     const attest::QoAParams qoa{tm, tc};
@@ -90,7 +87,7 @@ class CampaignSweepScenario : public Scenario {
     cc.dwell = dwell;
     cc.seed = params.get_u64("seed", 1);
     const auto result = malware::run_mobile_campaign(sim, *device.prover,
-                                                     verifier, cc);
+                                                     record, cc);
 
     sink.note("measurements", device.prover->stats().measurements);
     sink.note("collections", static_cast<uint64_t>(result.collections));

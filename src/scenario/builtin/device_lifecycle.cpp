@@ -3,8 +3,8 @@
 // Provisioning (HKDF per-device keys into a DeviceSpec), steady state (the
 // AttestationService collecting over a lossy link into the device's audit
 // log), software update (attest-before / install / attest-after with
-// golden-digest rotation -- the directory links the Verifier's live
-// record, so the rotation is immediately visible to the service), incident
+// golden-digest rotation -- the directory links the live DeviceRecord, so
+// the rotation is immediately visible to the service), incident
 // (malware detected through the service path) and decommissioning
 // (authenticated secure erasure + proof of erasure).
 #include "attest/directory.h"
@@ -60,10 +60,7 @@ class DeviceLifecycleScenario : public Scenario {
     swarm::DeviceStack device = swarm::build_device_stack(sim, spec);
     attest::Prover& prover = *device.prover;
 
-    attest::VerifierConfig vc;
-    vc.key = k_device;
-    vc.golden_digest = swarm::build_device_record(spec, device).golden();
-    attest::Verifier verifier(std::move(vc));
+    attest::DeviceRecord record = swarm::build_device_record(spec, device);
 
     // --- 2. Steady state: AttestationService over a lossy link ------------
     net::Network network(sim, Duration::millis(20),
@@ -76,8 +73,7 @@ class DeviceLifecycleScenario : public Scenario {
     attest::DeviceDirectory directory;
     // Linked, not copied: the software-update rotation below must stay
     // visible to the service.
-    const attest::DeviceId dev =
-        directory.link(dev_node, &verifier.record());
+    const attest::DeviceId dev = directory.link(dev_node, &record);
     attest::NetworkTransport transport(network, hq);
     attest::ServiceConfig sc;
     sc.tc = params.get_duration("tc", Duration::minutes(60));
@@ -99,7 +95,7 @@ class DeviceLifecycleScenario : public Scenario {
               service.log(dev).trustworthy_fraction());
 
     // --- 3. Software update -----------------------------------------------
-    attest::MaintenanceAuthority authority(verifier, sim);
+    attest::MaintenanceAuthority authority(record, sim);
     const auto update =
         authority.run_update(prover, bytes_of("firmware v2.0 image"));
     sink.note("update_pre_attestation_ok", update.pre_attestation_ok);

@@ -1,0 +1,164 @@
+// Scenario `swarm_relay`: multi-hop overlay collection of a mobile swarm
+// (§6, the packet-level version of swarm_patrol's rover).
+//
+// N devices self-measure while moving at vehicle speeds; at every round
+// barrier the AttestationService floods a collect request through the
+// overlay::RelayTransport and harvests whatever part of the swarm has a
+// multi-hop path at that instant -- store-and-forward relays, bounded
+// queues, TTL-bounded discovery and mobility-aware route repair included.
+// One device picks up persistent malware mid-run and must be flagged
+// through the relay path. Emits the standard per-round fleet rows plus
+// per-round overlay counters and the hop-count distribution.
+//
+// `threads=8 devices=1000` uses all cores and produces byte-identical
+// metrics to `threads=1`: provers advance on shard queues between
+// barriers, while every packet of the overlay runs on the single-threaded
+// coordinator clock.
+#include "scenario/scenario.h"
+#include "scenario/sharded_runner.h"
+
+namespace erasmus::scenario {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+class SwarmRelayScenario : public Scenario {
+ public:
+  std::string name() const override { return "swarm_relay"; }
+  std::string description() const override {
+    return "mobile swarm collected through the multi-hop overlay "
+           "(flood discovery, store-and-forward relays, route repair); "
+           "sharded multi-core fleet";
+  }
+  std::vector<ParamSpec> param_specs() const override {
+    return {
+        {"devices", "50", "fleet size"},
+        {"threads", "1", "shard/worker threads (wall-clock only; metrics "
+                         "are thread-count independent)"},
+        {"seed", "2024", "mobility + key + loss seed"},
+        {"arch", "smartplus", "security architecture (smartplus, hydra, "
+                              "trustlite)"},
+        {"tm", "10m", "self-measurement period T_M"},
+        {"rounds", "4", "collection rounds"},
+        {"interval", "30m", "time between collection rounds"},
+        {"k", "8", "records collected per device per round"},
+        {"ttl", "8", "flood TTL (reaches ttl+1 hops)"},
+        {"queue_depth", "16", "per-relay store-and-forward buffer (reports)"},
+        {"forward_spacing", "1ms", "relay serialization per report"},
+        {"latency", "2ms", "per-hop radio latency"},
+        {"loss", "0", "per-hop datagram loss probability"},
+        {"deadline", "30s", "listening window per round"},
+        {"timeout", "10s", "per-attempt response timeout"},
+        {"retries", "1", "per-session retry budget (each retry re-floods)"},
+        {"field", "300", "field side (metres) -- topology density"},
+        {"range", "60", "radio range (metres)"},
+        {"speed_min", "6", "min speed (m/s)"},
+        {"speed_max", "12", "max speed (m/s)"},
+        {"infect_device", "13", "device infected mid-run (skipped when "
+                                ">= devices)"},
+        {"infect_at", "42m", "infection time into the run"},
+    };
+  }
+
+  int run(const ParamMap& params, MetricsSink& sink) const override {
+    swarm::DeviceSpec base;
+    base.arch = hw::arch_kind_from_string(
+        params.get_str("arch", "smartplus"));
+    base.profile = swarm::default_profile_for(base.arch);
+    base.tm = params.get_duration("tm", Duration::minutes(10));
+    base.app_ram_bytes = 2 * 1024;
+    base.store_slots = 64;
+
+    ShardedFleetConfig cfg;
+    cfg.plan = swarm::FleetPlan::uniform(
+        static_cast<size_t>(params.get_u64("devices", 50)),
+        params.get_u64("seed", 2024), base);
+    cfg.plan.staggered = true;
+    cfg.plan.mobility.field_size = params.get_double("field", 300.0);
+    cfg.plan.mobility.radio_range = params.get_double("range", 60.0);
+    cfg.plan.mobility.speed_min = params.get_double("speed_min", 6.0);
+    cfg.plan.mobility.speed_max = params.get_double("speed_max", 12.0);
+    cfg.plan.mobility.seed = params.get_u64("seed", 2024);
+    cfg.threads = static_cast<size_t>(params.get_u64("threads", 1));
+    cfg.rounds = static_cast<size_t>(params.get_u64("rounds", 4));
+    cfg.round_interval =
+        params.get_duration("interval", Duration::minutes(30));
+    cfg.k = static_cast<size_t>(params.get_u64("k", 8));
+
+    cfg.backend = CollectionBackend::kOverlay;
+    cfg.overlay.ttl =
+        static_cast<uint8_t>(params.get_u64("ttl", 8));
+    cfg.overlay.queue_depth =
+        static_cast<size_t>(params.get_u64("queue_depth", 16));
+    cfg.overlay.forward_spacing =
+        params.get_duration("forward_spacing", Duration::millis(1));
+    cfg.overlay.net_latency =
+        params.get_duration("latency", Duration::millis(2));
+    cfg.overlay.net_loss = params.get_double("loss", 0.0);
+    cfg.overlay.collect_deadline =
+        params.get_duration("deadline", Duration::seconds(30));
+    cfg.overlay.response_timeout =
+        params.get_duration("timeout", Duration::seconds(10));
+    cfg.overlay.max_retries =
+        static_cast<int>(params.get_u64("retries", 1));
+
+    sink.note("devices", static_cast<uint64_t>(cfg.plan.devices()));
+    sink.note("seed", params.get_u64("seed", 2024));
+    sink.note("arch", hw::to_string(base.arch));
+    sink.note("tm_min", base.tm.to_seconds() / 60.0);
+    sink.note("rounds", static_cast<uint64_t>(cfg.rounds));
+    sink.note("ttl", static_cast<uint64_t>(cfg.overlay.ttl));
+    sink.note("queue_depth", static_cast<uint64_t>(cfg.overlay.queue_depth));
+
+    ShardedFleetRunner runner(cfg);
+
+    // Range-check before narrowing: a 64-bit id must not wrap into range.
+    const uint64_t infect_raw = params.get_u64("infect_device", 13);
+    if (infect_raw < cfg.plan.devices()) {
+      const auto infect = static_cast<swarm::DeviceId>(infect_raw);
+      runner.schedule_on_device(
+          infect,
+          Time::zero() +
+              params.get_duration("infect_at", Duration::minutes(42)),
+          [](attest::Prover& p) {
+            p.memory().write(p.attested_region(), 64, bytes_of("IMPLANT"),
+                             false);
+          });
+    }
+
+    const auto rounds = runner.run(sink);
+    size_t flagged_rounds = 0;
+    size_t collected = 0;
+    for (const auto& r : rounds) {
+      flagged_rounds += r.flagged > 0;
+      collected += r.reachable;
+    }
+    sink.note("rounds_with_flagged_device",
+              static_cast<uint64_t>(flagged_rounds));
+    sink.note("device_collections", static_cast<uint64_t>(collected));
+
+    // End-of-run overlay totals: how the swarm was actually reached.
+    const auto totals = runner.overlay_totals();
+    sink.note("floods_forwarded_total", totals.floods_forwarded);
+    sink.note("reports_relayed_total", totals.reports_relayed);
+    sink.note("reports_dropped_total", totals.reports_dropped);
+    sink.note("route_repairs_total", totals.route_repairs);
+    uint64_t weighted = 0;
+    uint64_t reports = 0;
+    for (size_t h = 0; h < totals.hops.size(); ++h) {
+      weighted += totals.hops[h] * h;
+      reports += totals.hops[h];
+    }
+    sink.note("mean_relay_hops",
+              reports == 0 ? 0.0
+                           : static_cast<double>(weighted) /
+                                 static_cast<double>(reports));
+    return 0;
+  }
+};
+
+ERASMUS_SCENARIO(SwarmRelayScenario)
+
+}  // namespace
+}  // namespace erasmus::scenario

@@ -38,12 +38,82 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
     stacks_.push_back(swarm::build_device_stack(*shards_[shard_of(id)].queue,
                                                 specs_[id]));
     directory_.add(id, swarm::build_device_record(specs_[id], stacks_[id]));
-    transport_.attach(id, *stacks_[id].prover);
+    if (config_.backend == CollectionBackend::kDirect) {
+      direct_transport_.attach(id, *stacks_[id].prover);
+    }
   }
+
   attest::ServiceConfig sc;
   sc.keep_audit = false;  // million-device fleets aggregate via rows instead
+  attest::Transport* transport = &direct_transport_;
+  if (config_.backend == CollectionBackend::kOverlay) {
+    build_overlay();
+    transport = relay_transport_.get();
+    sc.response_timeout = config_.overlay.response_timeout;
+    sc.max_retries = config_.overlay.max_retries;
+    // One flood covers the whole swarm; a smaller window would only delay
+    // sessions past reports that already arrived.
+    sc.max_in_flight = specs_.size();
+  }
   service_ = std::make_unique<attest::AttestationService>(
-      coordinator_queue_, transport_, directory_, sc);
+      coordinator_queue_, *transport, directory_, sc);
+  if (config_.backend == CollectionBackend::kOverlay) {
+    service_->set_observer(
+        [this](const attest::AttestationService::SessionOutcome& outcome) {
+          round_outcomes_.push_back(outcome);
+        });
+  }
+}
+
+void ShardedFleetRunner::build_overlay() {
+  overlay_net_ = std::make_unique<net::Network>(
+      coordinator_queue_, config_.overlay.net_latency,
+      config_.overlay.net_loss, config_.plan.key_seed());
+  for (swarm::DeviceId id = 0; id < specs_.size(); ++id) {
+    overlay_net_->add_node({});  // handler installed by the RelayNode
+  }
+  verifier_node_ = overlay_net_->add_node({});
+  overlay_net_->set_link_filter(
+      [this](net::NodeId a, net::NodeId b) { return link_up(a, b); });
+
+  overlay::RelayNodeConfig nc;
+  nc.queue_depth = config_.overlay.queue_depth;
+  nc.forward_spacing = config_.overlay.forward_spacing;
+  nc.flood_memory = overlay::flood_memory_for(specs_.size());
+  relay_nodes_.reserve(specs_.size());
+  for (swarm::DeviceId id = 0; id < specs_.size(); ++id) {
+    relay_nodes_.push_back(std::make_unique<overlay::RelayNode>(
+        coordinator_queue_, *overlay_net_, id, *stacks_[id].prover,
+        specs_.size() + 1, nc));
+    relay_nodes_.back()->set_link_probe(
+        [this](net::NodeId a, net::NodeId b) { return link_up(a, b); });
+  }
+
+  overlay::RelayTransportConfig tc;
+  tc.ttl = config_.overlay.ttl;
+  tc.forward_spacing = config_.overlay.forward_spacing;
+  tc.flood_memory = overlay::flood_memory_for(specs_.size());
+  relay_transport_ = std::make_unique<overlay::RelayTransport>(
+      *overlay_net_, verifier_node_, specs_.size() + 1, tc);
+}
+
+bool ShardedFleetRunner::link_up(net::NodeId a, net::NodeId b) {
+  // Departed devices are radio-silent; the verifier is co-located with the
+  // root device (same position, distance zero).
+  const auto device = [this](net::NodeId n) {
+    return n == verifier_node_ ? config_.root
+                               : static_cast<swarm::DeviceId>(n);
+  };
+  if (a != verifier_node_ && !present_[a]) return false;
+  if (b != verifier_node_ && !present_[b]) return false;
+  const swarm::DeviceId da = device(a);
+  const swarm::DeviceId db = device(b);
+  if (da == db) return true;
+  // Single-threaded invariant: the link filter only runs from coordinator
+  // events (floods, relays), while every shard queue is parked at the
+  // barrier -- so the shared mobility RNG is consumed in deterministic
+  // order regardless of thread count.
+  return mobility_.connected(da, db, coordinator_queue_.now());
 }
 
 attest::Prover& ShardedFleetRunner::prover(swarm::DeviceId id) {
@@ -106,38 +176,19 @@ void ShardedFleetRunner::advance_all(sim::Time barrier) {
 
 FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
                                                    sim::Time at) {
-  // Single-threaded: mobility's lazy trajectory extension shares one RNG,
-  // so it must only ever be queried here, in deterministic order.
-  swarm::Topology topo = mobility_.snapshot(at);
-  for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
-    if (present_[id]) continue;
-    for (const swarm::DeviceId nb : topo.neighbors(id)) {
-      topo.remove_edge(id, nb);
-    }
-  }
-  const auto tree = topo.bfs_tree(config_.root);
-
   FleetRoundResult result;
   result.round = round;
   result.at = at;
   result.present = present_count();
 
-  std::vector<attest::DeviceId> targets;
-  targets.reserve(stacks_.size());
-  for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
-    if (!present_[id] || !tree.parent[id].has_value()) continue;
-    targets.push_back(id);
-  }
-  // The coordinator's own clock provides session timestamps/timeouts; over
-  // the DirectTransport every session completes synchronously at `at`, in
-  // global id order. run_until (not advance_to) so the cancelled timeout
-  // entries the previous round left behind are reclaimed instead of
+  // The coordinator's own clock provides session timestamps/timeouts (and
+  // drives the overlay radio). run_until (not advance_to) so cancelled
+  // timeout entries from the previous round are reclaimed instead of
   // accumulating one per session per round for the runner's lifetime.
   coordinator_queue_.run_until(at);
-  const auto outcomes =
-      service_->collect_now(targets, static_cast<uint32_t>(config_.k));
-  result.reachable = outcomes.size();
-  for (const auto& outcome : outcomes) {
+
+  const auto judge = [&result](
+      const attest::AttestationService::SessionOutcome& outcome) {
     const bool healthy = outcome.report.device_trustworthy() &&
                          outcome.report.freshness.has_value();
     if (healthy) {
@@ -145,7 +196,57 @@ FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
     } else {
       ++result.flagged;
     }
+  };
+
+  if (config_.backend == CollectionBackend::kDirect) {
+    // Single-threaded: mobility's lazy trajectory extension shares one
+    // RNG, so it must only ever be queried here, in deterministic order.
+    swarm::Topology topo = mobility_.snapshot(at);
+    for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
+      if (present_[id]) continue;
+      for (const swarm::DeviceId nb : topo.neighbors(id)) {
+        topo.remove_edge(id, nb);
+      }
+    }
+    const auto tree = topo.bfs_tree(config_.root);
+
+    std::vector<attest::DeviceId> targets;
+    targets.reserve(stacks_.size());
+    for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
+      if (!present_[id] || !tree.parent[id].has_value()) continue;
+      targets.push_back(id);
+    }
+    // Over the DirectTransport every session completes synchronously at
+    // `at`, in global id order.
+    const auto outcomes =
+        service_->collect_now(targets, static_cast<uint32_t>(config_.k));
+    result.reachable = outcomes.size();
+    for (const auto& outcome : outcomes) judge(outcome);
+    return result;
   }
+
+  // kOverlay: flood the round over the radio and listen until the
+  // deadline; who is "reachable" is decided by the packets, not a
+  // topology oracle. Devices that left the fleet are radio-silent (the
+  // link filter mutes them), so their sessions resolve as unreachable.
+  std::vector<attest::DeviceId> targets;
+  targets.reserve(stacks_.size());
+  for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
+    if (present_[id]) targets.push_back(id);
+  }
+  round_outcomes_.clear();
+  service_->collect_now(targets, static_cast<uint32_t>(config_.k));
+  coordinator_queue_.run_until(at + config_.overlay.collect_deadline);
+  // Sessions still unresolved at the deadline missed this round; late
+  // reports surface as stale/stray datagrams and cannot disturb the next
+  // round's floods.
+  if (service_->round_in_progress()) service_->stop();
+  for (const auto& outcome : round_outcomes_) {
+    if (!outcome.reachable) continue;
+    ++result.reachable;
+    judge(outcome);
+  }
+  round_outcomes_.clear();
   return result;
 }
 
@@ -171,6 +272,7 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
         sim::Time::zero() + config_.round_interval * round;
     advance_all(barrier);
     if (round_hook_) round_hook_(*this, round, barrier);
+    const OverlayTotals before = overlay_totals();
     const FleetRoundResult r = collect_round(round, barrier);
     results.push_back(r);
     sink.row("rounds",
@@ -180,8 +282,58 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
               {"reachable", static_cast<uint64_t>(r.reachable)},
               {"healthy", static_cast<uint64_t>(r.healthy)},
               {"flagged", static_cast<uint64_t>(r.flagged)}});
+    if (config_.backend == CollectionBackend::kOverlay) {
+      emit_overlay_round(sink, round, before);
+    }
   }
   return results;
+}
+
+ShardedFleetRunner::OverlayTotals ShardedFleetRunner::overlay_totals() const {
+  OverlayTotals totals;
+  if (config_.backend != CollectionBackend::kOverlay) return totals;
+  for (const auto& node : relay_nodes_) {
+    const overlay::RelayNode::Stats& s = node->stats();
+    totals.floods_seen += s.floods_seen;
+    totals.floods_forwarded += s.floods_forwarded;
+    totals.reports_relayed += s.reports_relayed;
+    totals.reports_dropped += s.reports_dropped;
+    totals.reports_orphaned += s.reports_orphaned;
+    totals.route_repairs += s.route_repairs;
+    totals.malformed_frames += s.malformed_frames;
+  }
+  const overlay::RelayTransport::Stats& t = relay_transport_->stats();
+  totals.malformed_frames += t.malformed_frames;
+  totals.duplicate_reports += t.duplicate_reports;
+  totals.stale_reports += t.stale_reports;
+  totals.hops = relay_transport_->hop_histogram();
+  return totals;
+}
+
+void ShardedFleetRunner::emit_overlay_round(MetricsSink& sink, size_t round,
+                                            const OverlayTotals& before) {
+  // Per-round per-hop behaviour as deltas of the cumulative counters: one
+  // "overlay" row per round, plus the round's hop-count distribution.
+  const OverlayTotals now = overlay_totals();
+  sink.row(
+      "overlay",
+      {{"round", static_cast<uint64_t>(round)},
+       {"floods_seen", now.floods_seen - before.floods_seen},
+       {"floods_forwarded", now.floods_forwarded - before.floods_forwarded},
+       {"reports_relayed", now.reports_relayed - before.reports_relayed},
+       {"reports_dropped", now.reports_dropped - before.reports_dropped},
+       {"route_repairs", now.route_repairs - before.route_repairs},
+       {"malformed_frames", now.malformed_frames - before.malformed_frames},
+       {"duplicate_reports",
+        now.duplicate_reports - before.duplicate_reports},
+       {"stale_reports", now.stale_reports - before.stale_reports}});
+  for (size_t h = 0; h < now.hops.size(); ++h) {
+    const uint64_t prev = h < before.hops.size() ? before.hops[h] : 0;
+    if (now.hops[h] == prev) continue;  // no reports at this depth
+    sink.row("hops", {{"round", static_cast<uint64_t>(round)},
+                      {"hops", static_cast<uint64_t>(h)},
+                      {"reports", now.hops[h] - prev}});
+  }
 }
 
 }  // namespace erasmus::scenario

@@ -29,10 +29,43 @@
 #include "attest/directory.h"
 #include "attest/service.h"
 #include "attest/transport.h"
+#include "net/network.h"
+#include "overlay/relay_node.h"
+#include "overlay/relay_transport.h"
 #include "scenario/metrics.h"
 #include "swarm/provision.h"
 
 namespace erasmus::scenario {
+
+/// How collection rounds reach the fleet at barriers.
+enum class CollectionBackend : uint8_t {
+  /// In-process DirectTransport: every tree-reachable device is served
+  /// synchronously at the barrier instant (reachability judged from a
+  /// topology snapshot).
+  kDirect,
+  /// The packet-level multi-hop overlay: the AttestationService floods
+  /// over a simulated radio network and reports hop back store-and-forward
+  /// through overlay::RelayNodes; reachability is whatever the flood
+  /// actually harvested before the round deadline (§6).
+  kOverlay,
+};
+
+/// Knobs of the kOverlay backend (ignored under kDirect).
+struct OverlayBackendConfig {
+  uint8_t ttl = 8;                 // flood depth bound
+  size_t queue_depth = 16;         // per-relay store-and-forward buffer
+  sim::Duration forward_spacing = sim::Duration::millis(1);
+  sim::Duration net_latency = sim::Duration::millis(2);
+  double net_loss = 0.0;
+  /// Per-attempt response timeout (floored by the service at twice the
+  /// transport's multi-hop estimate) and per-session retry budget.
+  sim::Duration response_timeout = sim::Duration::seconds(10);
+  int max_retries = 1;
+  /// Listening window per collection barrier; sessions still unresolved
+  /// here are aborted (device unreached this round). Keep well under the
+  /// round interval.
+  sim::Duration collect_deadline = sim::Duration::seconds(30);
+};
 
 struct ShardedFleetConfig {
   /// What to build: N per-device specs, mobility, stagger policy.
@@ -45,13 +78,16 @@ struct ShardedFleetConfig {
   swarm::DeviceId root = 0;
   /// Records requested per device per collection.
   size_t k = 8;
+  CollectionBackend backend = CollectionBackend::kDirect;
+  OverlayBackendConfig overlay;
 };
 
 struct FleetRoundResult {
   size_t round = 0;
   sim::Time at;
   size_t present = 0;    // devices currently part of the fleet (churn)
-  size_t reachable = 0;  // present with a multi-hop path to root
+  size_t reachable = 0;  // kDirect: multi-hop path to root exists;
+                         // kOverlay: a report actually made it back
   size_t healthy = 0;    // reachable, verified trustworthy and fresh
   size_t flagged = 0;    // reachable but NOT healthy: infection/tampering
 };
@@ -95,6 +131,25 @@ class ShardedFleetRunner {
   /// round into `sink` (begin_run/end_run are the caller's job).
   std::vector<FleetRoundResult> run(MetricsSink& sink);
 
+  /// Cumulative overlay counters, summed over every relay node plus the
+  /// transport (kOverlay only; per-round rows are emitted as deltas).
+  struct OverlayTotals {
+    uint64_t floods_seen = 0;
+    uint64_t floods_forwarded = 0;
+    uint64_t reports_relayed = 0;
+    uint64_t reports_dropped = 0;
+    uint64_t reports_orphaned = 0;
+    uint64_t route_repairs = 0;
+    uint64_t malformed_frames = 0;
+    uint64_t duplicate_reports = 0;
+    uint64_t stale_reports = 0;
+    std::vector<uint64_t> hops;  // transport hop histogram
+  };
+  OverlayTotals overlay_totals() const;
+  const overlay::RelayTransport* relay_transport() const {
+    return relay_transport_.get();
+  }
+
  private:
   struct Shard {
     std::unique_ptr<sim::EventQueue> queue;
@@ -103,6 +158,12 @@ class ShardedFleetRunner {
   size_t shard_of(swarm::DeviceId id) const { return id % shards_.size(); }
   void advance_all(sim::Time barrier);
   FleetRoundResult collect_round(size_t round, sim::Time at);
+  /// Connectivity predicate of the overlay radio at the coordinator's
+  /// current instant (mobility + churn; the verifier rides on `root`).
+  bool link_up(net::NodeId a, net::NodeId b);
+  void build_overlay();
+  void emit_overlay_round(MetricsSink& sink, size_t round,
+                          const OverlayTotals& before);
 
   ShardedFleetConfig config_;
   std::vector<swarm::DeviceSpec> specs_;  // indexed by global DeviceId
@@ -115,13 +176,22 @@ class ShardedFleetRunner {
 
   // Verifier side: one shared service over the whole fleet. Collection at
   // barriers is single-threaded on the coordinator, whose own queue (the
-  // timeout clock) is advanced to each barrier instant -- sessions over
-  // the DirectTransport complete synchronously, so thread count never
-  // enters the picture and metrics stay byte-identical.
+  // timeout clock, and under kOverlay the radio network's clock) is
+  // advanced while the shard queues are parked at the barrier -- so
+  // thread count never enters the picture and metrics stay byte-identical.
   sim::EventQueue coordinator_queue_;
   attest::DeviceDirectory directory_;
-  attest::DirectTransport transport_;
+  attest::DirectTransport direct_transport_;
+  // kOverlay wiring: a radio network on the coordinator queue; node ids
+  // are device ids, the verifier endpoint is node `fleet size`.
+  std::unique_ptr<net::Network> overlay_net_;
+  std::vector<std::unique_ptr<overlay::RelayNode>> relay_nodes_;
+  std::unique_ptr<overlay::RelayTransport> relay_transport_;
+  net::NodeId verifier_node_ = 0;
   std::unique_ptr<attest::AttestationService> service_;
+  /// Sessions completed during the current overlay round (observer-fed;
+  /// kDirect rounds use collect_now()'s synchronous return instead).
+  std::vector<attest::AttestationService::SessionOutcome> round_outcomes_;
 };
 
 }  // namespace erasmus::scenario

@@ -208,11 +208,10 @@ void SedaAgent::send_report(uint32_t round) {
 
 SedaCollector::SedaCollector(sim::EventQueue& queue, net::Network& network,
                              net::NodeId self,
-                             std::vector<attest::Verifier*> verifiers,
+                             const attest::DeviceDirectory& directory,
                              size_t swarm_size, SedaConfig config)
-    : queue_(queue), network_(network), self_(self),
-      verifiers_(std::move(verifiers)), swarm_size_(swarm_size),
-      config_(config) {
+    : queue_(queue), network_(network), self_(self), directory_(directory),
+      swarm_size_(swarm_size), config_(config) {
   network_.set_handler(self_,
                        [this](const net::Datagram& d) { on_datagram(d); });
 }
@@ -252,13 +251,13 @@ SedaCollector::RoundResult SedaCollector::run_round(sim::Duration deadline) {
     status.device = device;
     const auto it = received_.find(device);
     status.attested = it != received_.end();
-    if (status.attested && device < verifiers_.size()) {
+    if (status.attested && device < directory_.size()) {
+      const attest::DeviceRecord& rec = directory_.record(device);
       const auto m = attest::Measurement::deserialize(it->second);
       status.healthy =
           m.has_value() &&
-          attest::verify_measurement(verifiers_[device]->config().algo,
-                                     verifiers_[device]->config().key, *m) &&
-          equal(m->digest, verifiers_[device]->golden_digest_at(m->timestamp));
+          attest::verify_measurement(rec.algo, rec.key, *m) &&
+          equal(m->digest, rec.golden_at(m->timestamp));
     }
     result.statuses.push_back(status);
   }

@@ -1,6 +1,7 @@
 // Packet-level on-demand swarm attestation (SEDA-style baseline, §2/§6).
 //
-// The counterpart of swarm/relay.h for the ON-DEMAND paradigm: the
+// The counterpart of the collection overlay (src/overlay/) for the
+// ON-DEMAND paradigm: the
 // verifier's request floods down, every device computes a FRESH measurement
 // in real time (the expensive step ERASMUS self-measurement amortises), and
 // reports aggregate bottom-up -- a parent waits for its acknowledged
@@ -20,8 +21,8 @@
 #include <set>
 #include <vector>
 
+#include "attest/directory.h"
 #include "attest/prover.h"
-#include "attest/verifier.h"
 #include "net/network.h"
 #include "swarm/qosa.h"
 
@@ -81,11 +82,15 @@ class SedaAgent {
   Stats stats_;
 };
 
-/// Verifier-side driver for one SEDA round.
+/// Verifier-side driver for one SEDA round. Device records (key, golden
+/// epochs) come from the shared DeviceDirectory -- one verifier party, no
+/// per-device Verifier instances.
 class SedaCollector {
  public:
+  /// `directory` maps device ids 0..swarm_size-1 to their records; it must
+  /// outlive the collector.
   SedaCollector(sim::EventQueue& queue, net::Network& network,
-                net::NodeId self, std::vector<attest::Verifier*> verifiers,
+                net::NodeId self, const attest::DeviceDirectory& directory,
                 size_t swarm_size, SedaConfig config = {});
 
   struct RoundResult {
@@ -103,7 +108,7 @@ class SedaCollector {
   sim::EventQueue& queue_;
   net::Network& network_;
   net::NodeId self_;
-  std::vector<attest::Verifier*> verifiers_;
+  const attest::DeviceDirectory& directory_;
   size_t swarm_size_;
   SedaConfig config_;
   uint32_t next_round_ = 1;

@@ -115,6 +115,54 @@ TEST(DeviceDirectory, RejectsInvalidEnrollment) {
   EXPECT_THROW(dir.link(1, nullptr), std::invalid_argument);
 }
 
+// --- DirectTransport ---------------------------------------------------------
+
+TEST(DirectTransport, BroadcastMatchesSendLoopExactly) {
+  // The real broadcast() override (decode once, single dispatch loop)
+  // must be observably identical to the per-peer send() loop it
+  // replaces: same deliveries, same order, same skip of unattached
+  // endpoints, same last_processing semantics.
+  sim::EventQueue queue;
+  std::vector<std::unique_ptr<Device>> devices;
+  DirectTransport via_broadcast;
+  DirectTransport via_send;
+  for (uint32_t id = 0; id < 3; ++id) {
+    devices.push_back(std::make_unique<Device>(queue, id));
+    via_broadcast.attach(id, devices[id]->prover);
+    via_send.attach(id, devices[id]->prover);
+  }
+  for (auto& d : devices) d->prover.start();
+  queue.run_until(Time::zero() + Duration::minutes(45));
+
+  using Delivery = std::tuple<net::NodeId, MsgType, Bytes>;
+  std::vector<Delivery> broadcast_log;
+  std::vector<Delivery> send_log;
+  via_broadcast.set_receiver(
+      [&](net::NodeId src, MsgType type, ByteView body) {
+        broadcast_log.emplace_back(src, type, Bytes(body.begin(), body.end()));
+      });
+  via_send.set_receiver([&](net::NodeId src, MsgType type, ByteView body) {
+    send_log.emplace_back(src, type, Bytes(body.begin(), body.end()));
+  });
+
+  const std::vector<net::NodeId> peers = {0, 1, 2, 99};  // 99: unattached
+  const Bytes body = CollectRequest{4}.serialize();
+  via_broadcast.broadcast(peers, MsgType::kCollectRequest, body);
+  for (const net::NodeId peer : peers) {
+    via_send.send(peer, MsgType::kCollectRequest, body);
+  }
+
+  ASSERT_EQ(broadcast_log.size(), 3u) << "unknown endpoint silently skipped";
+  EXPECT_EQ(broadcast_log, send_log);
+  // Final peer (99) produced no reply on both paths.
+  EXPECT_EQ(via_broadcast.last_processing().ns(),
+            via_send.last_processing().ns());
+
+  // A non-request type is dropped without touching any prover.
+  via_broadcast.broadcast(peers, MsgType::kCollectResponse, body);
+  EXPECT_EQ(broadcast_log.size(), 3u);
+}
+
 // --- Single-shot over DirectTransport ---------------------------------------
 
 TEST(AttestationService, DirectSingleShotCompletesSynchronously) {

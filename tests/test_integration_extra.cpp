@@ -9,9 +9,10 @@
 #include "attest/prover.h"
 #include "attest/verifier.h"
 #include "crypto/hkdf.h"
+#include "overlay/collector.h"
+#include "overlay/relay_node.h"
 #include "sim/rng.h"
 #include "swarm/mobility.h"
-#include "swarm/relay.h"
 
 namespace erasmus {
 namespace {
@@ -191,9 +192,8 @@ TEST(MobilityRelay, PacketLevelCollectionOverMovingSwarm) {
   net::Network network(queue, Duration::millis(2));
   std::vector<std::unique_ptr<hw::SmartPlusArch>> archs;
   std::vector<std::unique_ptr<Prover>> provers;
-  std::vector<std::unique_ptr<Verifier>> verifiers;
-  std::vector<std::unique_ptr<swarm::RelayAgent>> agents;
-  std::vector<Verifier*> verifier_ptrs;
+  std::vector<std::unique_ptr<overlay::RelayNode>> relay_nodes;
+  attest::DeviceDirectory directory;
   for (uint32_t id = 0; id < mc.devices; ++id) {
     Bytes salt{static_cast<uint8_t>(id)};
     const Bytes key = crypto::hkdf(bytes_of("mob-master"), salt,
@@ -204,23 +204,21 @@ TEST(MobilityRelay, PacketLevelCollectionOverMovingSwarm) {
         queue, *arch, arch->app_region(), arch->store_region(),
         std::make_unique<attest::RegularScheduler>(Duration::minutes(10)),
         ProverConfig{});
-    VerifierConfig vc;
-    vc.key = key;
-    vc.golden_digest = crypto::Hash::digest(
+    attest::DeviceRecord record;
+    record.key = key;
+    record.set_golden(crypto::Hash::digest(
         crypto::HashAlgo::kSha256,
-        arch->memory().view(arch->app_region(), true));
-    auto verifier = std::make_unique<Verifier>(std::move(vc));
-    verifier_ptrs.push_back(verifier.get());
+        arch->memory().view(arch->app_region(), true)));
     const net::NodeId node = network.add_node({});
-    agents.push_back(std::make_unique<swarm::RelayAgent>(
-        queue, network, node, id, *prover, mc.devices));
+    directory.add(node, std::move(record));
+    relay_nodes.push_back(std::make_unique<overlay::RelayNode>(
+        queue, network, node, *prover, mc.devices + 1));
     archs.push_back(std::move(arch));
     provers.push_back(std::move(prover));
-    verifiers.push_back(std::move(verifier));
   }
   const net::NodeId collector_node = network.add_node({});
-  swarm::RelayCollector collector(queue, network, collector_node,
-                                  verifier_ptrs, mc.devices);
+  overlay::RelayCollector collector(queue, network, collector_node,
+                                    directory, mc.devices + 1);
 
   // Collector rides along with device 0; link filter consults the mobility
   // model at every send.

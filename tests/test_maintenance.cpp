@@ -19,7 +19,7 @@ struct Rig {
   sim::EventQueue queue;
   hw::SmartPlusArch arch;
   Prover prover;
-  Verifier verifier;
+  DeviceRecord record;
   MaintenanceAuthority authority;
 
   Rig()
@@ -27,15 +27,15 @@ struct Rig {
         prover(queue, arch, arch.app_region(), arch.store_region(),
                std::make_unique<RegularScheduler>(Duration::minutes(10)),
                ProverConfig{}),
-        verifier([&] {
-          VerifierConfig vc;
-          vc.key = test_key();
-          vc.golden_digest = crypto::Hash::digest(
+        record([&] {
+          DeviceRecord r;
+          r.key = test_key();
+          r.set_golden(crypto::Hash::digest(
               crypto::HashAlgo::kSha256,
-              arch.memory().view(arch.app_region(), true));
-          return vc;
+              arch.memory().view(arch.app_region(), true)));
+          return r;
         }()),
-        authority(verifier, queue) {}
+        authority(record, queue) {}
 
   void run_for(Duration d) { queue.run_until(queue.now() + d); }
 };
@@ -151,14 +151,14 @@ TEST(Authority, FullUpdateFlowRotatesGolden) {
   rig.prover.start();
   rig.run_for(Duration::minutes(30));
 
-  const Bytes old_golden = rig.verifier.golden_digest();
+  const Bytes old_golden = rig.record.golden();
   const auto outcome =
       rig.authority.run_update(rig.prover, bytes_of("firmware v2"));
   EXPECT_TRUE(outcome.pre_attestation_ok);
   EXPECT_TRUE(outcome.request_accepted);
   EXPECT_TRUE(outcome.post_attestation_ok);
-  EXPECT_NE(rig.verifier.golden_digest(), old_golden);
-  EXPECT_EQ(rig.verifier.golden_digest(), outcome.new_golden_digest);
+  EXPECT_NE(rig.record.golden(), old_golden);
+  EXPECT_EQ(rig.record.golden(), outcome.new_golden_digest);
 }
 
 TEST(Authority, UpdateAbortsOnInfectedDevice) {
@@ -181,7 +181,8 @@ TEST(Authority, PostUpdateHistoryStillVerifies) {
   rig.prover.start();
   const uint64_t t0 =
       rig.prover.scheduler().next_interval(0) / Duration::seconds(1);
-  rig.verifier.set_schedule(&rig.prover.scheduler(), t0);
+  rig.record.scheduler = &rig.prover.scheduler();
+  rig.record.schedule_t0 = t0;
   rig.run_for(Duration::minutes(45));  // measurements at 10..40 min
 
   ASSERT_TRUE(rig.authority.run_update(rig.prover, bytes_of("fw v2"))
@@ -190,7 +191,7 @@ TEST(Authority, PostUpdateHistoryStillVerifies) {
 
   const auto res = rig.prover.handle_collect(CollectRequest{10});
   const auto report =
-      rig.verifier.verify_collection(res.response, rig.queue.now());
+      verify_collection(rig.record, res.response, rig.queue.now());
   EXPECT_FALSE(report.infection_detected)
       << "pre-update history must match the old epoch, post-update the new";
   EXPECT_FALSE(report.tampering_detected);
@@ -223,7 +224,7 @@ TEST(Authority, EraseLeavesKeyIntact) {
   ASSERT_TRUE(rig.authority.run_erase(rig.prover).erased_state_proven);
   rig.run_for(Duration::seconds(2));
   const OdRequest req =
-      rig.verifier.make_od_request(rig.prover.rroc().read(), 0);
+      make_od_request(rig.record, rig.prover.rroc().read(), 0);
   EXPECT_TRUE(rig.prover.handle_od(req).response.has_value());
 }
 

@@ -1,12 +1,16 @@
-// Tests for the packet-level swarm relay protocol (LISA-alpha-style
-// collection of self-measurements over the simulated network, §6).
+// Tests for the multi-hop collection overlay (tree-routed collection of
+// self-measurements over the simulated network, §6): wire protocol,
+// per-device relay nodes (store-and-forward, bounded queues, route
+// repair), the RelayTransport, and the AttestationService-backed
+// RelayCollector.
 #include <gtest/gtest.h>
 
 #include "crypto/hkdf.h"
+#include "overlay/collector.h"
+#include "overlay/relay_node.h"
 #include "swarm/mobility.h"
-#include "swarm/relay.h"
 
-namespace erasmus::swarm {
+namespace erasmus::overlay {
 namespace {
 
 using sim::Duration;
@@ -21,20 +25,22 @@ Bytes device_key(uint32_t id) {
                       bytes_of("erasmus/device-key"), 32);
 }
 
-// A full packet-level swarm: n provers with relay agents + one collector.
-struct RelayRig {
+// A full packet-level swarm: n provers with relay nodes, a shared
+// DeviceDirectory (node id == device id), one overlay collector.
+struct OverlayRig {
   sim::EventQueue queue;
   net::Network network;
   std::vector<std::unique_ptr<hw::SmartPlusArch>> archs;
   std::vector<std::unique_ptr<attest::Prover>> provers;
-  std::vector<std::unique_ptr<attest::Verifier>> verifiers;
-  std::vector<std::unique_ptr<RelayAgent>> agents;
+  std::vector<std::unique_ptr<RelayNode>> nodes;
+  attest::DeviceDirectory directory;
   net::NodeId collector_node = 0;
   std::unique_ptr<RelayCollector> collector;
 
-  explicit RelayRig(size_t n, double loss = 0.0)
+  explicit OverlayRig(size_t n, double loss = 0.0,
+                      RelayCollectorConfig config = {},
+                      RelayNodeConfig node_config = {})
       : network(queue, Duration::millis(2), loss, /*seed=*/7) {
-    std::vector<attest::Verifier*> verifier_ptrs;
     for (uint32_t id = 0; id < n; ++id) {
       auto arch = std::make_unique<hw::SmartPlusArch>(
           device_key(id), 4096, 1024, 16 * kRecordBytes);
@@ -42,53 +48,79 @@ struct RelayRig {
           queue, *arch, arch->app_region(), arch->store_region(),
           std::make_unique<attest::RegularScheduler>(Duration::minutes(10)),
           attest::ProverConfig{});
-      attest::VerifierConfig vc;
-      vc.key = device_key(id);
-      vc.golden_digest = crypto::Hash::digest(
-          crypto::HashAlgo::kSha256,
-          arch->memory().view(arch->app_region(), true));
-      auto verifier = std::make_unique<attest::Verifier>(std::move(vc));
-      verifier_ptrs.push_back(verifier.get());
 
       const net::NodeId node = network.add_node({});
-      auto agent = std::make_unique<RelayAgent>(queue, network, node, id,
-                                                *prover, n);
+      nodes.push_back(std::make_unique<RelayNode>(queue, network, node,
+                                                  *prover, n + 1,
+                                                  node_config));
+
+      attest::DeviceRecord record;
+      record.key = device_key(id);
+      record.set_golden(crypto::Hash::digest(
+          crypto::HashAlgo::kSha256,
+          arch->memory().view(arch->app_region(), true)));
+      directory.add(node, std::move(record));
+
       archs.push_back(std::move(arch));
       provers.push_back(std::move(prover));
-      verifiers.push_back(std::move(verifier));
-      agents.push_back(std::move(agent));
     }
     collector_node = network.add_node({});
     collector = std::make_unique<RelayCollector>(
-        queue, network, collector_node, verifier_ptrs, n);
+        queue, network, collector_node, directory, n + 1, config);
   }
 
   void start_and_run(Duration d) {
     for (auto& p : provers) p->start();
     queue.run_until(queue.now() + d);
   }
+
+  uint64_t total(uint64_t RelayNode::Stats::*field) const {
+    uint64_t sum = 0;
+    for (const auto& node : nodes) sum += node->stats().*field;
+    return sum;
+  }
 };
 
-TEST(RelayWire, FloodAndReportRoundTrip) {
-  CollectFlood flood{42, 6, 3};
+TEST(OverlayWire, FloodAndReportRoundTrip) {
+  CollectFlood flood;
+  flood.flood = 42;
+  flood.target = 7;
+  flood.ttl = 3;
+  flood.inner_type = 1;
+  flood.request = bytes_of("req");
   const auto f = CollectFlood::deserialize(flood.serialize());
   ASSERT_TRUE(f.has_value());
-  EXPECT_EQ(f->round, 42u);
-  EXPECT_EQ(f->k, 6u);
+  EXPECT_EQ(f->flood, 42u);
+  EXPECT_EQ(f->target, 7u);
   EXPECT_EQ(f->ttl, 3u);
+  EXPECT_EQ(f->inner_type, 1u);
+  EXPECT_EQ(f->request, bytes_of("req"));
 
-  RelayReport report{42, 7, bytes_of("payload")};
+  RelayReport report;
+  report.flood = 42;
+  report.origin = 9;
+  report.hops = 5;
+  report.inner_type = 2;
+  report.response = bytes_of("payload");
   const auto r = RelayReport::deserialize(report.serialize());
   ASSERT_TRUE(r.has_value());
-  EXPECT_EQ(r->device, 7u);
-  EXPECT_EQ(r->collect_response, bytes_of("payload"));
+  EXPECT_EQ(r->origin, 9u);
+  EXPECT_EQ(r->hops, 5u);
+  EXPECT_EQ(r->response, bytes_of("payload"));
 
+  // Truncated frames must be rejected, not read past the end.
   EXPECT_FALSE(CollectFlood::deserialize(Bytes{1, 2}).has_value());
   EXPECT_FALSE(RelayReport::deserialize(Bytes{1}).has_value());
+  const Bytes full = flood.serialize();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    EXPECT_FALSE(CollectFlood::deserialize(
+                     ByteView(full.data(), cut)).has_value())
+        << "accepted a " << cut << "-byte prefix";
+  }
 }
 
-TEST(Relay, FullyConnectedSwarmAllAttested) {
-  RelayRig rig(6);  // no link filter: everyone hears everyone
+TEST(Overlay, FullyConnectedSwarmAllAttested) {
+  OverlayRig rig(6);  // no link filter: everyone hears everyone
   rig.start_and_run(Duration::hours(1));
 
   const auto result = rig.collector->run_round(6, Duration::seconds(10));
@@ -100,51 +132,55 @@ TEST(Relay, FullyConnectedSwarmAllAttested) {
   EXPECT_GT(result.elapsed.ns(), 0u);
 }
 
-TEST(Relay, MultiHopLineTopology) {
-  // collector -- 0 -- 1 -- 2 -- 3 (line): reports must hop back through
-  // the parents, exercising the relay path.
-  RelayRig rig(4);
-  const net::NodeId c = rig.collector_node;
-  rig.network.set_link_filter([c](net::NodeId a, net::NodeId b) {
+// collector -- 0 -- 1 -- 2 -- 3 (line): reports must hop back through the
+// parents, exercising the store-and-forward relay path.
+void line_filter(net::Network& network, net::NodeId c) {
+  network.set_link_filter([c](net::NodeId a, net::NodeId b) {
     const auto adjacent = [&](net::NodeId x, net::NodeId y) {
       if (x > y) std::swap(x, y);
-      if (y == c) return x == 0;                 // collector only hears dev 0
-      return y - x == 1;                          // chain 0-1-2-3
+      if (y == c) return x == 0;  // collector only hears dev 0
+      return y - x == 1;          // chain 0-1-2-3
     };
     return adjacent(a, b);
   });
+}
+
+TEST(Overlay, MultiHopLineTopology) {
+  OverlayRig rig(4);
+  line_filter(rig.network, rig.collector_node);
   rig.start_and_run(Duration::hours(1));
 
-  const auto result = rig.collector->run_round(6, Duration::seconds(10),
-                                               /*ttl=*/8);
+  const auto result = rig.collector->run_round(6, Duration::seconds(10));
   EXPECT_EQ(result.reports_received, 4u)
       << "all devices reachable through multi-hop relay";
-  size_t relayed = 0;
-  for (const auto& agent : rig.agents) relayed += agent->stats().reports_relayed;
-  EXPECT_GT(relayed, 0u) << "inner devices must have relayed reports";
+  EXPECT_GT(rig.total(&RelayNode::Stats::reports_relayed), 0u)
+      << "inner devices must have relayed reports";
+
+  // The transport's histogram sees the depth: device 3's report crossed
+  // three relays.
+  const auto& hops = rig.collector->transport().hop_histogram();
+  ASSERT_GE(hops.size(), 4u);
+  EXPECT_EQ(hops[3], 1u);
 }
 
-TEST(Relay, TtlBoundsFloodDepth) {
-  RelayRig rig(4);
-  const net::NodeId c = rig.collector_node;
-  rig.network.set_link_filter([c](net::NodeId a, net::NodeId b) {
-    const auto adjacent = [&](net::NodeId x, net::NodeId y) {
-      if (x > y) std::swap(x, y);
-      if (y == c) return x == 0;
-      return y - x == 1;
-    };
-    return adjacent(a, b);
-  });
+TEST(Overlay, TtlBoundsFloodDepth) {
+  RelayCollectorConfig config;
+  config.transport.ttl = 1;
+  OverlayRig rig(4, /*loss=*/0.0, config);
+  line_filter(rig.network, rig.collector_node);
   rig.start_and_run(Duration::hours(1));
 
-  // TTL 1: flood reaches device 0 (ttl 1) and device 1 (ttl 0, no re-flood).
-  const auto result = rig.collector->run_round(6, Duration::seconds(10),
-                                               /*ttl=*/1);
+  // TTL 1: flood reaches device 0 (ttl 1) and device 1 (ttl 0, no
+  // re-flood); 2 and 3 stay unreached and resolve through the timeout
+  // path as unreachable sessions.
+  const auto result = rig.collector->run_round(6, Duration::seconds(10));
   EXPECT_EQ(result.reports_received, 2u);
+  EXPECT_FALSE(result.statuses[2].attested);
+  EXPECT_GT(rig.collector->service().stats().unreachable_sessions, 0u);
 }
 
-TEST(Relay, PartitionedSwarmPartialCoverage) {
-  RelayRig rig(6);
+TEST(Overlay, PartitionedSwarmPartialCoverage) {
+  OverlayRig rig(6);
   const net::NodeId c = rig.collector_node;
   // Devices 0-2 connected to the collector side; 3-5 isolated island.
   rig.network.set_link_filter([c](net::NodeId a, net::NodeId b) {
@@ -159,8 +195,8 @@ TEST(Relay, PartitionedSwarmPartialCoverage) {
   EXPECT_FALSE(result.statuses[4].attested);
 }
 
-TEST(Relay, InfectedDeviceFlaggedThroughRelayPath) {
-  RelayRig rig(5);
+TEST(Overlay, InfectedDeviceFlaggedThroughRelayPath) {
+  OverlayRig rig(5);
   rig.start_and_run(Duration::minutes(15));
   // Persistent malware on device 3, then let a measurement catch it.
   rig.provers[3]->memory().write(rig.provers[3]->attested_region(), 7,
@@ -173,18 +209,21 @@ TEST(Relay, InfectedDeviceFlaggedThroughRelayPath) {
   EXPECT_TRUE(result.statuses[1].healthy);
 }
 
-TEST(Relay, DuplicateReportsIgnored) {
-  // In a dense topology the same report arrives via multiple paths; the
-  // collector must count each device once.
-  RelayRig rig(8);
+TEST(Overlay, DuplicateReportsCountedOnce) {
+  // In a dense topology the same report can arrive over several paths;
+  // the transport dedups per (flood, origin), so the collector counts
+  // each device exactly once.
+  OverlayRig rig(8);
   rig.start_and_run(Duration::hours(1));
   const auto result = rig.collector->run_round(6, Duration::seconds(10));
   EXPECT_EQ(result.reports_received, 8u);
   EXPECT_EQ(result.statuses.size(), 8u);
+  const auto& stats = rig.collector->transport().stats();
+  EXPECT_EQ(stats.reports_received, 8u);
 }
 
-TEST(Relay, RoundsAreIndependent) {
-  RelayRig rig(4);
+TEST(Overlay, RoundsAreIndependent) {
+  OverlayRig rig(4);
   rig.start_and_run(Duration::hours(1));
   const auto r1 = rig.collector->run_round(6, Duration::seconds(10));
   rig.queue.run_until(rig.queue.now() + Duration::minutes(30));
@@ -193,13 +232,143 @@ TEST(Relay, RoundsAreIndependent) {
   EXPECT_EQ(r2.reports_received, 4u);
 }
 
-TEST(Relay, LossyNetworkDegradesGracefully) {
-  RelayRig rig(6, /*loss=*/0.2);
+TEST(Overlay, LossyNetworkDegradesGracefully) {
+  OverlayRig rig(6, /*loss=*/0.2);
   rig.start_and_run(Duration::hours(1));
   const auto result = rig.collector->run_round(6, Duration::seconds(10));
-  // Dense flooding provides path diversity; most devices still report.
+  // Dense flooding provides path diversity, and the service's retries
+  // (each a fresh flood) re-ask anyone whose report was lost.
   EXPECT_GE(result.reports_received, 3u);
 }
 
+TEST(Overlay, MalformedFramesCountedNotServed) {
+  OverlayRig rig(2);
+  rig.start_and_run(Duration::minutes(30));
+
+  // Truncated CollectFlood: the relay tag with a short body.
+  Bytes bad_flood = {static_cast<uint8_t>(RelayMsg::kCollectFlood), 1, 2};
+  // Truncated RelayReport aimed at the collector.
+  Bytes bad_report = {static_cast<uint8_t>(RelayMsg::kRelayReport), 9};
+  // Not even a known overlay tag.
+  Bytes bad_tag = {0x7f, 0x00};
+
+  rig.network.send(rig.collector_node, 0, bad_flood);
+  rig.network.send(rig.collector_node, 0, bad_tag);
+  rig.network.send(0, rig.collector_node, bad_report);
+  rig.network.send(0, rig.collector_node, bad_tag);
+  // Bounded advance: the provers' measurement timers re-arm forever, so
+  // run_until, never run().
+  rig.queue.run_until(rig.queue.now() + Duration::seconds(1));
+
+  EXPECT_EQ(rig.nodes[0]->stats().malformed_frames, 2u);
+  EXPECT_EQ(rig.collector->transport().stats().malformed_frames, 2u);
+  EXPECT_EQ(rig.nodes[0]->stats().requests_served, 0u)
+      << "truncated floods must not reach the prover";
+
+  // The overlay still works afterwards.
+  const auto result = rig.collector->run_round(2, Duration::seconds(10));
+  EXPECT_EQ(result.reports_received, 2u);
+}
+
+TEST(Overlay, BoundedRelayQueueDropsUnderConvergence) {
+  // Star: collector -- hub(0) -- {1..5}. Every leaf report converges on
+  // the hub within one latency, so a depth-2 store-and-forward buffer
+  // must drop; the default depth in a second rig must not.
+  RelayCollectorConfig config;
+  config.max_retries = 0;  // no re-asks: observe the raw first flood
+  RelayNodeConfig node_config;
+  node_config.queue_depth = 2;
+  node_config.forward_spacing = Duration::millis(50);
+
+  const auto star = [](net::Network& network, net::NodeId c) {
+    network.set_link_filter([c](net::NodeId a, net::NodeId b) {
+      if (a > b) std::swap(a, b);
+      if (b == c) return a == 0;       // collector hears only the hub
+      return a == 0;                   // hub hears every leaf
+    });
+  };
+
+  OverlayRig tight(6, 0.0, config, node_config);
+  star(tight.network, tight.collector_node);
+  tight.start_and_run(Duration::hours(1));
+  const auto r1 = tight.collector->run_round(6, Duration::seconds(30));
+  EXPECT_GT(tight.nodes[0]->stats().reports_dropped, 0u);
+  EXPECT_LT(r1.reports_received, 6u);
+  EXPECT_GE(r1.reports_received, 1u);
+
+  RelayNodeConfig roomy = node_config;
+  roomy.queue_depth = 16;
+  OverlayRig wide(6, 0.0, config, roomy);
+  star(wide.network, wide.collector_node);
+  wide.start_and_run(Duration::hours(1));
+  const auto r2 = wide.collector->run_round(6, Duration::seconds(30));
+  EXPECT_EQ(wide.total(&RelayNode::Stats::reports_dropped), 0u);
+  EXPECT_EQ(r2.reports_received, 6u);
+}
+
+TEST(Overlay, RouteRepairWhenParentChurnsMidRound) {
+  // Diamond: collector -- {0, 1}, {0, 1} -- 2. Device 2 adopts 0 as its
+  // parent (first flood arrival), 1 as the alternate. The 0--2 link then
+  // breaks BEFORE 2's report leaves its queue: the link probe must swap
+  // the uplink to 1 and the report still arrives.
+  RelayNodeConfig node_config;
+  node_config.forward_spacing = Duration::millis(50);  // window for churn
+  OverlayRig rig(3, 0.0, {}, node_config);
+
+  auto broken = std::make_shared<bool>(false);
+  const net::NodeId c = rig.collector_node;
+  const auto connected = [c, broken](net::NodeId a, net::NodeId b) {
+    if (a > b) std::swap(a, b);
+    if (b == c) return a <= 1;                    // collector -- {0,1}
+    if (a == 0 && b == 2) return !*broken;        // churning edge
+    if (a == 1 && b == 2) return true;
+    return a <= 1 && b <= 1 ? false : false;      // 0 -- 1 not linked
+  };
+  rig.network.set_link_filter(connected);
+  for (auto& node : rig.nodes) node->set_link_probe(connected);
+  rig.start_and_run(Duration::hours(1));
+
+  // Break the parent edge shortly after the flood passes but before the
+  // 50 ms forward spacing elapses.
+  rig.queue.schedule_after(Duration::millis(20), [broken] {
+    *broken = true;
+  });
+  const auto result = rig.collector->run_round(6, Duration::seconds(10));
+
+  EXPECT_TRUE(result.statuses[2].attested)
+      << "report must survive the mid-round parent churn";
+  EXPECT_EQ(rig.nodes[2]->stats().route_repairs, 1u);
+}
+
+TEST(Overlay, MobileSwarmMomentaryReachability) {
+  // The §6 shape end to end: a random-waypoint swarm whose instantaneous
+  // topology gates every hop. Collection harvests a (deterministic, seed-
+  // fixed) subset each round without any standing tree.
+  OverlayRig rig(12);
+  swarm::MobilityConfig mc;
+  mc.devices = 12;
+  mc.field_size = 220.0;
+  mc.radio_range = 60.0;
+  mc.seed = 5;
+  auto mobility = std::make_shared<swarm::RandomWaypointMobility>(mc);
+  auto& queue = rig.queue;
+  const net::NodeId c = rig.collector_node;
+  rig.network.set_link_filter([mobility, &queue, c](net::NodeId a,
+                                                    net::NodeId b) {
+    const auto dev = [c](net::NodeId n) {
+      return n == c ? 0u : static_cast<swarm::DeviceId>(n);
+    };
+    if (dev(a) == dev(b)) return true;  // collector rides on device 0
+    return mobility->connected(dev(a), dev(b), queue.now());
+  });
+  rig.start_and_run(Duration::hours(1));
+
+  const auto r1 = rig.collector->run_round(6, Duration::seconds(10));
+  EXPECT_GE(r1.reports_received, 1u);
+  EXPECT_LE(r1.reports_received, 12u);
+  // Device 0 is the collector's co-located uplink: always reachable.
+  EXPECT_TRUE(r1.statuses[0].attested);
+}
+
 }  // namespace
-}  // namespace erasmus::swarm
+}  // namespace erasmus::overlay

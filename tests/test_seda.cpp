@@ -1,11 +1,12 @@
 // Tests for the packet-level SEDA-style on-demand swarm baseline, and the
-// head-to-head §6 comparison against the ERASMUS relay protocol on the SAME
-// moving swarm.
+// head-to-head §6 comparison against the ERASMUS overlay collection on the
+// SAME moving swarm.
 #include <gtest/gtest.h>
 
 #include "crypto/hkdf.h"
+#include "overlay/collector.h"
+#include "overlay/relay_node.h"
 #include "swarm/mobility.h"
-#include "swarm/relay.h"
 #include "swarm/seda.h"
 
 namespace erasmus::swarm {
@@ -13,8 +14,6 @@ namespace {
 
 using attest::Prover;
 using attest::ProverConfig;
-using attest::Verifier;
-using attest::VerifierConfig;
 using sim::Duration;
 using sim::Time;
 
@@ -26,15 +25,15 @@ Bytes device_key(uint32_t id) {
 }
 
 // A swarm wired for BOTH protocols: SEDA agents are installed on demand,
-// relay agents likewise (they share the network handler slot, so a rig is
-// built per protocol).
+// overlay relay nodes likewise (they share the network handler slot, so a
+// rig is built per protocol). Device records live in one directory, node
+// id == device id.
 struct SwarmRig {
   sim::EventQueue queue;
   net::Network network;
   std::vector<std::unique_ptr<hw::SmartPlusArch>> archs;
   std::vector<std::unique_ptr<Prover>> provers;
-  std::vector<std::unique_ptr<Verifier>> verifiers;
-  std::vector<Verifier*> verifier_ptrs;
+  attest::DeviceDirectory directory;
   net::NodeId collector_node = 0;
 
   explicit SwarmRig(size_t n, sim::DeviceProfile profile =
@@ -50,17 +49,14 @@ struct SwarmRig {
           queue, *arch, arch->app_region(), arch->store_region(),
           std::make_unique<attest::RegularScheduler>(Duration::minutes(10)),
           pc);
-      VerifierConfig vc;
-      vc.key = device_key(id);
-      vc.golden_digest = crypto::Hash::digest(
+      attest::DeviceRecord record;
+      record.key = device_key(id);
+      record.set_golden(crypto::Hash::digest(
           crypto::HashAlgo::kSha256,
-          arch->memory().view(arch->app_region(), true));
-      auto verifier = std::make_unique<Verifier>(std::move(vc));
-      verifier_ptrs.push_back(verifier.get());
-      network.add_node({});
+          arch->memory().view(arch->app_region(), true)));
+      directory.add(network.add_node({}), std::move(record));
       archs.push_back(std::move(arch));
       provers.push_back(std::move(prover));
-      verifiers.push_back(std::move(verifier));
     }
     collector_node = network.add_node({});
   }
@@ -77,7 +73,7 @@ TEST(Seda, StaticSwarmFullCoverage) {
         SedaConfig{}));
   }
   SedaCollector collector(rig.queue, rig.network, rig.collector_node,
-                          rig.verifier_ptrs, rig.size());
+                          rig.directory, rig.size());
   const auto result = collector.run_round(Duration::seconds(60));
   EXPECT_EQ(result.fresh_measurements_received, 6u);
   for (const auto& s : result.statuses) {
@@ -97,7 +93,7 @@ TEST(Seda, RoundDurationDominatedByMeasurement) {
         SedaConfig{}));
   }
   SedaCollector collector(rig.queue, rig.network, rig.collector_node,
-                          rig.verifier_ptrs, rig.size());
+                          rig.directory, rig.size());
   const auto result = collector.run_round(Duration::seconds(60));
   const double measure_s = sim::DeviceProfile::msp430_8mhz()
                                .measurement_time(crypto::MacAlgo::kHmacSha256,
@@ -119,7 +115,7 @@ TEST(Seda, InfectedDeviceFlaggedByFreshMeasurement) {
         SedaConfig{}));
   }
   SedaCollector collector(rig.queue, rig.network, rig.collector_node,
-                          rig.verifier_ptrs, rig.size());
+                          rig.directory, rig.size());
   const auto result = collector.run_round(Duration::seconds(60));
   EXPECT_TRUE(result.statuses[2].attested);
   EXPECT_FALSE(result.statuses[2].healthy);
@@ -145,7 +141,7 @@ TEST(Seda, BrokenUplinkLosesWholeSubtree) {
         SedaConfig{}));
   }
   SedaCollector collector(rig.queue, rig.network, rig.collector_node,
-                          rig.verifier_ptrs, rig.size());
+                          rig.directory, rig.size());
   // Kill the edge two seconds into the round (mid-measurement).
   rig.queue.schedule_after(Duration::seconds(2),
                            [&] { edge_1_2_alive = false; });
@@ -159,8 +155,8 @@ TEST(Seda, BrokenUplinkLosesWholeSubtree) {
 
 TEST(Seda, HeadToHeadUnderMobilityErasmusWins) {
   // The §6 comparison, packet-level, same mobility trace for both: fast
-  // swarm, slow devices. ERASMUS relay collection needs ~ms of
-  // connectivity; SEDA needs the tree alive for ~7 s.
+  // swarm, slow devices. ERASMUS overlay collection needs ~ms of
+  // connectivity per hop; SEDA needs the tree alive for ~7 s.
   double seda_cov = 0, erasmus_cov = 0;
   const size_t kSeeds = 4;
   for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
@@ -201,24 +197,25 @@ TEST(Seda, HeadToHeadUnderMobilityErasmusWins) {
             SedaConfig{}));
       }
       SedaCollector collector(rig.queue, rig.network, rig.collector_node,
-                              rig.verifier_ptrs, 10);
+                              rig.directory, 10);
       rig.queue.run_until(Time::zero() + Duration::minutes(1));
       const auto r = collector.run_round(Duration::seconds(30));
       seda_cov += static_cast<double>(r.fresh_measurements_received) / 10.0;
     }
-    {  // ERASMUS relay
+    {  // ERASMUS overlay
       SwarmRig rig(10);
       RandomWaypointMobility mob(mc);
       rig.network.set_link_filter(
           link_filter(mob, rig.queue, rig.collector_node, 10));
-      std::vector<std::unique_ptr<RelayAgent>> agents;
+      std::vector<std::unique_ptr<overlay::RelayNode>> nodes;
       for (uint32_t id = 0; id < 10; ++id) {
         rig.provers[id]->start(Duration::seconds(10 + id));
-        agents.push_back(std::make_unique<RelayAgent>(
-            rig.queue, rig.network, id, id, *rig.provers[id], 10));
+        nodes.push_back(std::make_unique<overlay::RelayNode>(
+            rig.queue, rig.network, id, *rig.provers[id], 11));
       }
-      RelayCollector collector(rig.queue, rig.network, rig.collector_node,
-                               rig.verifier_ptrs, 10);
+      overlay::RelayCollector collector(rig.queue, rig.network,
+                                        rig.collector_node, rig.directory,
+                                        11);
       rig.queue.run_until(Time::zero() + Duration::minutes(1));
       const auto r = collector.run_round(4, Duration::seconds(30));
       erasmus_cov += static_cast<double>(r.reports_received) / 10.0;

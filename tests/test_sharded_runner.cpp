@@ -60,6 +60,57 @@ TEST(ShardedFleetRunner, DeterministicAcross1_2_8Threads) {
   EXPECT_NE(t1.find("\"flagged\": 1"), std::string::npos) << t1;
 }
 
+ShardedFleetConfig overlay_config(size_t threads) {
+  ShardedFleetConfig cfg = small_config(threads);
+  cfg.backend = CollectionBackend::kOverlay;
+  cfg.overlay.collect_deadline = Duration::seconds(25);
+  return cfg;
+}
+
+TEST(ShardedFleetRunner, OverlayBackendDeterministicAcrossThreads) {
+  // The tentpole guarantee extended to packet-level collection: floods,
+  // store-and-forward relays and retries all run on the coordinator
+  // clock, so the radio traffic cannot see the shard layout.
+  const std::string t1 = run_to_json(overlay_config(1));
+  const std::string t2 = run_to_json(overlay_config(2));
+  const std::string t8 = run_to_json(overlay_config(8));
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+  EXPECT_NE(t1.find("\"flagged\": 1"), std::string::npos) << t1;
+  EXPECT_NE(t1.find("\"overlay\""), std::string::npos)
+      << "overlay backend must emit its per-round stats table";
+  EXPECT_NE(t1.find("\"hops\""), std::string::npos);
+}
+
+TEST(ShardedFleetRunner, OverlayBackendActuallyRelaysMultiHop) {
+  std::ostringstream out;
+  JsonSink sink(out);
+  sink.begin_run("overlay");
+  ShardedFleetRunner runner(overlay_config(2));
+  const auto rounds = runner.run(sink);
+  sink.end_run();
+
+  size_t collected = 0;
+  for (const auto& r : rounds) collected += r.reachable;
+  EXPECT_GT(collected, 0u);
+
+  const auto totals = runner.overlay_totals();
+  EXPECT_GT(totals.floods_forwarded, 0u) << "flood must propagate";
+  uint64_t reports = 0;
+  uint64_t beyond_first_hop = 0;
+  for (size_t h = 0; h < totals.hops.size(); ++h) {
+    reports += totals.hops[h];
+    if (h > 0) beyond_first_hop += totals.hops[h];
+  }
+  // >=, not ==: a slow response racing its own retry can land two
+  // transport-accepted reports for one session (the second is a service
+  // stray), but never fewer than one per collected device.
+  EXPECT_GE(reports, collected)
+      << "every accepted report lands in the hop histogram";
+  EXPECT_GT(beyond_first_hop, 0u)
+      << "a 120 m field with 50 m radios needs real multi-hop";
+}
+
 TEST(ShardedFleetRunner, MoreThreadsThanDevicesClampsToFleetSize) {
   ShardedFleetConfig cfg = small_config(64);
   cfg.plan.set_devices(3);

@@ -64,6 +64,70 @@ TEST(Topology, BfsTreeDisconnected) {
   EXPECT_EQ(t.reachable_from(2), 1u);
 }
 
+TEST(Topology, SpanningTreeIgnoresUnreachableNodes) {
+  // children()/max_depth() must skip nodes BFS never reached: an
+  // unreachable node's depth slot is 0, which must not alias "child of
+  // the root" or shrink/grow the depth.
+  Topology t(6);
+  t.add_edge(0, 1);
+  t.add_edge(1, 2);
+  // 3, 4, 5 form a separate island.
+  t.add_edge(3, 4);
+  t.add_edge(4, 5);
+  const auto tree = t.bfs_tree(0);
+  EXPECT_EQ(tree.reached, 3u);
+  EXPECT_EQ(tree.max_depth(), 2u) << "island depths must not count";
+  EXPECT_EQ(tree.children(0), (std::vector<DeviceId>{1}))
+      << "unreachable nodes are nobody's children";
+  EXPECT_EQ(tree.children(3), std::vector<DeviceId>{})
+      << "an unreachable node has no children in the tree";
+  for (DeviceId island : {3u, 4u, 5u}) {
+    EXPECT_FALSE(tree.parent[island].has_value());
+  }
+}
+
+TEST(Topology, SpanningTreeSingleNodeGraph) {
+  Topology t(1);
+  const auto tree = t.bfs_tree(0);
+  EXPECT_EQ(tree.reached, 1u);
+  EXPECT_EQ(tree.max_depth(), 0u);
+  ASSERT_TRUE(tree.parent[0].has_value());
+  EXPECT_EQ(*tree.parent[0], 0u) << "root is its own parent";
+  EXPECT_EQ(tree.children(0), std::vector<DeviceId>{})
+      << "the root must not list itself as a child";
+  EXPECT_EQ(t.reachable_from(0), 1u);
+  EXPECT_EQ(t.edge_count(), 0u);
+}
+
+TEST(Topology, EdgeRemovalMidTreeDropsSubtree) {
+  // A tree built before churn keeps its (now stale) parents; rebuilding
+  // after removing a tree edge loses exactly the severed subtree -- the
+  // on-demand-protocol failure mode the overlay exists to avoid.
+  Topology t(5);
+  t.add_edge(0, 1);
+  t.add_edge(1, 2);
+  t.add_edge(2, 3);
+  t.add_edge(3, 4);
+  const auto before = t.bfs_tree(0);
+  EXPECT_EQ(before.reached, 5u);
+  EXPECT_EQ(before.max_depth(), 4u);
+
+  t.remove_edge(1, 2);
+  // The old snapshot is unchanged (it is a value, not a view)...
+  EXPECT_EQ(*before.parent[2], 1u);
+  // ...but a rebuild sees the severed subtree vanish.
+  const auto after = t.bfs_tree(0);
+  EXPECT_EQ(after.reached, 2u);
+  EXPECT_EQ(after.max_depth(), 1u);
+  EXPECT_FALSE(after.parent[2].has_value());
+  EXPECT_FALSE(after.parent[4].has_value());
+  EXPECT_EQ(after.children(1), std::vector<DeviceId>{});
+
+  // Removing an already-absent edge is a no-op, not corruption.
+  t.remove_edge(1, 2);
+  EXPECT_EQ(t.bfs_tree(0).reached, 2u);
+}
+
 TEST(Mobility, DeterministicPerSeed) {
   MobilityConfig cfg;
   cfg.devices = 5;
