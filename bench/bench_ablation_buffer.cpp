@@ -74,7 +74,12 @@ LossResult run(size_t n_slots, Duration tm, Duration tc, Duration horizon) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Already sub-minute at full size: --quick is accepted (CI runs every
+  // bench uniformly) and by contract never changes the simulated
+  // configuration, so all emitted quantities keep their full-mode values.
+  (void)analysis::bench_quick_mode(argc, argv);
+
   const Duration tm = Duration::minutes(10);
   const Duration horizon = Duration::hours(48);
 

@@ -51,7 +51,12 @@ double simulate_schedule_aware(std::unique_ptr<attest::Scheduler> sched,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Already sub-minute at full size: --quick is accepted (CI runs every
+  // bench uniformly) and by contract never changes the simulated
+  // configuration, so all emitted quantities keep their full-mode values.
+  (void)analysis::bench_quick_mode(argc, argv);
+
   const Duration tm = Duration::minutes(10);
   const Duration lo = Duration::minutes(5);
   const Duration hi = Duration::minutes(15);

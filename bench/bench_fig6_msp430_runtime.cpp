@@ -39,7 +39,12 @@ double device_measurement_seconds(crypto::MacAlgo algo, size_t mem_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Already sub-minute at full size: --quick is accepted (CI runs every
+  // bench uniformly) and by contract never changes the simulated
+  // configuration, so all emitted quantities keep their full-mode values.
+  (void)analysis::bench_quick_mode(argc, argv);
+
   const auto profile = sim::DeviceProfile::msp430_8mhz();
   std::printf("=== Fig. 6: Measurement run-time on MSP430 @ 8 MHz ===\n");
   std::printf("(model sweep; paper shows linear growth to ~7s at 10 KB,\n"

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "analysis/bench_report.h"
 #include "analysis/table.h"
@@ -103,7 +104,12 @@ BenchRun run_at(size_t threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Quick mode runs the single-thread leg only: every simulation-derived
+  // quantity is thread-count independent (the full run asserts exactly
+  // that), so the baseline-gated numbers are unchanged.
+  const bool quick = analysis::bench_quick_mode(argc, argv);
+
   std::printf("=== Relay overlay: %zu-device mobile swarm "
               "(450 m field, 60 m radios, 6-12 m/s), %zu multi-hop "
               "collection rounds ===\n\n",
@@ -116,7 +122,9 @@ int main() {
   std::string reference_metrics;
   bool deterministic = true;
   BenchRun last;
-  for (const size_t threads : {1ul, 8ul}) {
+  const std::vector<size_t> thread_counts =
+      quick ? std::vector<size_t>{1} : std::vector<size_t>{1, 8};
+  for (const size_t threads : thread_counts) {
     const BenchRun r = run_at(threads);
     if (reference_metrics.empty()) {
       reference_metrics = r.metrics_json;

@@ -1,12 +1,20 @@
 #include "analysis/bench_report.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "analysis/stats.h"
 #include "common/strings.h"
 
 namespace erasmus::analysis {
+
+bool bench_quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
 
 namespace {
 

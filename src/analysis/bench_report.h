@@ -12,6 +12,13 @@
 
 namespace erasmus::analysis {
 
+/// True when "--quick" is among the arguments. Benches use it to bound
+/// wall-clock in CI (skip repetition-style work: extra thread-count
+/// reruns, optional sweeps) -- it must NEVER change a simulated
+/// configuration, so every simulation-derived quantity keeps its
+/// full-mode value and stays comparable against committed baselines.
+bool bench_quick_mode(int argc, char** argv);
+
 class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}

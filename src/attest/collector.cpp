@@ -10,7 +10,7 @@ ServiceConfig to_service_config(const CollectorConfig& config) {
   sc.k = config.k;
   sc.response_timeout = config.response_timeout;
   sc.max_retries = config.max_retries;
-  sc.max_in_flight = 1;
+  sc.window.fixed = 1;  // one device, one session
   sc.kind = RoundKind::kCollect;
   sc.keep_audit = false;  // the caller's AuditLog is the record
   return sc;

@@ -11,7 +11,7 @@ AttestationService::AttestationService(sim::EventQueue& queue,
                                        DeviceDirectory& directory,
                                        ServiceConfig config)
     : queue_(queue), transport_(transport), directory_(directory),
-      config_(config) {
+      config_(config), window_ctl_(config_.window) {
   transport_.set_receiver(
       [this](net::NodeId src, MsgType type, ByteView body) {
         on_receive(src, type, body);
@@ -46,6 +46,11 @@ void AttestationService::stop() {
   for (auto& [node, session] : active_) {
     if (session.timeout) queue_.cancel(*session.timeout);
   }
+  if (retry_flush_event_) {
+    queue_.cancel(*retry_flush_event_);
+    retry_flush_event_.reset();
+  }
+  retry_batch_.clear();
   active_.clear();
   pending_.clear();
   in_flight_ = 0;
@@ -108,12 +113,36 @@ void AttestationService::begin_round(const std::vector<DeviceId>& devices,
                                      uint32_t k) {
   round_active_ = true;
   ++stats_.rounds;
+  // Per-round stats start fresh here; the WindowController itself carries
+  // its learned window across rounds (the network did not reset).
+  round_stats_ = RoundStats{};
+  window_ctl_.begin_round();
+  sync_window_stats();
   if (config_.keep_audit && logs_.size() < directory_.size()) {
     logs_.resize(directory_.size());
   }
   round_k_ = k;
   for (const DeviceId id : devices) pending_.push_back(id);
   pump();
+}
+
+void AttestationService::poll_congestion() {
+  // Relay queue occupancy piggybacks on reports (overlay transports);
+  // other backends report zero. One saturation signal is one congestion
+  // event -- the controller's burst guard absorbs repeats.
+  const double occupancy = transport_.take_congestion();
+  if (occupancy < config_.window.congestion_threshold) return;
+  if (window_ctl_.on_congestion()) {
+    ++stats_.congestion_backoffs;
+    ++round_stats_.congestion_backoffs;
+  }
+  sync_window_stats();
+}
+
+void AttestationService::sync_window_stats() {
+  round_stats_.window_min = window_ctl_.round_min();
+  round_stats_.window_max = window_ctl_.round_max();
+  round_stats_.window_final = window_ctl_.window();
 }
 
 void AttestationService::pump() {
@@ -125,12 +154,25 @@ void AttestationService::pump() {
     bool& flag;
     ~PumpGuard() { flag = false; }
   } guard{pumping_};
-  while (!pending_.empty() && in_flight_ < config_.max_in_flight) {
+  poll_congestion();
+  const bool coalesce = transport_.coalesced_dispatch();
+  while (!pending_.empty() && in_flight_ < window_ctl_.window()) {
+    if (coalesce) {
+      // Flood transports pay for the whole field per broadcast: wait for
+      // at least half a window of free slots (or the final stragglers)
+      // before dispatching, instead of flooding per freed slot. The
+      // window still bounds what is in flight; this only shapes batches.
+      const size_t window = window_ctl_.window();
+      const size_t free_slots = window - in_flight_;
+      const size_t wanted =
+          std::min(pending_.size(), std::max<size_t>(1, window / 2));
+      if (free_slots < wanted) break;
+    }
     // One dispatch pass: admit as many pending sessions as the window
     // allows. A round requests one uniform k, so collect first attempts
     // all carry the same body and go out as one transport broadcast.
     std::vector<net::NodeId> batch;
-    while (!pending_.empty() && in_flight_ < config_.max_in_flight) {
+    while (!pending_.empty() && in_flight_ < window_ctl_.window()) {
       const DeviceId device = pending_.front();
       pending_.pop_front();
       // admit_round() guaranteed unique endpoints, so no session can be in
@@ -140,11 +182,15 @@ void AttestationService::pump() {
       session.device = device;
       session.node = node;
       ++stats_.sessions;
+      ++round_stats_.sessions;
       ++in_flight_;
       stats_.max_in_flight_seen =
           std::max<uint64_t>(stats_.max_in_flight_seen, in_flight_);
+      round_stats_.max_in_flight =
+          std::max<uint64_t>(round_stats_.max_in_flight, in_flight_);
       if (config_.kind == RoundKind::kCollect) {
         session.attempts = 1;
+        session.send_seq = window_ctl_.on_send();
         active_.emplace(node, std::move(session));
         batch.push_back(node);
       } else {
@@ -172,6 +218,7 @@ void AttestationService::pump() {
 
 void AttestationService::send_attempt(Session& session) {
   ++session.attempts;
+  session.send_seq = window_ctl_.on_send();
   Bytes body;
   MsgType type;
   if (config_.kind == RoundKind::kCollect) {
@@ -193,6 +240,48 @@ void AttestationService::send_attempt(Session& session) {
   transport_.send(node, type, body);
   const auto it = active_.find(node);
   if (it != active_.end()) arm_timeout(it->second);
+}
+
+void AttestationService::queue_retry(Session& session) {
+  // The attempt is only stamped (and counted) at flush time, when it is
+  // known to go on the air -- a late response can still complete the
+  // session before the flush and prune it from the batch.
+  retry_batch_.push_back(session.node);
+  if (!retry_flush_event_) {
+    // Zero delay: runs at this same instant but AFTER the remaining
+    // timeouts of the wave (the queue is FIFO within a timestamp), so
+    // the whole wave lands in one batch.
+    retry_flush_event_ =
+        queue_.schedule_after(sim::Duration(0), [this] { flush_retries(); });
+  }
+}
+
+void AttestationService::flush_retries() {
+  retry_flush_event_.reset();
+  std::vector<net::NodeId> batch;
+  batch.swap(retry_batch_);
+  // A late response may have completed a session while its retry sat in
+  // the batch; re-asking would only produce a stray duplicate.
+  batch.erase(std::remove_if(batch.begin(), batch.end(),
+                             [this](net::NodeId node) {
+                               return active_.find(node) == active_.end();
+                             }),
+              batch.end());
+  if (batch.empty()) return;
+  for (const net::NodeId node : batch) {
+    Session& session = active_.at(node);
+    ++session.attempts;
+    session.send_seq = window_ctl_.on_send();
+  }
+  stats_.retries += batch.size();
+  round_stats_.retries += batch.size();
+  const Bytes body = CollectRequest{round_k_}.serialize();
+  transport_.hint_retry_wave();
+  transport_.broadcast(batch, MsgType::kCollectRequest, body);
+  for (const net::NodeId node : batch) {
+    const auto it = active_.find(node);
+    if (it != active_.end()) arm_timeout(it->second);
+  }
 }
 
 void AttestationService::arm_timeout(Session& session) {
@@ -254,9 +343,28 @@ void AttestationService::on_timeout(net::NodeId node) {
   if (it == active_.end()) return;  // completed; cancel raced the event
   Session& session = it->second;
   session.timeout.reset();
+  // Every timeout is a loss signal for the adaptive window; the recovery
+  // epoch collapses the correlated timeouts of one dispatch wave into a
+  // single multiplicative cut.
+  if (window_ctl_.on_loss(session.send_seq)) {
+    ++stats_.loss_backoffs;
+    ++round_stats_.loss_backoffs;
+  }
+  sync_window_stats();
   if (session.attempts <= config_.max_retries) {
-    ++stats_.retries;
-    send_attempt(session);
+    if (config_.kind == RoundKind::kCollect &&
+        transport_.coalesced_dispatch()) {
+      // A lost flood times out its whole dispatch wave at this same
+      // instant: coalesce the wave's retries into one broadcast instead
+      // of launching one re-flood per device. Retry stats are counted at
+      // flush time, for retries that actually go on the air.
+      queue_retry(session);
+    } else {
+      ++stats_.retries;
+      ++round_stats_.retries;
+      transport_.hint_retry_wave();
+      send_attempt(session);
+    }
     return;
   }
   // Retry budget exhausted: the device is unreachable this round. For an
@@ -281,9 +389,13 @@ void AttestationService::complete(net::NodeId node, bool reachable,
   outcome.fresh_valid = fresh_valid;
   if (reachable) {
     ++stats_.responses;
+    ++round_stats_.responses;
+    window_ctl_.on_response();
+    sync_window_stats();
     outcome.report = std::move(report);
   } else {
     ++stats_.unreachable_sessions;
+    ++round_stats_.unreachable_sessions;
   }
 
   if (config_.keep_audit) {

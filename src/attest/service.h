@@ -36,6 +36,7 @@
 #include "attest/audit.h"
 #include "attest/directory.h"
 #include "attest/transport.h"
+#include "attest/window.h"
 #include "sim/event_queue.h"
 
 namespace erasmus::attest {
@@ -51,7 +52,11 @@ struct ServiceConfig {
   uint32_t k = 8;                              // records per request
   sim::Duration response_timeout = sim::Duration::seconds(2);
   int max_retries = 2;      // per session, after the first attempt
-  size_t max_in_flight = 64;  // bounded dispatch window per round
+  /// Bounded dispatch window per round: fixed (window.fixed slots,
+  /// the default) or AIMD-adaptive (window.adaptive = true; see
+  /// attest/window.h). Loss timeouts and relay-queue congestion damp an
+  /// adaptive window; on-time responses grow it back.
+  WindowConfig window;
   RoundKind kind = RoundKind::kCollect;
   /// Keep full per-device audit logs. Turn off for huge fleets where the
   /// caller aggregates through the observer instead.
@@ -73,6 +78,7 @@ class AttestationService {
   };
   using Observer = std::function<void(const SessionOutcome&)>;
 
+  /// Lifetime counters, accumulated across every round the service ran.
   struct Stats {
     uint64_t rounds = 0;
     uint64_t sessions = 0;
@@ -82,7 +88,32 @@ class AttestationService {
     /// Spoofed source, unexpected MsgType, undecodable or duplicate
     /// responses -- dropped without touching any session.
     uint64_t stray_datagrams = 0;
+    /// Lifetime high-water mark; RoundStats::max_in_flight has the
+    /// per-round value.
     uint64_t max_in_flight_seen = 0;
+    /// Adaptive-window backoffs (0 when the window is fixed).
+    uint64_t loss_backoffs = 0;
+    uint64_t congestion_backoffs = 0;
+  };
+
+  /// Per-round counters, reset when a round begins (a periodic round, a
+  /// collect_now). Unlike Stats these describe ONE round, so scenario
+  /// metric tables can emit round rows without differencing lifetime
+  /// counters.
+  struct RoundStats {
+    uint64_t sessions = 0;
+    uint64_t responses = 0;
+    uint64_t retries = 0;
+    uint64_t unreachable_sessions = 0;
+    uint64_t max_in_flight = 0;
+    /// Window trajectory inside the round: smallest/largest value the
+    /// AIMD controller visited, and the window at round end (== the fixed
+    /// size when adaptivity is off).
+    uint64_t window_min = 0;
+    uint64_t window_max = 0;
+    uint64_t window_final = 0;
+    uint64_t loss_backoffs = 0;
+    uint64_t congestion_backoffs = 0;
   };
 
   /// The service takes exclusive ownership of `transport`'s receiver:
@@ -129,6 +160,10 @@ class AttestationService {
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
   const Stats& stats() const { return stats_; }
+  /// Stats of the round in progress (or the last finished round).
+  const RoundStats& round_stats() const { return round_stats_; }
+  /// Current dispatch window (moves only when window.adaptive is set).
+  size_t window() const { return window_ctl_.window(); }
   const ServiceConfig& config() const { return config_; }
 
  private:
@@ -136,6 +171,9 @@ class AttestationService {
     DeviceId device = 0;
     net::NodeId node = 0;
     int attempts = 0;
+    /// WindowController stamp of the LATEST attempt; a timeout reports
+    /// it so correlated losses of one dispatch wave cut the window once.
+    uint64_t send_seq = 0;
     /// kOnDemand: the FIRST attempt's request timestamp. Responses are
     /// judged against it so a slow answer to attempt 1 arriving after a
     /// retry is still fresh-since-we-asked, not "tampering".
@@ -152,9 +190,21 @@ class AttestationService {
   /// identical first-attempt requests into one transport broadcast.
   void pump();
   void send_attempt(Session& session);
+  /// Retry coalescing over flood transports: a dispatch wave's sessions
+  /// time out at the same instant, so their retries are collected here
+  /// and flushed as ONE broadcast (one re-flood instead of one per
+  /// device) by a zero-delay event that runs after the whole wave's
+  /// timeouts (FIFO within a timestamp).
+  void queue_retry(Session& session);
+  void flush_retries();
   void arm_timeout(Session& session);
   void on_receive(net::NodeId src, MsgType type, ByteView body);
   void on_timeout(net::NodeId node);
+  /// Drains the transport's relay-queue occupancy signal and damps an
+  /// adaptive window when it crosses the configured threshold.
+  void poll_congestion();
+  /// Mirrors the controller's window trajectory into round_stats_.
+  void sync_window_stats();
   void complete(net::NodeId node, bool reachable, CollectionReport report,
                 bool fresh_valid);
   void finish_round();
@@ -172,6 +222,8 @@ class AttestationService {
 
   std::deque<DeviceId> pending_;
   uint32_t round_k_ = 0;  // one uniform k per round, by construction
+  std::vector<net::NodeId> retry_batch_;
+  std::optional<sim::EventId> retry_flush_event_;
   std::unordered_map<net::NodeId, Session> active_;
   size_t in_flight_ = 0;
   bool pumping_ = false;
@@ -179,7 +231,9 @@ class AttestationService {
   bool round_periodic_ = false;
   std::vector<SessionOutcome>* sync_outcomes_ = nullptr;
 
+  WindowController window_ctl_{WindowConfig{}};
   Stats stats_;
+  RoundStats round_stats_;
 };
 
 }  // namespace erasmus::attest

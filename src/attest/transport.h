@@ -54,6 +54,27 @@ class Transport {
 
   /// One-way latency estimate for timeout sizing; zero for direct.
   virtual sim::Duration latency() const = 0;
+
+  /// Drains the backend's congestion signal: the worst relay-queue
+  /// occupancy fraction (0..1) reported since the last call. Backends
+  /// without store-and-forward queues return 0. Draining (rather than a
+  /// const peek) makes one saturation burst count as one event for the
+  /// service's adaptive window.
+  virtual double take_congestion() { return 0.0; }
+
+  /// True when broadcast() has a large per-call cost independent of the
+  /// batch size (a flood transport wakes the whole field for one frame).
+  /// The service then coalesces dispatch into half-window batches instead
+  /// of topping the window up per completion -- same sessions, far fewer
+  /// broadcasts. Per-peer backends keep the default: their dispatch cost
+  /// is per session, so eager refill is strictly better.
+  virtual bool coalesced_dispatch() const { return false; }
+
+  /// Hints that the NEXT send() or broadcast() carries retries rather
+  /// than first-attempt dispatch. Backends may route retries differently
+  /// (scoped unicast over a cached path) and attribute their stats to
+  /// the retry economy. Consumed by that one call; ignored by default.
+  virtual void hint_retry_wave() {}
 };
 
 /// Attaches the service to one node of a simulated datagram network.

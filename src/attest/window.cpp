@@ -1,0 +1,81 @@
+#include "attest/window.h"
+
+#include <algorithm>
+
+namespace erasmus::attest {
+
+namespace {
+size_t clamp_window(size_t value, const WindowConfig& config) {
+  return std::clamp(value, config.floor, config.ceiling);
+}
+}  // namespace
+
+WindowController::WindowController(const WindowConfig& config)
+    : config_(config) {
+  window_ = config_.adaptive ? clamp_window(config_.initial, config_)
+                             : std::max<size_t>(1, config_.fixed);
+  ssthresh_ = config_.ceiling;
+  // The first congestion signal may back off immediately; subsequent
+  // ones are rate-limited against the window size.
+  events_since_backoff_ = window_;
+  begin_round();
+}
+
+void WindowController::on_response() {
+  note_event();  // responses re-open the burst guard like any other event
+  if (!config_.adaptive) return;
+  if (window_ < ssthresh_) {
+    // Slow start: +1 per response doubles the window per round trip.
+    window_ = clamp_window(window_ + 1, config_);
+    ack_credit_ = 0;
+  } else if (++ack_credit_ >= window_) {
+    ack_credit_ = 0;
+    window_ = clamp_window(window_ + config_.additive_increase, config_);
+  }
+  round_max_ = std::max(round_max_, window_);
+}
+
+void WindowController::cut_window(double factor) {
+  cut_seq_ = send_seq_;  // everything in flight belongs to this cut
+  events_since_backoff_ = 0;
+  ack_credit_ = 0;
+  const auto cut =
+      static_cast<size_t>(static_cast<double>(window_) * factor);
+  window_ = clamp_window(cut, config_);
+  ssthresh_ = window_;
+  round_min_ = std::min(round_min_, window_);
+}
+
+bool WindowController::on_loss(uint64_t send_seq) {
+  note_event();
+  if (!config_.adaptive) return false;
+  // Recovery epoch: a timeout of anything sent at or before the last cut
+  // is the SAME loss event that caused the cut (one lost flood times out
+  // a whole window of correlated sessions). Only a post-cut attempt's
+  // timeout is fresh evidence.
+  if (send_seq <= cut_seq_) return false;
+  cut_window(config_.loss_decrease);
+  return true;
+}
+
+bool WindowController::on_congestion() {
+  note_event();
+  if (!config_.adaptive) return false;
+  if (events_since_backoff_ < window_) return false;  // same saturation
+  cut_window(config_.congestion_decrease);
+  return true;
+}
+
+void WindowController::begin_round() {
+  if (config_.adaptive && round_max_ > 0) {
+    // The window itself carries over (the fleet and field did not
+    // change), but remember the capacity the last round reached: if loss
+    // bursts crushed the window late in the round, rediscovery should be
+    // exponential up to half that capacity, not additive from the floor.
+    ssthresh_ = std::max(ssthresh_, round_max_ / 2);
+  }
+  round_min_ = window_;
+  round_max_ = window_;
+}
+
+}  // namespace erasmus::attest

@@ -1,0 +1,109 @@
+// AIMD in-flight window control for the attestation service.
+//
+// The service's dispatch window decides how many collection sessions may
+// be in flight at once. A fixed window is either too small (a
+// million-device round serialises behind it) or too large (a lossy,
+// multi-hop network drowns in requests it will mostly drop). The
+// WindowController makes the window adaptive, TCP-style:
+//
+//  * slow start  -- every on-time response grows the window by one until
+//    it crosses the slow-start threshold, so an idle service discovers
+//    the network's capacity in O(log fleet) round trips;
+//  * congestion avoidance -- past the threshold, growth is additive: one
+//    window's worth of responses buys `additive_increase` more slots;
+//  * multiplicative backoff -- a timeout (loss) or a relay-queue
+//    saturation signal halves the window (and the threshold), clamped to
+//    the floor. Loss backoffs are guarded by recovery epochs (TCP Reno's
+//    trick): every dispatched attempt is stamped with a send sequence,
+//    and only the timeout of an attempt sent AFTER the last cut may cut
+//    again -- so the correlated timeout wave of one lost flood, however
+//    wide the window was, is charged as ONE loss event. Congestion
+//    signals (which cannot be tied to a send) instead rate-limit to one
+//    backoff per window's worth of events.
+//
+// Everything is integer/deterministic: the controller is driven purely by
+// the service's event order, which the sharded runner keeps
+// thread-count-independent, so the 1-vs-8-thread byte-identity invariant
+// survives adaptivity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace erasmus::attest {
+
+struct WindowConfig {
+  /// false: the window stays at `fixed` forever (the pre-adaptive
+  /// behaviour). true: AIMD over [floor, ceiling] starting at `initial`.
+  bool adaptive = false;
+  size_t fixed = 64;
+
+  size_t initial = 16;
+  size_t floor = 4;
+  size_t ceiling = 4096;
+  /// Congestion-avoidance growth per full window of responses.
+  size_t additive_increase = 1;
+  /// Backoff factor on a timeout (0 < f < 1). Gentler than the
+  /// congestion cut (TCP-Westwood flavour): on a lossy multi-hop radio a
+  /// timeout is usually random loss, not queue pressure, and the
+  /// explicit queue-occupancy signal below covers the real thing.
+  double loss_decrease = 0.7;
+  /// Backoff factor on a relay-queue saturation report.
+  double congestion_decrease = 0.5;
+  /// Relay queue occupancy (0..1, from Transport::take_congestion()) at or
+  /// above which the service damps the window. Flood collection keeps
+  /// root-adjacent queues legitimately busy, so only near-overflow
+  /// occupancy is treated as congestion.
+  double congestion_threshold = 0.9;
+};
+
+class WindowController {
+ public:
+  explicit WindowController(const WindowConfig& config);
+
+  /// Current dispatch window (slots).
+  size_t window() const { return window_; }
+  bool adaptive() const { return config_.adaptive; }
+
+  /// Stamps one dispatched attempt; the returned sequence must be handed
+  /// back to on_loss() if that attempt times out.
+  uint64_t on_send() { return ++send_seq_; }
+  /// An on-time response arrived: slow-start or additive growth.
+  void on_response();
+  /// The attempt stamped `send_seq` timed out. Returns true when the
+  /// window was actually cut: only attempts sent after the previous cut
+  /// can cut again (recovery epoch), so one lost flood's correlated
+  /// timeout wave is one loss event.
+  bool on_loss(uint64_t send_seq);
+  /// Relay queues report saturation; same multiplicative cut, but
+  /// rate-limited to one backoff per window's worth of events (a
+  /// congestion report cannot be attributed to a send).
+  bool on_congestion();
+
+  /// Starts a round: resets the per-round min/max trackers and, in
+  /// adaptive mode, folds the previous round's discovered capacity into
+  /// the slow-start threshold -- so a window crushed by late-round loss
+  /// bursts regrows exponentially next round instead of crawling
+  /// additively from the floor.
+  void begin_round();
+  /// Smallest/largest window since begin_round() (inclusive of the
+  /// starting value).
+  size_t round_min() const { return round_min_; }
+  size_t round_max() const { return round_max_; }
+
+ private:
+  void cut_window(double factor);
+  void note_event() { ++events_since_backoff_; }
+
+  WindowConfig config_;
+  size_t window_ = 0;
+  size_t ssthresh_ = 0;      // slow start below this
+  size_t ack_credit_ = 0;    // responses toward the next additive step
+  uint64_t send_seq_ = 0;    // attempts stamped so far
+  uint64_t cut_seq_ = 0;     // send_seq_ at the last cut (epoch boundary)
+  uint64_t events_since_backoff_ = 0;
+  size_t round_min_ = 0;
+  size_t round_max_ = 0;
+};
+
+}  // namespace erasmus::attest

@@ -17,9 +17,11 @@ void Network::set_handler(NodeId node, Handler handler) {
   handlers_[node] = std::move(handler);
 }
 
-bool Network::admit(NodeId src, NodeId dst) {
+bool Network::admit(NodeId src, NodeId dst, size_t payload_bytes) {
   ++stats_.sent;
+  stats_.bytes_sent += payload_bytes;
   ++node_stats_[dst].sent;
+  node_stats_[dst].bytes_sent += payload_bytes;
   if (filter_ && !filter_(src, dst)) {
     ++stats_.dropped_disconnected;
     ++node_stats_[dst].dropped_disconnected;
@@ -45,7 +47,7 @@ void Network::send(NodeId src, NodeId dst, Bytes payload) {
   if (src >= handlers_.size() || dst >= handlers_.size()) {
     throw std::out_of_range("Network: unknown endpoint");
   }
-  if (!admit(src, dst)) return;
+  if (!admit(src, dst, payload.size())) return;
   deliver(Datagram{src, dst, std::move(payload)});
 }
 
@@ -62,7 +64,7 @@ void Network::broadcast(NodeId src, const std::vector<NodeId>& dsts,
     // loop -- but the payload is only copied for destinations that are
     // actually delivered to, which is what makes swarm-wide radio floods
     // (1 sender x N destinations, most out of range) affordable.
-    if (!admit(src, dst)) continue;
+    if (!admit(src, dst, payload.size())) continue;
     deliver(Datagram{src, dst, Bytes(payload.begin(), payload.end())});
   }
 }

@@ -65,12 +65,18 @@ class Network {
                  ByteView payload);
 
   sim::Duration latency() const { return latency_; }
+  /// The owning queue's current instant (route-freshness decisions of
+  /// higher layers key off send-time, which is this clock).
+  sim::Time now() const { return queue_.now(); }
 
   struct Stats {
     uint64_t sent = 0;
     uint64_t delivered = 0;
     uint64_t dropped_loss = 0;
     uint64_t dropped_disconnected = 0;
+    /// Payload bytes offered to the medium (counted per destination
+    /// attempt, delivered or not -- the radio transmits either way).
+    uint64_t bytes_sent = 0;
   };
   const Stats& stats() const { return stats_; }
   /// Delivery stats for traffic TO one node (what did device d actually
@@ -80,7 +86,7 @@ class Network {
 
  private:
   /// Stats + link-filter + loss draw for one (src, dst); true = deliver.
-  bool admit(NodeId src, NodeId dst);
+  bool admit(NodeId src, NodeId dst, size_t payload_bytes);
   void deliver(Datagram dgram);
 
   sim::EventQueue& queue_;

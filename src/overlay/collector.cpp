@@ -22,7 +22,7 @@ attest::ServiceConfig service_config(const RelayCollectorConfig& config,
   // One flood covers the whole swarm, so the dispatch window must too:
   // throttling would just delay sessions past reports that already
   // arrived.
-  sc.max_in_flight = fleet == 0 ? 1 : fleet;
+  sc.window.fixed = fleet == 0 ? 1 : fleet;
   sc.keep_audit = false;  // round results are judged per round, not logged
   return sc;
 }

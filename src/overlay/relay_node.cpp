@@ -80,12 +80,67 @@ void RelayNode::on_datagram(const net::Datagram& dgram) {
         return;
       }
       ++report->hops;
-      enqueue_report(report->flood,
-                     frame_relay(RelayMsg::kRelayReport, report->serialize()),
-                     /*relayed=*/true);
+      report->path.push_back(self_);
+      enqueue_report(std::move(*report), /*relayed=*/true);
+      return;
+    }
+    case RelayMsg::kScopedRequest: {
+      auto request = ScopedRequest::deserialize(framed->second);
+      if (!request) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      handle_scoped(std::move(*request), dgram.src);
+      return;
+    }
+    case RelayMsg::kScopedNak: {
+      const auto nak = ScopedNak::deserialize(framed->second);
+      if (!nak) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      // Climb the same parent chain the scoped request laid down; a
+      // pruned route leaves the NAK with nowhere to go (the verifier's
+      // session timeout still recovers).
+      const auto it = routes_.find(nak->flood);
+      if (it == routes_.end()) {
+        ++stats_.reports_orphaned;
+        return;
+      }
+      ++stats_.naks_forwarded;
+      network_.send(self_, uplink(it->second),
+                    frame_relay(RelayMsg::kScopedNak, nak->serialize()));
       return;
     }
   }
+}
+
+void RelayNode::handle_scoped(ScopedRequest request, net::NodeId from) {
+  // Record the sender as this flood's parent BEFORE anything else: the
+  // response report (or a NAK from further down) returns over exactly the
+  // hops the request traversed.
+  routes_[request.flood] = FloodRoute{from, {}};
+  prune_routes();
+  first_sight(request.flood);  // keep the dedup watermark monotone
+
+  if (request.route.empty()) {
+    serve(request.flood, request.inner_type, request.request);
+    return;
+  }
+  const net::NodeId next = request.route.front();
+  if (link_probe_ && !link_probe_(self_, next)) {
+    // The cached route broke at this hop. Tell the verifier (so the next
+    // retry re-floods) instead of transmitting into the void.
+    ++stats_.naks_sent;
+    const ScopedNak nak{request.flood, request.route.back()};
+    network_.send(self_, from,
+                  frame_relay(RelayMsg::kScopedNak, nak.serialize()));
+    return;
+  }
+  request.route.erase(request.route.begin());
+  ++stats_.scoped_forwarded;
+  network_.send(self_, next,
+                frame_relay(RelayMsg::kScopedRequest, request.serialize()));
 }
 
 bool RelayNode::first_sight(uint32_t flood) {
@@ -126,7 +181,9 @@ void RelayNode::handle_flood(const CollectFlood& flood, net::NodeId from) {
   routes_[flood.flood] = FloodRoute{from, {}};
   prune_routes();
 
-  if (flood.target == kEveryone || flood.target == self_) serve(flood);
+  if (flood.serves(self_)) {
+    serve(flood.flood, flood.inner_type, flood.request);
+  }
 
   if (flood.ttl > 0) {
     CollectFlood next = flood;
@@ -137,15 +194,16 @@ void RelayNode::handle_flood(const CollectFlood& flood, net::NodeId from) {
   }
 }
 
-void RelayNode::serve(const CollectFlood& flood) {
+void RelayNode::serve(uint32_t flood_id, uint8_t inner_type,
+                      ByteView request) {
   // Serve from the co-located prover: a buffer read plus (for OD) one MAC
   // check -- collection itself triggers no measurement (§3, §6).
   Bytes response;
   uint8_t response_type = 0;
   sim::Duration processing;
-  switch (static_cast<attest::MsgType>(flood.inner_type)) {
+  switch (static_cast<attest::MsgType>(inner_type)) {
     case attest::MsgType::kCollectRequest: {
-      const auto req = attest::CollectRequest::deserialize(flood.request);
+      const auto req = attest::CollectRequest::deserialize(request);
       if (!req) {
         ++stats_.malformed_frames;
         return;
@@ -157,7 +215,7 @@ void RelayNode::serve(const CollectFlood& flood) {
       break;
     }
     case attest::MsgType::kOdRequest: {
-      const auto req = attest::OdRequest::deserialize(flood.request);
+      const auto req = attest::OdRequest::deserialize(request);
       if (!req) {
         ++stats_.malformed_frames;
         return;
@@ -175,24 +233,35 @@ void RelayNode::serve(const CollectFlood& flood) {
   ++stats_.requests_served;
 
   RelayReport report;
-  report.flood = flood.flood;
+  report.flood = flood_id;
   report.origin = self_;
   report.hops = 0;
   report.inner_type = response_type;
+  report.path.push_back(self_);
   report.response = std::move(response);
-  const uint32_t flood_id = flood.flood;
-  Bytes frame = frame_relay(RelayMsg::kRelayReport, report.serialize());
-  schedule(processing, [this, flood_id, frame = std::move(frame)]() mutable {
-    enqueue_report(flood_id, std::move(frame), /*relayed=*/false);
+  schedule(processing, [this, report = std::move(report)]() mutable {
+    enqueue_report(std::move(report), /*relayed=*/false);
   });
 }
 
-void RelayNode::enqueue_report(uint32_t flood, Bytes frame, bool relayed) {
+uint8_t RelayNode::occupancy_byte() const {
+  if (config_.queue_depth == 0) return 255;
+  const size_t occupied =
+      std::min(queue_out_.size() + 1, config_.queue_depth);
+  return static_cast<uint8_t>(occupied * 255 / config_.queue_depth);
+}
+
+void RelayNode::enqueue_report(RelayReport report, bool relayed) {
   if (queue_out_.size() >= config_.queue_depth) {
     ++stats_.reports_dropped;
     return;
   }
-  queue_out_.push_back({flood, std::move(frame), relayed});
+  // Congestion piggyback: the report remembers the most saturated queue
+  // it crossed, measured as this queue will stand once it joins it.
+  report.queue = std::max(report.queue, occupancy_byte());
+  queue_out_.push_back(
+      {report.flood, frame_relay(RelayMsg::kRelayReport, report.serialize()),
+       relayed});
   if (!draining_) {
     draining_ = true;
     schedule(config_.forward_spacing, [this] { drain_one(); });

@@ -18,6 +18,14 @@
 // route onto a still-connected alternate (counted in stats) -- the
 // mobility-aware re-discovery that keeps a round alive when the topology
 // churns mid-collection.
+//
+// Scoped retries (wire.h ScopedRequest) ride the same route table: a
+// source-routed request records each sender as the parent for its flood
+// id while it travels down, serves at the target, and the response
+// report climbs back over those parents. A hop whose next link is down
+// answers with a ScopedNak toward the verifier instead of forwarding
+// blindly. Reports stamp the node's store-and-forward queue occupancy as
+// they pass, so the verifier sees relay congestion end to end.
 #pragma once
 
 #include <deque>
@@ -71,11 +79,14 @@ class RelayNode {
   struct Stats {
     uint64_t floods_seen = 0;       // flood frames heard (duplicates incl.)
     uint64_t floods_forwarded = 0;  // re-floods sent (first sight, ttl > 0)
-    uint64_t requests_served = 0;   // floods answered by the local prover
+    uint64_t requests_served = 0;   // requests answered by the local prover
     uint64_t reports_relayed = 0;   // reports forwarded toward a parent
     uint64_t reports_dropped = 0;   // store-and-forward queue overflow
     uint64_t reports_orphaned = 0;  // reports for floods we never saw/pruned
     uint64_t route_repairs = 0;     // parent swapped to an alternate uplink
+    uint64_t scoped_forwarded = 0;  // scoped requests passed down-route
+    uint64_t naks_sent = 0;         // scoped hops found their next link down
+    uint64_t naks_forwarded = 0;    // NAKs passed up toward the verifier
     uint64_t malformed_frames = 0;  // frames that did not parse (cf.
                                     // NetworkTransport::malformed_frames)
   };
@@ -95,9 +106,17 @@ class RelayNode {
 
   void on_datagram(const net::Datagram& dgram);
   void handle_flood(const CollectFlood& flood, net::NodeId from);
-  void serve(const CollectFlood& flood);
-  /// Enqueues one report frame for store-and-forward; drops on overflow.
-  void enqueue_report(uint32_t flood, Bytes frame, bool relayed);
+  void handle_scoped(ScopedRequest request, net::NodeId from);
+  /// Serves one inner attest request via the co-located prover and
+  /// schedules the response report (shared by floods and scoped
+  /// requests).
+  void serve(uint32_t flood_id, uint8_t inner_type, ByteView request);
+  /// This node's store-and-forward occupancy as a wire byte (0..255),
+  /// as it will be once one more report is queued.
+  uint8_t occupancy_byte() const;
+  /// Stamps occupancy into the report and queues it for store-and-forward;
+  /// drops on overflow.
+  void enqueue_report(RelayReport report, bool relayed);
   void drain_one();
   /// The route's current uplink, after any route repair.
   net::NodeId uplink(FloodRoute& route);

@@ -1,5 +1,7 @@
 #include "overlay/relay_transport.h"
 
+#include <algorithm>
+
 namespace erasmus::overlay {
 
 namespace {
@@ -20,19 +22,23 @@ RelayTransport::~RelayTransport() {
   network_.set_handler(self_, {});
 }
 
-void RelayTransport::launch_flood(net::NodeId target, attest::MsgType type,
-                                  ByteView body) {
+void RelayTransport::register_flood(uint32_t flood) {
+  delivered_[flood];  // open the dedup window for this flood
+  while (delivered_.size() > config_.flood_memory) {
+    delivered_.erase(delivered_.begin());
+  }
+}
+
+void RelayTransport::launch_flood(std::vector<net::NodeId> targets,
+                                  attest::MsgType type, ByteView body) {
   CollectFlood flood;
   flood.flood = next_flood_++;
-  flood.target = target;
+  flood.targets = std::move(targets);
   flood.ttl = config_.ttl;
   flood.inner_type = static_cast<uint8_t>(type);
   flood.request.assign(body.begin(), body.end());
 
-  delivered_[flood.flood];  // open the dedup window for this flood
-  while (delivered_.size() > config_.flood_memory) {
-    delivered_.erase(delivered_.begin());
-  }
+  register_flood(flood.flood);
 
   const Bytes payload =
       frame_relay(RelayMsg::kCollectFlood, flood.serialize());
@@ -44,22 +50,94 @@ void RelayTransport::launch_flood(net::NodeId target, attest::MsgType type,
   network_.broadcast(self_, scratch_dsts_, payload);
 }
 
-void RelayTransport::send(net::NodeId peer, attest::MsgType type,
-                          ByteView body) {
-  // A unicast is a targeted flood: everyone forwards, only `peer` serves.
-  // The fresh flood id rebuilds the parent tree from the topology as it is
-  // NOW, so per-device retries double as route re-discovery.
-  ++stats_.targeted_floods;
-  launch_flood(peer, type, body);
+void RelayTransport::launch_scoped(CachedRoute& route, attest::MsgType type,
+                                   ByteView body) {
+  ScopedRequest request;
+  request.flood = next_flood_++;
+  request.inner_type = static_cast<uint8_t>(type);
+  // The first hop is addressed directly; it receives the rest of the
+  // path down to (and including) the target.
+  request.route.assign(route.route.begin() + 1, route.route.end());
+  request.request.assign(body.begin(), body.end());
+
+  register_flood(request.flood);  // the response report needs dedup state
+
+  route.used = true;
+  network_.send(self_, route.route.front(),
+                frame_relay(RelayMsg::kScopedRequest, request.serialize()));
 }
 
-void RelayTransport::broadcast(const std::vector<net::NodeId>& /*peers*/,
+bool RelayTransport::has_fresh_route(net::NodeId peer) const {
+  const auto it = routes_.find(peer);
+  return it != routes_.end() && !it->second.used &&
+         network_.now() - it->second.learned_at <= config_.route_ttl;
+}
+
+void RelayTransport::send(net::NodeId peer, attest::MsgType type,
+                          ByteView body) {
+  const bool retry = next_broadcast_is_retry_;
+  next_broadcast_is_retry_ = false;
+  // Scoped routing applies to RETRIES only: a first attempt has no
+  // business burning the route cache the retry path depends on.
+  if (retry && config_.scoped_retries) {
+    if (has_fresh_route(peer)) {
+      // The peer's path was recorded recently: retry as a source-routed
+      // unicast down it instead of waking the whole swarm. Burned after
+      // one use -- a silent failure means the route is suspect, so the
+      // next retry re-floods.
+      ++stats_.scoped_sent;
+      launch_scoped(routes_.at(peer), type, body);
+      return;
+    }
+    ++stats_.scoped_fallbacks;
+  }
+  // A targeted flood: everyone forwards, only `peer` serves. The fresh
+  // flood id rebuilds the parent tree from the topology as it is NOW, so
+  // per-device re-floods double as route re-discovery.
+  ++stats_.targeted_floods;
+  launch_flood({peer}, type, body);
+}
+
+void RelayTransport::broadcast(const std::vector<net::NodeId>& peers,
                                attest::MsgType type, ByteView body) {
-  // One flood covers the whole swarm regardless of the batch: flooding is
-  // round-wide by nature. Non-targeted nodes' responses are deduplicated
-  // by the service's session table like any stray datagram.
-  ++stats_.floods_sent;
-  launch_flood(kEveryone, type, body);
+  const bool retry_wave = next_broadcast_is_retry_;
+  next_broadcast_is_retry_ = false;
+  // A coalesced retry wave where EVERY member has a fresh recorded path
+  // needs no flood at all: unicast each down its parent chain. (All or
+  // nothing -- once one member needs a flood, the flood reaches everyone
+  // anyway, so extra unicasts would only add traffic. Retries only --
+  // first-attempt dispatch must not burn the route cache.)
+  if (retry_wave && config_.scoped_retries && !peers.empty()) {
+    const bool all_routed = std::all_of(
+        peers.begin(), peers.end(),
+        [this](net::NodeId peer) { return has_fresh_route(peer); });
+    if (all_routed) {
+      for (const net::NodeId peer : peers) {
+        ++stats_.scoped_sent;
+        launch_scoped(routes_.at(peer), type, body);
+      }
+      return;
+    }
+    // Retry-economy accounting: how many retried devices had no usable
+    // route, forcing this wave back onto the flood path.
+    for (const net::NodeId peer : peers) {
+      if (!has_fresh_route(peer)) ++stats_.scoped_fallbacks;
+    }
+  }
+  // One flood covers the dispatch batch: flooding is field-wide by
+  // nature, but scoping the serve set to the batch keeps the report
+  // volume inside the service's window. A batch that covers every node
+  // compresses to the {kEveryone} wildcard.
+  if (retry_wave) {
+    ++stats_.targeted_floods;
+  } else {
+    ++stats_.floods_sent;
+  }
+  if (peers.size() + 1 >= num_nodes_) {
+    launch_flood({kEveryone}, type, body);
+    return;
+  }
+  launch_flood(peers, type, body);
 }
 
 void RelayTransport::set_receiver(Receiver receiver) {
@@ -71,20 +149,64 @@ sim::Duration RelayTransport::latency() const {
          (static_cast<uint64_t>(config_.ttl) + 1);
 }
 
+double RelayTransport::take_congestion() {
+  const double occupancy = pending_congestion_;
+  pending_congestion_ = 0.0;
+  return occupancy;
+}
+
 void RelayTransport::on_datagram(const net::Datagram& dgram) {
   const auto framed = unframe_relay(dgram.payload);
   if (!framed) {
     ++stats_.malformed_frames;
     return;
   }
-  if (framed->first == RelayMsg::kCollectFlood) {
-    // Our own flood echoed back by a neighbour; nothing to do.
-    return;
+  switch (framed->first) {
+    case RelayMsg::kCollectFlood:
+    case RelayMsg::kScopedRequest:
+      // Our own traffic echoed back by a neighbour; nothing to do.
+      return;
+    case RelayMsg::kScopedNak: {
+      const auto nak = ScopedNak::deserialize(framed->second);
+      if (!nak) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      // A hop on the cached route lost its next link: the route is
+      // stale. Evict it so the session's next retry re-floods.
+      ++stats_.naks_received;
+      routes_.erase(nak->target);
+      return;
+    }
+    case RelayMsg::kRelayReport:
+      break;
   }
   const auto report = RelayReport::deserialize(framed->second);
   if (!report || !valid_msg_type(report->inner_type)) {
     ++stats_.malformed_frames;
     return;
+  }
+  // Any well-formed report carries live routing and congestion evidence,
+  // duplicates and stragglers included -- the relay queues and links it
+  // crossed are real even when the payload is redundant.
+  pending_congestion_ = std::max(
+      pending_congestion_, static_cast<double>(report->queue) / 255.0);
+  if (config_.scoped_retries && !report->path.empty() &&
+      report->path.front() == report->origin &&
+      report->path.size() == static_cast<size_t>(report->hops) + 1) {
+    // The path, reversed, is the verifier's downlink route to the origin
+    // -- and every prefix of it is the route to the relay that appended
+    // that hop. Cache them all: a device whose own response was lost is
+    // still reachable over its parent chain whenever it relayed anybody
+    // else's report.
+    const sim::Time now = network_.now();
+    std::vector<net::NodeId> route;
+    route.reserve(report->path.size());
+    for (auto hop = report->path.rbegin(); hop != report->path.rend();
+         ++hop) {
+      route.push_back(*hop);
+      routes_[*hop] = CachedRoute{route, now, /*used=*/false};
+    }
   }
   const auto it = delivered_.find(report->flood);
   if (it == delivered_.end()) {

@@ -6,19 +6,27 @@
 // unchanged: the service sees an ordinary Transport whose peers happen to
 // be reachable only over whatever multi-hop path exists right now.
 //
-//  * broadcast(peers, ...) -- a round dispatch becomes ONE CollectFlood to
-//    the whole swarm (flooding is inherently round-wide; size the
-//    service's in-flight window to the fleet accordingly). The flood
-//    builds its own parent tree as it propagates.
-//  * send(peer, ...)       -- a retry or per-device (OD) request becomes a
-//    targeted flood: everyone forwards, only `peer` serves. Because each
-//    flood rebuilds its tree from the CURRENT topology, a retry IS route
-//    re-discovery -- the §6 mobility argument in transport form.
+//  * broadcast(peers, ...) -- a dispatch batch becomes ONE CollectFlood
+//    scoped to those peers (everyone forwards, only batch members serve),
+//    or a {kEveryone} flood when the batch covers the swarm. The flood
+//    builds its own parent tree as it propagates, and its report volume
+//    is bounded by the service's dispatch window -- the knob the AIMD
+//    controller turns.
+//  * send(peer, ...)       -- a retry or per-device (OD) request. With
+//    scoped retries on and a fresh cached route -- learned from the path
+//    record of ANY report that crossed the peer, its own or one it
+//    relayed -- this is a source-routed unicast down that parent chain;
+//    otherwise a targeted flood, whose fresh id rebuilds the tree from
+//    the CURRENT topology -- the §6 mobility argument in transport form.
+//    A ScopedNak, a stale or an already-burned route all fall back to
+//    the flood path.
 //  * receive               -- RelayReports are unwrapped, deduplicated per
 //    flood (dense topologies deliver the same report over several paths)
 //    and handed to the service keyed by the origin node, exactly as a
-//    direct response would be. Hop counts feed a histogram so scenarios
-//    can report how deep collection actually reached.
+//    direct response would be. Hop counts feed a histogram, the path
+//    record refreshes the route cache, and the piggybacked relay-queue
+//    occupancy feeds take_congestion() so the service can damp its
+//    window when relays saturate.
 //
 // Malformed frames are counted and dropped here, mirroring
 // NetworkTransport::malformed_frames(): the service only ever sees typed
@@ -27,6 +35,7 @@
 
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "attest/transport.h"
@@ -46,6 +55,14 @@ struct RelayTransportConfig {
   /// pruned window turns that flood's responses into stale reports and
   /// forces another retry).
   size_t flood_memory = 64;
+  /// Retry a device over its last report's recorded path (a source-routed
+  /// unicast) instead of re-flooding the swarm, while that route is
+  /// fresh. Off: every retry is a full targeted flood (the pre-scoped
+  /// behaviour).
+  bool scoped_retries = false;
+  /// How long a recorded path stays trustworthy. Size to mobility: at
+  /// vehicle speeds a multi-hop path decays in tens of seconds.
+  sim::Duration route_ttl = sim::Duration::seconds(30);
 };
 
 class RelayTransport : public attest::Transport {
@@ -63,10 +80,23 @@ class RelayTransport : public attest::Transport {
   /// Worst-case one-way estimate: per-hop network latency plus relay
   /// serialization, times the flood depth bound.
   sim::Duration latency() const override;
+  /// Worst relay-queue occupancy (0..1) reported by any report since the
+  /// last call; drains on read.
+  double take_congestion() override;
+  /// One broadcast = one field-wide flood regardless of batch size: make
+  /// the service coalesce dispatch instead of flooding per free slot.
+  bool coalesced_dispatch() const override { return true; }
+  /// Marks the next broadcast as a retry wave so its scoped/fallback
+  /// split is accounted in the retry-economy stats.
+  void hint_retry_wave() override { next_broadcast_is_retry_ = true; }
 
   struct Stats {
-    uint64_t floods_sent = 0;      // round broadcasts
-    uint64_t targeted_floods = 0;  // per-peer sends (retries, OD)
+    uint64_t floods_sent = 0;       // batch/round broadcasts
+    uint64_t targeted_floods = 0;   // re-floods carrying retries (per-peer
+                                    // sends and coalesced retry waves)
+    uint64_t scoped_sent = 0;       // retries unicast down a cached route
+    uint64_t scoped_fallbacks = 0;  // retried devices with no usable route
+    uint64_t naks_received = 0;     // broken-route notices (route evicted)
     uint64_t reports_received = 0;
     uint64_t duplicate_reports = 0;  // same (flood, origin) via another path
     uint64_t stale_reports = 0;      // flood id outside the dedup window
@@ -78,11 +108,28 @@ class RelayTransport : public attest::Transport {
   /// relays. Grown on demand.
   const std::vector<uint64_t>& hop_histogram() const { return hops_; }
 
+  /// True when a scoped retry for `peer` would take the unicast path
+  /// right now (fresh, unburned route cached). Exposed for tests.
+  bool has_fresh_route(net::NodeId peer) const;
+
   net::NodeId self() const { return self_; }
 
  private:
+  struct CachedRoute {
+    std::vector<net::NodeId> route;  // verifier-side first, target last
+    sim::Time learned_at;
+    /// One scoped attempt per learning: a second retry without a fresh
+    /// report in between means the unicast failed silently -- re-flood.
+    bool used = false;
+  };
+
   void on_datagram(const net::Datagram& dgram);
-  void launch_flood(net::NodeId target, attest::MsgType type, ByteView body);
+  /// Opens the per-flood dedup window for a fresh id, evicting the
+  /// oldest beyond flood_memory (shared by floods and scoped requests).
+  void register_flood(uint32_t flood);
+  void launch_flood(std::vector<net::NodeId> targets, attest::MsgType type,
+                    ByteView body);
+  void launch_scoped(CachedRoute& route, attest::MsgType type, ByteView body);
 
   net::Network& network_;
   net::NodeId self_;
@@ -93,7 +140,10 @@ class RelayTransport : public attest::Transport {
   uint32_t next_flood_ = 1;
   std::vector<net::NodeId> scratch_dsts_;  // flood-launch reuse
   std::map<uint32_t, std::set<net::NodeId>> delivered_;  // flood -> origins
+  std::unordered_map<net::NodeId, CachedRoute> routes_;  // origin -> path
   std::vector<uint64_t> hops_;
+  double pending_congestion_ = 0.0;
+  bool next_broadcast_is_retry_ = false;
   Stats stats_;
 };
 

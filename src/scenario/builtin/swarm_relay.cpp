@@ -50,7 +50,16 @@ class SwarmRelayScenario : public Scenario {
         {"loss", "0", "per-hop datagram loss probability"},
         {"deadline", "30s", "listening window per round"},
         {"timeout", "10s", "per-attempt response timeout"},
-        {"retries", "1", "per-session retry budget (each retry re-floods)"},
+        {"retries", "1", "per-session retry budget (each retry re-floods "
+                         "or, with scoped_retries=on, unicasts a cached "
+                         "route)"},
+        {"window", "default", "dispatch window: default|fleet|adaptive|N "
+                              "(adaptive = AIMD with congestion damping)"},
+        {"scoped_retries", "off", "retry over the cached parent path "
+                                  "instead of re-flooding while the route "
+                                  "is fresh (on|off)"},
+        {"route_ttl", "30s", "how long a reported path stays usable for "
+                             "scoped retries"},
         {"field", "300", "field side (metres) -- topology density"},
         {"range", "60", "radio range (metres)"},
         {"speed_min", "6", "min speed (m/s)"},
@@ -102,6 +111,10 @@ class SwarmRelayScenario : public Scenario {
         params.get_duration("timeout", Duration::seconds(10));
     cfg.overlay.max_retries =
         static_cast<int>(params.get_u64("retries", 1));
+    cfg.window = WindowSpec::parse(params.get_str("window", "default"));
+    cfg.overlay.scoped_retries = params.get_bool("scoped_retries", false);
+    cfg.overlay.route_ttl =
+        params.get_duration("route_ttl", Duration::seconds(30));
 
     sink.note("devices", static_cast<uint64_t>(cfg.plan.devices()));
     sink.note("seed", params.get_u64("seed", 2024));
@@ -110,6 +123,8 @@ class SwarmRelayScenario : public Scenario {
     sink.note("rounds", static_cast<uint64_t>(cfg.rounds));
     sink.note("ttl", static_cast<uint64_t>(cfg.overlay.ttl));
     sink.note("queue_depth", static_cast<uint64_t>(cfg.overlay.queue_depth));
+    sink.note("window", params.get_str("window", "default"));
+    sink.note("scoped_retries", params.get_bool("scoped_retries", false));
 
     ShardedFleetRunner runner(cfg);
 
@@ -144,6 +159,11 @@ class SwarmRelayScenario : public Scenario {
     sink.note("reports_relayed_total", totals.reports_relayed);
     sink.note("reports_dropped_total", totals.reports_dropped);
     sink.note("route_repairs_total", totals.route_repairs);
+    if (cfg.overlay.scoped_retries) {
+      sink.note("scoped_retries_total", totals.scoped_sent);
+      sink.note("scoped_hops_total", totals.scoped_forwarded);
+      sink.note("scoped_naks_total", totals.naks);
+    }
     uint64_t weighted = 0;
     uint64_t reports = 0;
     for (size_t h = 0; h < totals.hops.size(); ++h) {

@@ -1,6 +1,9 @@
 #include "scenario/sharded_runner.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -8,6 +11,67 @@
 namespace erasmus::scenario {
 
 using swarm::detail::throw_bad_device_id;
+
+WindowSpec WindowSpec::parse(const std::string& text) {
+  WindowSpec spec;
+  if (text == "default") {
+    spec.mode = Mode::kBackendDefault;
+    return spec;
+  }
+  if (text == "fleet") {
+    spec.mode = Mode::kFleet;
+    return spec;
+  }
+  if (text == "adaptive") {
+    spec.mode = Mode::kAdaptive;
+    return spec;
+  }
+  // strtoull alone is too permissive: it sign-wraps "-5" and clamps
+  // overflow to ULLONG_MAX, both of which must throw, not become an
+  // effectively unbounded window.
+  constexpr unsigned long long kMaxWindow = 1ull << 31;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() ||
+      !std::isdigit(static_cast<unsigned char>(text.front())) ||
+      end != text.c_str() + text.size() || parsed == 0 ||
+      errno == ERANGE || parsed > kMaxWindow) {
+    throw std::invalid_argument(
+        "window: expected 'default', 'fleet', 'adaptive' or a positive "
+        "integer (<= 2^31), got '" + text + "'");
+  }
+  spec.mode = Mode::kFixed;
+  spec.fixed = static_cast<size_t>(parsed);
+  return spec;
+}
+
+attest::WindowConfig WindowSpec::resolve(CollectionBackend backend,
+                                         size_t fleet) const {
+  attest::WindowConfig wc;
+  switch (mode) {
+    case Mode::kBackendDefault:
+      // kDirect keeps the service default (fixed 64: sessions complete
+      // synchronously inside the dispatch loop, the window only bounds
+      // transient state). kOverlay historically floods the whole swarm in
+      // one batch.
+      if (backend == CollectionBackend::kOverlay) wc.fixed = fleet;
+      break;
+    case Mode::kFleet:
+      wc.fixed = fleet;
+      break;
+    case Mode::kFixed:
+      wc.fixed = fixed;
+      break;
+    case Mode::kAdaptive:
+      wc.adaptive = true;
+      // Let the controller discover up to a full-fleet window; the floor
+      // keeps a loss burst from strangling the round.
+      wc.ceiling = std::max<size_t>(fleet, wc.floor);
+      break;
+  }
+  return wc;
+}
 
 ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
     : config_(std::move(config)), specs_(config_.plan.expand()),
@@ -45,15 +109,13 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
 
   attest::ServiceConfig sc;
   sc.keep_audit = false;  // million-device fleets aggregate via rows instead
+  sc.window = config_.window.resolve(config_.backend, specs_.size());
   attest::Transport* transport = &direct_transport_;
   if (config_.backend == CollectionBackend::kOverlay) {
     build_overlay();
     transport = relay_transport_.get();
     sc.response_timeout = config_.overlay.response_timeout;
     sc.max_retries = config_.overlay.max_retries;
-    // One flood covers the whole swarm; a smaller window would only delay
-    // sessions past reports that already arrived.
-    sc.max_in_flight = specs_.size();
   }
   service_ = std::make_unique<attest::AttestationService>(
       coordinator_queue_, *transport, directory_, sc);
@@ -93,6 +155,8 @@ void ShardedFleetRunner::build_overlay() {
   tc.ttl = config_.overlay.ttl;
   tc.forward_spacing = config_.overlay.forward_spacing;
   tc.flood_memory = overlay::flood_memory_for(specs_.size());
+  tc.scoped_retries = config_.overlay.scoped_retries;
+  tc.route_ttl = config_.overlay.route_ttl;
   relay_transport_ = std::make_unique<overlay::RelayTransport>(
       *overlay_net_, verifier_node_, specs_.size() + 1, tc);
 }
@@ -273,6 +337,9 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
     advance_all(barrier);
     if (round_hook_) round_hook_(*this, round, barrier);
     const OverlayTotals before = overlay_totals();
+    const overlay::RelayTransport::Stats transport_before =
+        relay_transport_ ? relay_transport_->stats()
+                         : overlay::RelayTransport::Stats{};
     const FleetRoundResult r = collect_round(round, barrier);
     results.push_back(r);
     sink.row("rounds",
@@ -282,11 +349,45 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
               {"reachable", static_cast<uint64_t>(r.reachable)},
               {"healthy", static_cast<uint64_t>(r.healthy)},
               {"flagged", static_cast<uint64_t>(r.flagged)}});
+    emit_window_round(sink, round, transport_before);
     if (config_.backend == CollectionBackend::kOverlay) {
       emit_overlay_round(sink, round, before);
     }
   }
   return results;
+}
+
+void ShardedFleetRunner::emit_window_round(
+    MetricsSink& sink, size_t round,
+    const overlay::RelayTransport::Stats& before) {
+  // The service resets round stats at each round start, so these are the
+  // collection we just ran -- the window trajectory the AIMD controller
+  // took, and how deep the dispatch pipeline actually got.
+  const attest::AttestationService::RoundStats& rs = service_->round_stats();
+  sink.row("window",
+           {{"round", static_cast<uint64_t>(round)},
+            {"window_min", rs.window_min},
+            {"window_max", rs.window_max},
+            {"window_final", rs.window_final},
+            {"max_in_flight", rs.max_in_flight},
+            {"retries", rs.retries},
+            {"loss_backoffs", rs.loss_backoffs},
+            {"congestion_backoffs", rs.congestion_backoffs}});
+  if (config_.backend != CollectionBackend::kOverlay ||
+      !config_.overlay.scoped_retries) {
+    return;
+  }
+  // Scoped-retry economy as per-round deltas: how many retries rode a
+  // cached route, how many had to fall back, and how often a route broke
+  // mid-unicast.
+  const overlay::RelayTransport::Stats& now = relay_transport_->stats();
+  sink.row("scoped_retry",
+           {{"round", static_cast<uint64_t>(round)},
+            {"scoped", now.scoped_sent - before.scoped_sent},
+            {"fallback_floods",
+             now.targeted_floods - before.targeted_floods},
+            {"no_route", now.scoped_fallbacks - before.scoped_fallbacks},
+            {"naks", now.naks_received - before.naks_received}});
 }
 
 ShardedFleetRunner::OverlayTotals ShardedFleetRunner::overlay_totals() const {
@@ -301,11 +402,14 @@ ShardedFleetRunner::OverlayTotals ShardedFleetRunner::overlay_totals() const {
     totals.reports_orphaned += s.reports_orphaned;
     totals.route_repairs += s.route_repairs;
     totals.malformed_frames += s.malformed_frames;
+    totals.scoped_forwarded += s.scoped_forwarded;
+    totals.naks += s.naks_sent;
   }
   const overlay::RelayTransport::Stats& t = relay_transport_->stats();
   totals.malformed_frames += t.malformed_frames;
   totals.duplicate_reports += t.duplicate_reports;
   totals.stale_reports += t.stale_reports;
+  totals.scoped_sent += t.scoped_sent;
   totals.hops = relay_transport_->hop_histogram();
   return totals;
 }

@@ -65,6 +65,28 @@ struct OverlayBackendConfig {
   /// here are aborted (device unreached this round). Keep well under the
   /// round interval.
   sim::Duration collect_deadline = sim::Duration::seconds(30);
+  /// Retry over the cached parent path of the device's last report (a
+  /// source-routed unicast) instead of re-flooding, while the route is
+  /// younger than route_ttl. Emits the per-round "scoped_retry" table.
+  bool scoped_retries = false;
+  sim::Duration route_ttl = sim::Duration::seconds(30);
+};
+
+/// The service's dispatch window at collection barriers: the backend
+/// default (fixed 64 under kDirect, fleet-sized under kOverlay), a fixed
+/// size, or AIMD-adaptive (attest/window.h). Parsed from the scenario
+/// knob `window=default|fleet|adaptive|N`.
+struct WindowSpec {
+  enum class Mode : uint8_t { kBackendDefault, kFleet, kFixed, kAdaptive };
+  Mode mode = Mode::kBackendDefault;
+  size_t fixed = 64;  // kFixed only
+
+  /// Throws std::invalid_argument on anything but the grammar above.
+  static WindowSpec parse(const std::string& text);
+  /// The service window config for a `fleet`-device deployment under
+  /// `backend`.
+  attest::WindowConfig resolve(CollectionBackend backend,
+                               size_t fleet) const;
 };
 
 struct ShardedFleetConfig {
@@ -80,6 +102,8 @@ struct ShardedFleetConfig {
   size_t k = 8;
   CollectionBackend backend = CollectionBackend::kDirect;
   OverlayBackendConfig overlay;
+  /// Dispatch window policy at collection barriers (both backends).
+  WindowSpec window;
 };
 
 struct FleetRoundResult {
@@ -143,12 +167,20 @@ class ShardedFleetRunner {
     uint64_t malformed_frames = 0;
     uint64_t duplicate_reports = 0;
     uint64_t stale_reports = 0;
+    uint64_t scoped_sent = 0;       // transport: unicast retries launched
+    uint64_t scoped_forwarded = 0;  // relays: scoped hops passed on
+    uint64_t naks = 0;              // relays: broken-route notices raised
     std::vector<uint64_t> hops;  // transport hop histogram
   };
   OverlayTotals overlay_totals() const;
   const overlay::RelayTransport* relay_transport() const {
     return relay_transport_.get();
   }
+  /// The overlay radio (kOverlay only, else nullptr) -- byte/drop
+  /// accounting for benches.
+  const net::Network* overlay_network() const { return overlay_net_.get(); }
+  /// The verifier-side service (window trajectory, round stats).
+  const attest::AttestationService& service() const { return *service_; }
 
  private:
   struct Shard {
@@ -158,6 +190,10 @@ class ShardedFleetRunner {
   size_t shard_of(swarm::DeviceId id) const { return id % shards_.size(); }
   void advance_all(sim::Time barrier);
   FleetRoundResult collect_round(size_t round, sim::Time at);
+  /// Per-round "window" row (both backends) and, with scoped retries on,
+  /// the "scoped_retry" row -- emitted right after the round's collection.
+  void emit_window_round(MetricsSink& sink, size_t round,
+                         const overlay::RelayTransport::Stats& before);
   /// Connectivity predicate of the overlay radio at the coordinator's
   /// current instant (mobility + churn; the verifier rides on `root`).
   bool link_up(net::NodeId a, net::NodeId b);

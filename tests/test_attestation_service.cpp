@@ -266,7 +266,7 @@ TEST(AttestationService, LossyFleetRecoversThroughRetries) {
   sc.k = 4;
   sc.response_timeout = Duration::seconds(10);
   sc.max_retries = 3;
-  sc.max_in_flight = 4;
+  sc.window.fixed = 4;
   AttestationService service(rig.queue, rig.transport, rig.directory, sc);
   rig.queue.run_until(Time::zero() + Duration::minutes(30));
   service.collect_now(rig.all_ids());
@@ -583,6 +583,88 @@ TEST(AttestationService, OnDemandRoundsAuthenticateAndVerifyFreshness) {
     EXPECT_TRUE(o.report.device_trustworthy());
   }
   EXPECT_EQ(devices[0]->prover.stats().od_accepted, 1u);
+}
+
+// --- Per-round stats & adaptive window ---------------------------------------
+
+TEST(AttestationService, RoundStatsArePerRoundNotPerLifetime) {
+  NetRig rig(8);
+  for (auto& d : rig.devices) d->prover.start();
+  ServiceConfig sc;
+  sc.window.fixed = 4;
+  AttestationService service(rig.queue, rig.transport, rig.directory, sc);
+  rig.queue.run_until(Time::zero() + Duration::minutes(30));
+
+  service.collect_now(rig.all_ids());
+  rig.queue.run_until(rig.queue.now() + Duration::minutes(1));
+  EXPECT_EQ(service.round_stats().sessions, 8u);
+  EXPECT_EQ(service.round_stats().responses, 8u);
+  EXPECT_EQ(service.round_stats().max_in_flight, 4u);
+
+  // A small second round: every per-round counter must restart from
+  // zero. (Regression: max_in_flight_seen was only ever a lifetime
+  // high-water mark, so a quiet round inherited the busiest round's
+  // value.)
+  service.collect_now({0, 1});
+  rig.queue.run_until(rig.queue.now() + Duration::minutes(1));
+  EXPECT_EQ(service.round_stats().sessions, 2u);
+  EXPECT_EQ(service.round_stats().responses, 2u);
+  EXPECT_LE(service.round_stats().max_in_flight, 2u);
+  EXPECT_EQ(service.round_stats().window_final, 4u);
+
+  // Lifetime stats keep accumulating alongside.
+  EXPECT_EQ(service.stats().sessions, 10u);
+  EXPECT_EQ(service.stats().max_in_flight_seen, 4u);
+}
+
+TEST(AttestationService, AdaptiveWindowGrowsOnCleanNetwork) {
+  NetRig rig(24);
+  for (auto& d : rig.devices) d->prover.start();
+  ServiceConfig sc;
+  sc.window.adaptive = true;
+  sc.window.initial = 4;
+  sc.window.floor = 2;
+  sc.window.ceiling = 64;
+  AttestationService service(rig.queue, rig.transport, rig.directory, sc);
+  rig.queue.run_until(Time::zero() + Duration::minutes(30));
+
+  service.collect_now(rig.all_ids());
+  rig.queue.run_until(rig.queue.now() + Duration::minutes(1));
+  EXPECT_EQ(service.stats().responses, 24u);
+  EXPECT_EQ(service.stats().loss_backoffs, 0u);
+  EXPECT_GT(service.round_stats().window_final,
+            service.round_stats().window_min)
+      << "loss-free responses must have grown the window";
+  EXPECT_GT(service.round_stats().max_in_flight, 4u)
+      << "the grown window must actually admit more sessions";
+}
+
+TEST(AttestationService, AdaptiveWindowBacksOffUnderLoss) {
+  NetRig rig(30, /*loss=*/0.3, /*seed=*/17);
+  for (auto& d : rig.devices) d->prover.start();
+  ServiceConfig sc;
+  sc.response_timeout = Duration::seconds(5);
+  sc.max_retries = 3;
+  sc.window.adaptive = true;
+  sc.window.initial = 16;
+  sc.window.floor = 2;
+  sc.window.ceiling = 30;
+  AttestationService service(rig.queue, rig.transport, rig.directory, sc);
+  rig.queue.run_until(Time::zero() + Duration::minutes(30));
+
+  service.collect_now(rig.all_ids());
+  rig.queue.run_until(rig.queue.now() + Duration::hours(1));
+
+  const auto& rs = service.round_stats();
+  EXPECT_EQ(rs.sessions, 30u);
+  EXPECT_GT(service.stats().loss_backoffs, 0u)
+      << "30% loss must trigger multiplicative backoff";
+  EXPECT_LT(rs.window_min, 16u) << "backoff must have cut the window";
+  EXPECT_GE(rs.window_min, 2u) << "floor must hold";
+  EXPECT_EQ(service.stats().loss_backoffs, rs.loss_backoffs);
+  // Retries still recover the fleet -- adaptivity must not break
+  // correctness.
+  EXPECT_GT(service.stats().responses, 25u);
 }
 
 }  // namespace

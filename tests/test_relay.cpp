@@ -84,28 +84,39 @@ struct OverlayRig {
 TEST(OverlayWire, FloodAndReportRoundTrip) {
   CollectFlood flood;
   flood.flood = 42;
-  flood.target = 7;
+  flood.targets = {7, 11};
   flood.ttl = 3;
   flood.inner_type = 1;
   flood.request = bytes_of("req");
   const auto f = CollectFlood::deserialize(flood.serialize());
   ASSERT_TRUE(f.has_value());
   EXPECT_EQ(f->flood, 42u);
-  EXPECT_EQ(f->target, 7u);
+  EXPECT_EQ(f->targets, (std::vector<net::NodeId>{7, 11}));
+  EXPECT_TRUE(f->serves(7));
+  EXPECT_TRUE(f->serves(11));
+  EXPECT_FALSE(f->serves(8));
   EXPECT_EQ(f->ttl, 3u);
   EXPECT_EQ(f->inner_type, 1u);
   EXPECT_EQ(f->request, bytes_of("req"));
+
+  CollectFlood everyone;
+  everyone.targets = {kEveryone};
+  EXPECT_TRUE(everyone.serves(8));
 
   RelayReport report;
   report.flood = 42;
   report.origin = 9;
   report.hops = 5;
   report.inner_type = 2;
+  report.queue = 37;
+  report.path = {9, 4, 2};
   report.response = bytes_of("payload");
   const auto r = RelayReport::deserialize(report.serialize());
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->origin, 9u);
   EXPECT_EQ(r->hops, 5u);
+  EXPECT_EQ(r->queue, 37u);
+  EXPECT_EQ(r->path, (std::vector<net::NodeId>{9, 4, 2}));
   EXPECT_EQ(r->response, bytes_of("payload"));
 
   // Truncated frames must be rejected, not read past the end.
@@ -338,6 +349,119 @@ TEST(Overlay, RouteRepairWhenParentChurnsMidRound) {
   EXPECT_TRUE(result.statuses[2].attested)
       << "report must survive the mid-round parent churn";
   EXPECT_EQ(rig.nodes[2]->stats().route_repairs, 1u);
+}
+
+// --- Scoped retries ----------------------------------------------------------
+
+TEST(Overlay, ScopedRetryRidesCachedRouteAndBurnsIt) {
+  RelayCollectorConfig config;
+  config.transport.scoped_retries = true;
+  OverlayRig rig(4, /*loss=*/0.0, config);
+  line_filter(rig.network, rig.collector_node);
+  rig.start_and_run(Duration::hours(1));
+
+  const auto round = rig.collector->run_round(6, Duration::seconds(10));
+  ASSERT_EQ(round.reports_received, 4u);
+  RelayTransport& transport = rig.collector->transport();
+
+  // Device 3's report crossed 2, 1 and 0: the recorded path vouches for
+  // a route to every one of them, not just the origin.
+  for (net::NodeId node = 0; node < 4; ++node) {
+    EXPECT_TRUE(transport.has_fresh_route(node)) << "node " << node;
+  }
+
+  // A retry-shaped send (the service hints retries before sending)
+  // unicasts down the cached parent path -- no flood.
+  const uint64_t floods_before = transport.stats().targeted_floods;
+  const Bytes body = attest::CollectRequest{2}.serialize();
+  transport.hint_retry_wave();
+  transport.send(2, attest::MsgType::kCollectRequest, body);
+  EXPECT_EQ(transport.stats().scoped_sent, 1u);
+  EXPECT_EQ(transport.stats().targeted_floods, floods_before);
+
+  // The route is burned until a fresh report re-vouches for it: a second
+  // retry before any response must fall back to a targeted flood.
+  EXPECT_FALSE(transport.has_fresh_route(2));
+  transport.hint_retry_wave();
+  transport.send(2, attest::MsgType::kCollectRequest, body);
+  EXPECT_EQ(transport.stats().scoped_sent, 1u);
+  EXPECT_EQ(transport.stats().scoped_fallbacks, 1u);
+  EXPECT_EQ(transport.stats().targeted_floods, floods_before + 1);
+
+  // The scoped unicast still produces a served response that climbs the
+  // same hops back up (and re-vouches for the route).
+  const uint64_t reports_before = transport.stats().reports_received;
+  rig.queue.run_until(rig.queue.now() + Duration::seconds(1));
+  EXPECT_GT(transport.stats().reports_received, reports_before);
+  EXPECT_TRUE(transport.has_fresh_route(2));
+}
+
+TEST(Overlay, ScopedRetryFallsBackToFloodOnStaleRoute) {
+  RelayCollectorConfig config;
+  config.transport.scoped_retries = true;
+  config.transport.route_ttl = Duration::seconds(30);
+  OverlayRig rig(4, /*loss=*/0.0, config);
+  line_filter(rig.network, rig.collector_node);
+  rig.start_and_run(Duration::hours(1));
+
+  rig.collector->run_round(6, Duration::seconds(10));
+  RelayTransport& transport = rig.collector->transport();
+  ASSERT_TRUE(transport.has_fresh_route(3));
+
+  // Let the route age past its TTL: at vehicle speeds yesterday's path
+  // is fiction, so the retry must re-discover via a full flood.
+  rig.queue.run_until(rig.queue.now() + Duration::minutes(5));
+  EXPECT_FALSE(transport.has_fresh_route(3));
+  const Bytes body = attest::CollectRequest{2}.serialize();
+  transport.hint_retry_wave();
+  transport.send(3, attest::MsgType::kCollectRequest, body);
+  EXPECT_EQ(transport.stats().scoped_sent, 0u);
+  EXPECT_EQ(transport.stats().scoped_fallbacks, 1u);
+  EXPECT_EQ(transport.stats().targeted_floods, 1u);
+}
+
+TEST(Overlay, BrokenScopedHopNaksAndEvictsRoute) {
+  RelayCollectorConfig config;
+  config.transport.scoped_retries = true;
+  OverlayRig rig(4, /*loss=*/0.0, config);
+
+  // Line collector -- 0 -- 1 -- 2 -- 3 whose 1--2 edge we can sever.
+  auto broken = std::make_shared<bool>(false);
+  const net::NodeId c = rig.collector_node;
+  const auto connected = [c, broken](net::NodeId a, net::NodeId b) {
+    if (a > b) std::swap(a, b);
+    if (b == c) return a == 0;
+    if (a == 1 && b == 2) return !*broken;
+    return b - a == 1;
+  };
+  rig.network.set_link_filter(connected);
+  for (auto& node : rig.nodes) node->set_link_probe(connected);
+  rig.start_and_run(Duration::hours(1));
+
+  rig.collector->run_round(6, Duration::seconds(10));
+  RelayTransport& transport = rig.collector->transport();
+  ASSERT_TRUE(transport.has_fresh_route(3));
+
+  // The cached route to 3 runs 0 -> 1 -> 2 -> 3; break it mid-path. The
+  // hop that notices (1, probing toward 2) must NAK instead of
+  // transmitting into the void, and the NAK must evict the route.
+  *broken = true;
+  const Bytes body = attest::CollectRequest{2}.serialize();
+  transport.hint_retry_wave();
+  transport.send(3, attest::MsgType::kCollectRequest, body);
+  rig.queue.run_until(rig.queue.now() + Duration::seconds(1));
+
+  EXPECT_EQ(transport.stats().scoped_sent, 1u);
+  EXPECT_EQ(transport.stats().naks_received, 1u);
+  EXPECT_EQ(rig.nodes[1]->stats().naks_sent, 1u);
+  EXPECT_EQ(rig.nodes[0]->stats().naks_forwarded, 1u);
+  EXPECT_FALSE(transport.has_fresh_route(3))
+      << "a NAKed route must not be offered again";
+  // The next retry re-floods (and re-discovery would route around the
+  // break if the topology allowed it).
+  transport.hint_retry_wave();
+  transport.send(3, attest::MsgType::kCollectRequest, body);
+  EXPECT_EQ(transport.stats().targeted_floods, 1u);
 }
 
 TEST(Overlay, MobileSwarmMomentaryReachability) {

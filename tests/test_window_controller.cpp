@@ -1,0 +1,137 @@
+// Tests for the AIMD dispatch-window controller (attest/window.h): fixed
+// mode, slow-start and congestion-avoidance growth, multiplicative
+// backoff with floor/ceiling clamping, recovery-epoch loss guarding (one
+// cut per dispatch wave, however correlated the timeouts), and the
+// per-round min/max trackers the scenario metric tables report.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attest/window.h"
+
+namespace erasmus::attest {
+namespace {
+
+WindowConfig adaptive_config() {
+  WindowConfig wc;
+  wc.adaptive = true;
+  wc.initial = 8;
+  wc.floor = 2;
+  wc.ceiling = 64;
+  // Symmetric halving keeps the arithmetic below exact; the production
+  // defaults cut loss more gently than congestion (see window.h).
+  wc.loss_decrease = 0.5;
+  wc.congestion_decrease = 0.5;
+  return wc;
+}
+
+TEST(WindowController, FixedModeNeverMoves) {
+  WindowConfig wc;
+  wc.fixed = 16;
+  WindowController ctl(wc);
+  EXPECT_EQ(ctl.window(), 16u);
+  EXPECT_FALSE(ctl.adaptive());
+  for (int i = 0; i < 100; ++i) ctl.on_response();
+  EXPECT_EQ(ctl.window(), 16u);
+  EXPECT_FALSE(ctl.on_loss(ctl.on_send())) << "fixed windows never back off";
+  EXPECT_FALSE(ctl.on_congestion());
+  EXPECT_EQ(ctl.window(), 16u);
+  EXPECT_EQ(ctl.round_min(), 16u);
+  EXPECT_EQ(ctl.round_max(), 16u);
+}
+
+TEST(WindowController, SlowStartGrowsPerResponseUntilCeiling) {
+  WindowController ctl(adaptive_config());
+  EXPECT_EQ(ctl.window(), 8u);
+  // Below ssthresh (= ceiling before any loss) every response adds one.
+  ctl.on_response();
+  EXPECT_EQ(ctl.window(), 9u);
+  for (int i = 0; i < 200; ++i) ctl.on_response();
+  EXPECT_EQ(ctl.window(), 64u) << "growth clamps at the ceiling";
+}
+
+TEST(WindowController, LossHalvesAndEntersCongestionAvoidance) {
+  WindowController ctl(adaptive_config());
+  for (int i = 0; i < 24; ++i) ctl.on_response();  // slow start to 32
+  ASSERT_EQ(ctl.window(), 32u);
+
+  EXPECT_TRUE(ctl.on_loss(ctl.on_send()));
+  EXPECT_EQ(ctl.window(), 16u);
+
+  // Past the (lowered) threshold, growth is additive: one full window of
+  // responses buys one slot.
+  for (size_t i = 0; i < 15; ++i) {
+    ctl.on_response();
+    EXPECT_EQ(ctl.window(), 16u) << "additive step needs a full window";
+  }
+  ctl.on_response();
+  EXPECT_EQ(ctl.window(), 17u);
+}
+
+TEST(WindowController, BackoffClampsAtFloor) {
+  WindowController ctl(adaptive_config());
+  ASSERT_EQ(ctl.window(), 8u);
+  EXPECT_TRUE(ctl.on_loss(ctl.on_send()));  // 8 -> 4
+  EXPECT_EQ(ctl.window(), 4u);
+  EXPECT_TRUE(ctl.on_loss(ctl.on_send()));  // 4 -> 2 (floor)
+  EXPECT_EQ(ctl.window(), 2u);
+  EXPECT_TRUE(ctl.on_loss(ctl.on_send()));
+  EXPECT_EQ(ctl.window(), 2u) << "floor must hold";
+}
+
+TEST(WindowController, CorrelatedTimeoutWaveIsOneCut) {
+  WindowController ctl(adaptive_config());
+  for (int i = 0; i < 56; ++i) ctl.on_response();  // slow start to 64
+  ASSERT_EQ(ctl.window(), 64u);
+
+  // A whole window's worth of attempts goes out, then the flood carrying
+  // them is lost: 64 correlated timeouts. Only the first may cut -- the
+  // rest belong to the same recovery epoch.
+  std::vector<uint64_t> wave;
+  for (int i = 0; i < 64; ++i) wave.push_back(ctl.on_send());
+  EXPECT_TRUE(ctl.on_loss(wave[0]));
+  EXPECT_EQ(ctl.window(), 32u);
+  for (size_t i = 1; i < wave.size(); ++i) {
+    EXPECT_FALSE(ctl.on_loss(wave[i])) << "wave timeout " << i
+                                       << " double-charged";
+  }
+  EXPECT_EQ(ctl.window(), 32u);
+
+  // An attempt dispatched AFTER the cut is fresh evidence: its timeout
+  // cuts again.
+  const uint64_t retry = ctl.on_send();
+  EXPECT_TRUE(ctl.on_loss(retry));
+  EXPECT_EQ(ctl.window(), 16u);
+}
+
+TEST(WindowController, CongestionBacksOffRateLimited) {
+  WindowController ctl(adaptive_config());
+  for (int i = 0; i < 24; ++i) ctl.on_response();
+  ASSERT_EQ(ctl.window(), 32u);
+  EXPECT_TRUE(ctl.on_congestion());
+  EXPECT_EQ(ctl.window(), 16u);
+  EXPECT_FALSE(ctl.on_congestion())
+      << "saturation repeats within one window are one event";
+  // After a window's worth of traffic the limiter re-opens.
+  for (int i = 0; i < 16; ++i) ctl.on_response();
+  EXPECT_TRUE(ctl.on_congestion());
+  EXPECT_LT(ctl.window(), 16u);
+}
+
+TEST(WindowController, RoundTrackersFollowTrajectory) {
+  WindowController ctl(adaptive_config());
+  for (int i = 0; i < 8; ++i) ctl.on_response();  // 8 -> 16
+  EXPECT_TRUE(ctl.on_loss(ctl.on_send()));        // -> 8
+  EXPECT_EQ(ctl.round_min(), 8u);
+  EXPECT_EQ(ctl.round_max(), 16u);
+
+  // A new round starts its trackers from the carried-over window.
+  ctl.begin_round();
+  EXPECT_EQ(ctl.round_min(), 8u);
+  EXPECT_EQ(ctl.round_max(), 8u);
+  for (int i = 0; i < 100; ++i) ctl.on_response();
+  EXPECT_EQ(ctl.round_max(), ctl.window());
+}
+
+}  // namespace
+}  // namespace erasmus::attest

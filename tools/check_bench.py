@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Gate a bench run against its committed BENCH_*.json baseline.
+
+Usage: check_bench.py BASELINE CANDIDATE [--tolerance FRAC]
+
+Quantities are compared by their mean. Two classes:
+
+* Simulation-derived quantities (responses, collected, flood_tx, hop
+  counts, virtual-time...) are deterministic for a fixed seed, so any
+  drift beyond the tolerance -- regression OR "improvement" -- fails the
+  gate: behaviour changed and the baseline must be regenerated
+  deliberately (run the bench, commit the new JSON alongside the change
+  that explains it).
+
+* Wall-clock quantities (*_ms, *_per_s, anything with "wall" or "build"
+  in the name) depend on the host, and committed baselines come from a
+  different machine than CI runners -- they are reported with their
+  deltas but never fail the gate. Machine-independent performance is
+  gated through the virtual-time and traffic-count quantities instead.
+
+A simulation-derived quantity present in the baseline but missing from
+the candidate fails (silently losing gate coverage is worse than a
+regression); wall-clock quantities may be absent (bench --quick skips
+repeat thread-count legs).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+WALL_CLOCK = re.compile(r"(_ms$|_per_s$|wall|build)")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return {name: q["mean"] for name, q in doc.get("quantities", {}).items()}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative drift (default 0.10)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+
+    failures = []
+    print(f"gating {args.candidate} against {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    for name, base in baseline.items():
+        wall = bool(WALL_CLOCK.search(name))
+        if name not in candidate:
+            if wall:
+                print(f"  [wall ] {name}: absent in candidate (ok)")
+            else:
+                failures.append(f"{name}: missing from candidate")
+                print(f"  [FAIL ] {name}: missing from candidate")
+            continue
+        cand = candidate[name]
+        if base == 0.0:
+            drift = 0.0 if cand == 0.0 else float("inf")
+        else:
+            drift = abs(cand - base) / abs(base)
+        if wall:
+            print(f"  [wall ] {name}: {base:g} -> {cand:g} "
+                  f"({drift:+.1%} drift, informational)")
+            continue
+        if drift > args.tolerance:
+            failures.append(f"{name}: {base:g} -> {cand:g} ({drift:.1%})")
+            print(f"  [FAIL ] {name}: {base:g} -> {cand:g} ({drift:.1%})")
+        else:
+            print(f"  [ ok  ] {name}: {base:g} -> {cand:g}")
+    for name in candidate:
+        if name not in baseline and not WALL_CLOCK.search(name):
+            # New quantities are fine (a bench grew coverage), but say so.
+            print(f"  [ new ] {name}: {candidate[name]:g} (not in baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} quantities drifted beyond tolerance:")
+        for f in failures:
+            print(f"  {f}")
+        print("If the change is intentional, regenerate and commit the "
+              "baseline JSON.")
+        return 1
+    print("baseline gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
