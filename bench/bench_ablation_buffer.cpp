@@ -107,6 +107,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
   std::printf("Expected shape: loss ~0 whenever T_C <= n*T_M, growing once "
               "the window wraps faster than the verifier collects.\n\n");
-  bench.write();
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (bench.write().empty()) return 1;
   return 0;
 }

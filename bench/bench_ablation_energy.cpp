@@ -111,6 +111,7 @@ int main(int argc, char** argv) {
                    analysis::fmt(plan->battery_days, 0)});
   }
   std::printf("%s\n", plans.render().c_str());
-  bench.write();
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (bench.write().empty()) return 1;
   return 0;
 }

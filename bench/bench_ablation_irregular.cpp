@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
               regular_sim, irregular_sim);
   bench.sample("regular_aware_device_sim_8min", regular_sim);
   bench.sample("irregular_aware_device_sim_8min", irregular_sim);
-  bench.write();
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (bench.write().empty()) return 1;
   return 0;
 }

@@ -119,6 +119,7 @@ int main(int argc, char** argv) {
       "Expected shape: measure-anyway maximises measurements but steals "
       "task\ntime; skip zeroes interference but loses measurements; lenient "
       "keeps\nboth by deferring within w*T_M (slip bounded by (w-1)*T_M).\n\n");
-  bench.write();
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (bench.write().empty()) return 1;
   return 0;
 }

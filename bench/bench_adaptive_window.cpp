@@ -202,6 +202,8 @@ int main(int argc, char** argv) {
   if (!gate_ok) return 1;
 
   const std::string path = bench.write();
-  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (path.empty()) return 1;
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

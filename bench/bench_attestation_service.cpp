@@ -148,6 +148,8 @@ int main(int argc, char** argv) {
               kDevices);
 
   const std::string path = bench.write();
-  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (path.empty()) return 1;
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -150,6 +150,7 @@ int main(int argc, char** argv) {
   timeline_demo();
   analysis::BenchReport bench("fig1_qoa_timeline");
   campaign_sweep(bench);
-  bench.write();
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (bench.write().empty()) return 1;
   return 0;
 }

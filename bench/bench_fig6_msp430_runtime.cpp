@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
               "%.2f s\n\n",
               profile.mac_time(crypto::MacAlgo::kHmacSha256, 10 * 1024)
                   .to_seconds());
-  report.write();
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (report.write().empty()) return 1;
   return 0;
 }

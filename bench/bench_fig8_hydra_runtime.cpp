@@ -96,6 +96,7 @@ int main(int argc, char** argv) {
               "Model: %.1f ms\n\n",
               profile.mac_time(crypto::MacAlgo::kKeyedBlake2s,
                                10ull * 1024 * 1024).to_millis());
-  report.write();
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (report.write().empty()) return 1;
   return 0;
 }

@@ -18,6 +18,7 @@
 
 #include "analysis/bench_report.h"
 #include "analysis/table.h"
+#include "obs/phase.h"
 #include "scenario/metrics.h"
 #include "scenario/sharded_runner.h"
 
@@ -61,6 +62,7 @@ struct BenchRun {
   double collections_per_s = 0.0; // device-collections per wall second
   size_t collected = 0;           // device-collections (deterministic)
   size_t healthy = 0;             // verified-healthy judgements
+  obs::PhaseProfiler::Report phases;  // shard work / barrier wait / drain
   std::string metrics_json;
 };
 
@@ -95,6 +97,7 @@ BenchRun run_at(size_t threads) {
   result.collections_per_s =
       run_ms == 0.0 ? 0.0
                     : static_cast<double>(collected) / (run_ms / 1000.0);
+  result.phases = runner.phases().report();
   result.metrics_json = out.str();
   return result;
 }
@@ -114,7 +117,7 @@ int main(int argc, char** argv) {
 
   analysis::BenchReport bench("heterogeneous_fleet");
   analysis::Table table({"threads", "build ms", "round ms",
-                         "device-collections/s"});
+                         "device-collections/s", "barrier-wait share"});
 
   std::string reference_metrics;
   bool deterministic = true;
@@ -130,21 +133,34 @@ int main(int argc, char** argv) {
     }
     table.add_row({std::to_string(threads), analysis::fmt(r.build_ms, 1),
                    analysis::fmt(r.round_ms, 1),
-                   analysis::fmt(r.collections_per_s, 0)});
+                   analysis::fmt(r.collections_per_s, 0),
+                   analysis::fmt(r.phases.barrier_wait_share, 3)});
     const std::string prefix = "t" + std::to_string(threads) + "_";
     bench.sample(prefix + "build_ms", r.build_ms);
     bench.sample(prefix + "round_wall_ms", r.round_ms);
     bench.sample(prefix + "collections_per_s", r.collections_per_s);
+    // Phase split of the runner's wall clock: where worker thread-time
+    // goes (advancing shards vs parked at barriers vs idled by the
+    // single-threaded coordinator drain). Informational, never gated --
+    // this is the visibility the coordinator-bottleneck work needs.
+    bench.sample(prefix + "shard_work_ms", r.phases.shard_work_ms);
+    bench.sample(prefix + "barrier_wait_ms", r.phases.barrier_wait_ms);
+    bench.sample(prefix + "coord_drain_ms", r.phases.coordinator_ms);
     last = r;
   }
   bench.sample("collected", static_cast<double>(last.collected));
   bench.sample("healthy", static_cast<double>(last.healthy));
+  // Headline: fraction of available worker thread-time NOT spent advancing
+  // shards, at the widest thread count this run exercised.
+  bench.sample("barrier_wait_share", last.phases.barrier_wait_share);
   std::printf("%s\n", table.render().c_str());
   std::printf("metrics byte-identical across thread counts: %s\n\n",
               deterministic ? "yes" : "NO (BUG)");
   if (!deterministic) return 1;
 
   const std::string path = bench.write();
-  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (path.empty()) return 1;
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

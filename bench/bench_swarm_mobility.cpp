@@ -152,6 +152,7 @@ int main(int argc, char** argv) {
               report.all_healthy ? "true" : "false");
   bench.sample("fleet_round_attested", static_cast<double>(attested));
   bench.sample("fleet_round_healthy", static_cast<double>(healthy));
-  bench.write();
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (bench.write().empty()) return 1;
   return 0;
 }

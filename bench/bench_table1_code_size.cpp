@@ -102,6 +102,7 @@ int main(int argc, char** argv) {
   }
   bench.sample("register_overhead_pct", hw::register_overhead_pct());
   bench.sample("lut_overhead_pct", hw::lut_overhead_pct());
-  bench.write();
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (bench.write().empty()) return 1;
   return 0;
 }

@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
   bench.sample("compute_measurement_ms", measure_ms);
   bench.sample("speedup_factor",
                od.processing.to_millis() / collect.processing.to_millis());
-  bench.write();
+  // A missing BENCH json would silently weaken the CI baseline gate.
+  if (bench.write().empty()) return 1;
   return 0;
 }

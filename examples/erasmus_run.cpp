@@ -6,10 +6,17 @@
 //
 // Every workload in the library is a registered Scenario (see
 // src/scenario/). `run` accepts scenario parameters as key=value tokens
-// plus one reserved key:
+// plus reserved keys and flags:
 //
-//   out=<path>   write metrics there; .json selects the JSON sink,
-//                anything else CSV. Default: CSV to stdout.
+//   out=<path>       write metrics there; .json selects the JSON sink,
+//                    anything else CSV. Default: CSV to stdout.
+//   --trace=<path>   record a deterministic flight-recorder trace of the
+//                    run; .jsonl writes one event per line, anything else
+//                    Chrome trace-event JSON (open in Perfetto /
+//                    chrome://tracing).
+//   --trace-filter=<subsystems>
+//                    comma-separated categories to record
+//                    (runner,service,window,overlay,device; default all).
 //
 // Exit code is the scenario's own (0 = success / expected property held).
 #include <cstdio>
@@ -18,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "scenario/scenario.h"
 
 using namespace erasmus::scenario;
@@ -57,6 +65,11 @@ int cmd_describe(const std::string& name) {
   std::printf("  %-16s (default %-6s) %s\n", "out", "-",
               "metrics file; .json = JSON sink, else CSV (default: CSV to "
               "stdout)");
+  std::printf("  %-16s (default %-6s) %s\n", "--trace=PATH", "-",
+              "flight-recorder trace; .jsonl = JSONL, else Chrome "
+              "trace-event JSON");
+  std::printf("  %-16s (default %-6s) %s\n", "--trace-filter=L", "all",
+              "trace categories: runner,service,window,overlay,device");
   return 0;
 }
 
@@ -68,9 +81,29 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
     return 2;
   }
 
+  // Peel the --trace flags off before ParamMap parsing: they are CLI
+  // concerns, not scenario parameters.
+  std::string trace_path;
+  std::string trace_filter;
+  std::vector<std::string> param_args;
+  param_args.reserve(args.size());
+  for (const std::string& arg : args) {
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg.rfind("--trace-filter=", 0) == 0) {
+      trace_filter = arg.substr(15);
+    } else {
+      param_args.push_back(arg);
+    }
+  }
+  if (trace_path.empty() && !trace_filter.empty()) {
+    std::fprintf(stderr, "--trace-filter requires --trace=<path>\n");
+    return 2;
+  }
+
   ParamMap params;
   try {
-    params = ParamMap::from_args(args);
+    params = ParamMap::from_args(param_args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
@@ -111,16 +144,58 @@ int cmd_run(const std::string& name, const std::vector<std::string>& args) {
     sink = std::make_unique<CsvSink>(std::cout);
   }
 
+  // Install the process-global flight recorder; the sharded runner (and
+  // anything else obs-aware) picks it up without a signature change.
+  std::unique_ptr<erasmus::obs::TraceRecorder> recorder;
+  if (!trace_path.empty()) {
+    erasmus::obs::TraceConfig tc;
+    if (!trace_filter.empty()) {
+      try {
+        tc.subsystems = erasmus::obs::parse_subsystem_filter(trace_filter);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    }
+    recorder = std::make_unique<erasmus::obs::TraceRecorder>(tc);
+    erasmus::obs::set_global_trace(recorder.get());
+  }
+
   sink->begin_run(s->name());
   int code = 0;
   try {
     code = s->run(scenario_params, *sink);
   } catch (const std::exception& e) {
+    erasmus::obs::set_global_trace(nullptr);
     std::fprintf(stderr, "scenario '%s' failed: %s\n", name.c_str(),
                  e.what());
     return 1;
   }
   sink->end_run();
+  if (recorder) {
+    erasmus::obs::set_global_trace(nullptr);
+    std::ofstream trace_file(trace_path, std::ios::binary);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    if (trace_path.size() >= 6 &&
+        trace_path.compare(trace_path.size() - 6, 6, ".jsonl") == 0) {
+      recorder->write_jsonl(trace_file);
+    } else {
+      recorder->write_chrome_trace(trace_file);
+    }
+    trace_file.flush();
+    if (!trace_file) {
+      std::fprintf(stderr, "failed writing trace to '%s'\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote trace %s (%zu events, %llu dropped)\n",
+                 trace_path.c_str(), recorder->size(),
+                 static_cast<unsigned long long>(recorder->dropped()));
+  }
   if (!out_path.empty()) {
     std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   }
@@ -136,7 +211,8 @@ int main(int argc, char** argv) {
         "usage:\n"
         "  erasmus_run list [--names]\n"
         "  erasmus_run describe <scenario>\n"
-        "  erasmus_run run <scenario> [key=value ...] [out=metrics.json]\n");
+        "  erasmus_run run <scenario> [key=value ...] [out=metrics.json]\n"
+        "              [--trace=trace.json] [--trace-filter=service,window]\n");
     return args.empty() ? 2 : 0;
   }
   if (args[0] == "list" &&

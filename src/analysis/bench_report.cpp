@@ -61,10 +61,19 @@ std::string BenchReport::to_json() const {
 std::string BenchReport::write(const std::string& dir) const {
   const std::string path = dir + "/BENCH_" + name_ + ".json";
   std::ofstream file(path, std::ios::binary);
-  if (!file) return {};
+  if (!file) {
+    std::fprintf(stderr, "[bench_report] ERROR: cannot open %s for writing\n",
+                 path.c_str());
+    return {};
+  }
   file << to_json();
   file.flush();  // surface disk-full/quota errors before claiming success
-  if (!file) return {};
+  if (!file) {
+    std::fprintf(stderr,
+                 "[bench_report] ERROR: write to %s failed (disk full?)\n",
+                 path.c_str());
+    return {};
+  }
   std::fprintf(stderr, "[bench_report] wrote %s\n", path.c_str());
   return path;
 }

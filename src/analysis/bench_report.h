@@ -33,7 +33,9 @@ class BenchReport {
   std::string to_json() const;
 
   /// Writes BENCH_<name>.json into `dir`; returns the path written, empty
-  /// on I/O failure.
+  /// on I/O failure (after printing a warning to stderr). Benches MUST
+  /// treat an empty return as fatal -- a silently missing BENCH json makes
+  /// the CI baseline gate vacuous.
   std::string write(const std::string& dir = ".") const;
 
  private:

@@ -12,10 +12,38 @@ AttestationService::AttestationService(sim::EventQueue& queue,
                                        ServiceConfig config)
     : queue_(queue), transport_(transport), directory_(directory),
       config_(config), window_ctl_(config_.window) {
+  register_instruments();
   transport_.set_receiver(
       [this](net::NodeId src, MsgType type, ByteView body) {
         on_receive(src, type, body);
       });
+}
+
+void AttestationService::register_instruments() {
+  obs::Registry* reg = config_.metrics;
+  if (reg == nullptr) return;
+  inst_.sessions = &reg->counter("service", "sessions");
+  inst_.responses = &reg->counter("service", "responses");
+  inst_.retries = &reg->counter("service", "retries");
+  inst_.unreachable = &reg->counter("service", "unreachable_sessions");
+  inst_.stray_datagrams = &reg->counter("service", "stray_datagrams");
+  inst_.loss_backoffs = &reg->counter("window", "loss_backoffs");
+  inst_.congestion_backoffs = &reg->counter("window", "congestion_backoffs");
+  // Per-device response latency, dispatch to completed report. Buckets span
+  // the direct path (sub-millisecond) through multi-hop store-and-forward
+  // with retries (tens of seconds).
+  inst_.latency_ms = &reg->histogram(
+      "service", "response_latency_ms",
+      {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0, 30000.0});
+  inst_.window = &reg->gauge("window", "window");
+}
+
+void AttestationService::trace_window(const char* name, const char* reason) {
+  obs::TraceRecorder* tr = config_.trace;
+  if (tr == nullptr || !tr->enabled(obs::Subsystem::kWindow)) return;
+  tr->instant(obs::Subsystem::kWindow, queue_.now(), name,
+              {{"reason", reason},
+               {"window", static_cast<uint64_t>(window_ctl_.window())}});
 }
 
 AttestationService::~AttestationService() {
@@ -39,6 +67,14 @@ void AttestationService::stop() {
   // nothing further sent or recorded. Responses still en route surface as
   // stray datagrams.
   running_ = false;
+  if (round_active_ && config_.trace != nullptr) {
+    config_.trace->span_end(
+        obs::Subsystem::kService, queue_.now(), "round",
+        {{"reason", "aborted"},
+         {"responses", round_stats_.responses},
+         {"unreachable", round_stats_.unreachable_sessions},
+         {"aborted_in_flight", static_cast<uint64_t>(in_flight_)}});
+  }
   if (next_round_event_) {
     queue_.cancel(*next_round_event_);
     next_round_event_.reset();
@@ -113,6 +149,15 @@ void AttestationService::begin_round(const std::vector<DeviceId>& devices,
                                      uint32_t k) {
   round_active_ = true;
   ++stats_.rounds;
+  if (config_.trace != nullptr) {
+    config_.trace->span_begin(
+        obs::Subsystem::kService, queue_.now(), "round",
+        {{"round", stats_.rounds},
+         {"targets", static_cast<uint64_t>(devices.size())},
+         {"k", static_cast<uint64_t>(k)},
+         {"kind", config_.kind == RoundKind::kCollect ? "collect"
+                                                      : "on_demand"}});
+  }
   // Per-round stats start fresh here; the WindowController itself carries
   // its learned window across rounds (the network did not reset).
   round_stats_ = RoundStats{};
@@ -135,6 +180,10 @@ void AttestationService::poll_congestion() {
   if (window_ctl_.on_congestion()) {
     ++stats_.congestion_backoffs;
     ++round_stats_.congestion_backoffs;
+    if (inst_.congestion_backoffs != nullptr) {
+      inst_.congestion_backoffs->add();
+    }
+    trace_window("window_cut", "congestion");
   }
   sync_window_stats();
 }
@@ -143,6 +192,9 @@ void AttestationService::sync_window_stats() {
   round_stats_.window_min = window_ctl_.round_min();
   round_stats_.window_max = window_ctl_.round_max();
   round_stats_.window_final = window_ctl_.window();
+  if (inst_.window != nullptr) {
+    inst_.window->set(static_cast<double>(window_ctl_.window()));
+  }
 }
 
 void AttestationService::pump() {
@@ -181,8 +233,10 @@ void AttestationService::pump() {
       Session session;
       session.device = device;
       session.node = node;
+      session.started = queue_.now();
       ++stats_.sessions;
       ++round_stats_.sessions;
+      if (inst_.sessions != nullptr) inst_.sessions->add();
       ++in_flight_;
       stats_.max_in_flight_seen =
           std::max<uint64_t>(stats_.max_in_flight_seen, in_flight_);
@@ -200,6 +254,13 @@ void AttestationService::pump() {
       }
     }
     if (!batch.empty()) {
+      if (config_.trace != nullptr) {
+        config_.trace->instant(
+            obs::Subsystem::kService, queue_.now(), "dispatch",
+            {{"batch", static_cast<uint64_t>(batch.size())},
+             {"in_flight", static_cast<uint64_t>(in_flight_)},
+             {"window", static_cast<uint64_t>(window_ctl_.window())}});
+      }
       const Bytes body = CollectRequest{round_k_}.serialize();
       // Synchronous transports deliver responses (and erase sessions)
       // during this call; the outer loop then re-checks the window.
@@ -275,6 +336,13 @@ void AttestationService::flush_retries() {
   }
   stats_.retries += batch.size();
   round_stats_.retries += batch.size();
+  if (inst_.retries != nullptr) inst_.retries->add(batch.size());
+  if (config_.trace != nullptr) {
+    config_.trace->instant(
+        obs::Subsystem::kService, queue_.now(), "retry_wave",
+        {{"sessions", static_cast<uint64_t>(batch.size())},
+         {"window", static_cast<uint64_t>(window_ctl_.window())}});
+  }
   const Bytes body = CollectRequest{round_k_}.serialize();
   transport_.hint_retry_wave();
   transport_.broadcast(batch, MsgType::kCollectRequest, body);
@@ -301,6 +369,7 @@ void AttestationService::on_receive(net::NodeId src, MsgType type,
     // No session awaiting this endpoint: spoofed source, or a stray or
     // duplicate response from an already-finished session.
     ++stats_.stray_datagrams;
+    if (inst_.stray_datagrams != nullptr) inst_.stray_datagrams->add();
     return;
   }
   Session& session = it->second;
@@ -309,12 +378,14 @@ void AttestationService::on_receive(net::NodeId src, MsgType type,
                                : MsgType::kOdResponse;
   if (type != expected) {
     ++stats_.stray_datagrams;
+    if (inst_.stray_datagrams != nullptr) inst_.stray_datagrams->add();
     return;  // session stays armed; the timeout path recovers
   }
   if (config_.kind == RoundKind::kCollect) {
     const auto resp = CollectResponse::deserialize(body);
     if (!resp) {
       ++stats_.stray_datagrams;
+      if (inst_.stray_datagrams != nullptr) inst_.stray_datagrams->add();
       return;
     }
     CollectionReport report = verify_collection(
@@ -326,6 +397,7 @@ void AttestationService::on_receive(net::NodeId src, MsgType type,
   const auto resp = OdResponse::deserialize(body);
   if (!resp) {
     ++stats_.stray_datagrams;
+    if (inst_.stray_datagrams != nullptr) inst_.stray_datagrams->add();
     return;
   }
   OdReport od = verify_od_response(directory_.record(session.device), *resp,
@@ -349,6 +421,10 @@ void AttestationService::on_timeout(net::NodeId node) {
   if (window_ctl_.on_loss(session.send_seq)) {
     ++stats_.loss_backoffs;
     ++round_stats_.loss_backoffs;
+    if (inst_.loss_backoffs != nullptr) inst_.loss_backoffs->add();
+    trace_window("window_cut", "loss");
+  } else if (config_.window.adaptive) {
+    trace_window("window_loss_absorbed", "recovery_epoch");
   }
   sync_window_stats();
   if (session.attempts <= config_.max_retries) {
@@ -362,6 +438,7 @@ void AttestationService::on_timeout(net::NodeId node) {
     } else {
       ++stats_.retries;
       ++round_stats_.retries;
+      if (inst_.retries != nullptr) inst_.retries->add();
       transport_.hint_retry_wave();
       send_attempt(session);
     }
@@ -390,12 +467,27 @@ void AttestationService::complete(net::NodeId node, bool reachable,
   if (reachable) {
     ++stats_.responses;
     ++round_stats_.responses;
+    if (inst_.responses != nullptr) inst_.responses->add();
+    if (inst_.latency_ms != nullptr) {
+      inst_.latency_ms->observe((outcome.at - session.started).to_millis());
+    }
+    const size_t before = window_ctl_.window();
     window_ctl_.on_response();
+    if (window_ctl_.window() != before) {
+      trace_window("window_grow", "response");
+    }
     sync_window_stats();
     outcome.report = std::move(report);
   } else {
     ++stats_.unreachable_sessions;
     ++round_stats_.unreachable_sessions;
+    if (inst_.unreachable != nullptr) inst_.unreachable->add();
+    if (config_.trace != nullptr) {
+      config_.trace->instant(
+          obs::Subsystem::kService, outcome.at, "unreachable",
+          {{"device", static_cast<uint64_t>(session.device)},
+           {"attempts", static_cast<int64_t>(session.attempts)}});
+    }
   }
 
   if (config_.keep_audit) {
@@ -417,6 +509,15 @@ void AttestationService::complete(net::NodeId node, bool reachable,
 
 void AttestationService::finish_round() {
   round_active_ = false;
+  if (config_.trace != nullptr) {
+    config_.trace->span_end(
+        obs::Subsystem::kService, queue_.now(), "round",
+        {{"reason", "drained"},
+         {"responses", round_stats_.responses},
+         {"retries", round_stats_.retries},
+         {"unreachable", round_stats_.unreachable_sessions},
+         {"window_final", round_stats_.window_final}});
+  }
   if (round_periodic_ && running_) {
     next_round_event_ =
         queue_.schedule_after(config_.tc, [this] { begin_periodic_round(); });

@@ -37,6 +37,8 @@
 #include "attest/directory.h"
 #include "attest/transport.h"
 #include "attest/window.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace erasmus::attest {
@@ -61,6 +63,13 @@ struct ServiceConfig {
   /// Keep full per-device audit logs. Turn off for huge fleets where the
   /// caller aggregates through the observer instead.
   bool keep_audit = true;
+  /// Flight recorder for round/dispatch/window events (categories kService
+  /// and kWindow). Not owned; nullptr = no tracing.
+  obs::TraceRecorder* trace = nullptr;
+  /// Metrics registry; the service registers its session counters and the
+  /// per-device response-latency histogram under subsystem "service" (the
+  /// window trajectory gauge under "window"). Not owned; nullptr = off.
+  obs::Registry* metrics = nullptr;
 };
 
 class AttestationService {
@@ -171,6 +180,9 @@ class AttestationService {
     DeviceId device = 0;
     net::NodeId node = 0;
     int attempts = 0;
+    /// Dispatch instant of the FIRST attempt; completion minus this is the
+    /// per-device response latency the obs histogram records.
+    sim::Time started;
     /// WindowController stamp of the LATEST attempt; a timeout reports
     /// it so correlated losses of one dispatch wave cut the window once.
     uint64_t send_seq = 0;
@@ -203,8 +215,13 @@ class AttestationService {
   /// Drains the transport's relay-queue occupancy signal and damps an
   /// adaptive window when it crosses the configured threshold.
   void poll_congestion();
-  /// Mirrors the controller's window trajectory into round_stats_.
+  /// Mirrors the controller's window trajectory into round_stats_ (and the
+  /// obs window gauge).
   void sync_window_stats();
+  /// Registers the service's obs instruments (no-op without a registry).
+  void register_instruments();
+  /// kWindow category instant with the current window attached.
+  void trace_window(const char* name, const char* reason);
   void complete(net::NodeId node, bool reachable, CollectionReport report,
                 bool fresh_valid);
   void finish_round();
@@ -234,6 +251,19 @@ class AttestationService {
   WindowController window_ctl_{WindowConfig{}};
   Stats stats_;
   RoundStats round_stats_;
+
+  /// obs instruments (all null without ServiceConfig::metrics).
+  struct {
+    obs::Counter* sessions = nullptr;
+    obs::Counter* responses = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* unreachable = nullptr;
+    obs::Counter* stray_datagrams = nullptr;
+    obs::Counter* loss_backoffs = nullptr;
+    obs::Counter* congestion_backoffs = nullptr;
+    obs::Histogram* latency_ms = nullptr;
+    obs::Gauge* window = nullptr;
+  } inst_;
 };
 
 }  // namespace erasmus::attest

@@ -1,0 +1,109 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace erasmus::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: bucket bounds must be strictly increasing");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+  ++total_;
+  sum_ += v;
+}
+
+Registry::Entry* Registry::find(const std::string& subsystem,
+                                const std::string& name, Kind kind) {
+  for (const auto& entry : entries_) {
+    if (entry->subsystem != subsystem || entry->name != name) continue;
+    if (entry->kind != kind) {
+      throw std::logic_error("obs::Registry: '" + subsystem + "/" + name +
+                             "' re-registered as a different kind");
+    }
+    return entry.get();
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(const std::string& subsystem,
+                           const std::string& name) {
+  if (Entry* e = find(subsystem, name, Kind::kCounter)) return *e->counter;
+  auto entry = std::make_unique<Entry>();
+  entry->subsystem = subsystem;
+  entry->name = name;
+  entry->kind = Kind::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  entries_.push_back(std::move(entry));
+  return *entries_.back()->counter;
+}
+
+Gauge& Registry::gauge(const std::string& subsystem, const std::string& name) {
+  if (Entry* e = find(subsystem, name, Kind::kGauge)) return *e->gauge;
+  auto entry = std::make_unique<Entry>();
+  entry->subsystem = subsystem;
+  entry->name = name;
+  entry->kind = Kind::kGauge;
+  entry->gauge = std::make_unique<Gauge>();
+  entries_.push_back(std::move(entry));
+  return *entries_.back()->gauge;
+}
+
+Histogram& Registry::histogram(const std::string& subsystem,
+                               const std::string& name,
+                               std::vector<double> bounds) {
+  if (Entry* e = find(subsystem, name, Kind::kHistogram)) {
+    return *e->histogram;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->subsystem = subsystem;
+  entry->name = name;
+  entry->kind = Kind::kHistogram;
+  entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  entries_.push_back(std::move(entry));
+  return *entries_.back()->histogram;
+}
+
+std::vector<Registry::Sample> Registry::snapshot() const {
+  std::vector<Sample> samples;
+  samples.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    Sample s;
+    s.subsystem = entry->subsystem;
+    s.name = entry->name;
+    s.kind = entry->kind;
+    switch (entry->kind) {
+      case Kind::kCounter:
+        s.value = static_cast<double>(entry->counter->value());
+        break;
+      case Kind::kGauge:
+        s.value = entry->gauge->value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        s.value = static_cast<double>(h.total());
+        s.buckets.reserve(h.counts().size());
+        for (size_t i = 0; i < h.counts().size(); ++i) {
+          const double bound = i < h.bounds().size()
+                                   ? h.bounds()[i]
+                                   : std::numeric_limits<double>::infinity();
+          s.buckets.emplace_back(bound, h.counts()[i]);
+        }
+        break;
+      }
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+}  // namespace erasmus::obs

@@ -1,0 +1,109 @@
+// obs::Registry -- counters, gauges and fixed-bucket histograms registered
+// by subsystem.
+//
+// Subsystems register their instruments once (registration is idempotent:
+// the same (subsystem, name) returns the same instrument, which is how a
+// thousand RelayNodes share one "relay_drops" counter) and update them
+// inline on the hot path. The owner -- typically the ShardedFleetRunner --
+// snapshots the registry once per collection round and renders the samples
+// into its MetricsSink tables. Everything is deterministic: instruments
+// iterate in registration order, all updates happen on the coordinator
+// thread (shard threads never touch the registry -- that discipline, not a
+// lock, is the thread-safety story), and histogram buckets are fixed at
+// registration so two runs bucket identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace erasmus::obs {
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// A point-in-time level (last write wins).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds in strictly
+/// increasing order; one implicit overflow bucket catches everything above
+/// the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<uint64_t>& counts() const { return counts_; }
+  uint64_t total() const { return total_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+class Registry {
+ public:
+  /// Idempotent: re-registering (subsystem, name) returns the existing
+  /// instrument. Registering the same name as a DIFFERENT kind throws
+  /// std::logic_error (two subsystems fighting over one name is a bug).
+  /// For histograms the first registration's bounds win.
+  Counter& counter(const std::string& subsystem, const std::string& name);
+  Gauge& gauge(const std::string& subsystem, const std::string& name);
+  Histogram& histogram(const std::string& subsystem, const std::string& name,
+                       std::vector<double> bounds);
+
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  /// One registered instrument's current state.
+  struct Sample {
+    std::string subsystem;
+    std::string name;
+    Kind kind = Kind::kCounter;
+    /// Counter: count. Gauge: level. Histogram: total observations.
+    double value = 0.0;
+    /// Histogram only: (upper bound, count) per bucket; the overflow
+    /// bucket's bound is +infinity.
+    std::vector<std::pair<double, uint64_t>> buckets;
+  };
+  /// All instruments in registration order (deterministic).
+  std::vector<Sample> snapshot() const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string subsystem;
+    std::string name;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* find(const std::string& subsystem, const std::string& name,
+              Kind kind);
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace erasmus::obs

@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "attest/prover.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "overlay/wire.h"
 #include "sim/event_queue.h"
 
@@ -53,6 +55,13 @@ struct RelayNodeConfig {
   /// separate id watermark, so pruning can never re-trigger a re-flood
   /// (a pruned id mistaken for "first sight" would echo exponentially).
   size_t flood_memory = 64;
+  /// Flight recorder for queue-drop / route-repair events (category
+  /// kOverlay, actor = this node). Not owned; nullptr = no tracing.
+  obs::TraceRecorder* trace = nullptr;
+  /// Metrics registry. Registration is idempotent, so every node in a
+  /// thousand-node swarm shares ONE "relay_drops" counter and one
+  /// queue-occupancy histogram under subsystem "overlay". Not owned.
+  obs::Registry* metrics = nullptr;
 };
 
 class RelayNode {
@@ -146,6 +155,16 @@ class RelayNode {
   bool draining_ = false;
   std::unordered_set<sim::EventId> pending_events_;
   Stats stats_;
+
+  /// obs instruments, shared across nodes by idempotent registration
+  /// (all null without RelayNodeConfig::metrics).
+  struct {
+    obs::Counter* relay_drops = nullptr;
+    obs::Counter* route_repairs = nullptr;
+    obs::Counter* requests_served = nullptr;
+    obs::Counter* reports_relayed = nullptr;
+    obs::Histogram* occupancy = nullptr;
+  } inst_;
 };
 
 }  // namespace erasmus::overlay

@@ -16,6 +16,31 @@ RelayTransport::RelayTransport(net::Network& network, net::NodeId self,
     : network_(network), self_(self), num_nodes_(num_nodes), config_(config) {
   network_.set_handler(self_,
                        [this](const net::Datagram& d) { on_datagram(d); });
+  register_instruments();
+}
+
+void RelayTransport::register_instruments() {
+  obs::Registry* reg = config_.metrics;
+  if (!reg) return;
+  inst_.floods = &reg->counter("overlay", "floods_sent");
+  inst_.targeted_floods = &reg->counter("overlay", "targeted_floods");
+  inst_.scoped_sent = &reg->counter("overlay", "scoped_sent");
+  inst_.scoped_fallbacks = &reg->counter("overlay", "scoped_fallbacks");
+  inst_.naks = &reg->counter("overlay", "naks_received");
+  inst_.reports = &reg->counter("overlay", "reports_received");
+  inst_.duplicate_reports = &reg->counter("overlay", "duplicate_reports");
+  inst_.stale_reports = &reg->counter("overlay", "stale_reports");
+  // Inclusive upper bounds on integer relay counts; a report that crossed
+  // more than 12 relays lands in the overflow bucket.
+  inst_.hops = &reg->histogram("overlay", "hop_count",
+                               {0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0});
+}
+
+void RelayTransport::trace_overlay(const char* name, obs::TraceArgs args) {
+  obs::TraceRecorder* trace = config_.trace;
+  if (!trace || !trace->enabled(obs::Subsystem::kOverlay)) return;
+  trace->instant(obs::Subsystem::kOverlay, network_.now(), name,
+                 std::move(args));
 }
 
 RelayTransport::~RelayTransport() {
@@ -40,6 +65,11 @@ void RelayTransport::launch_flood(std::vector<net::NodeId> targets,
 
   register_flood(flood.flood);
 
+  trace_overlay("flood",
+                {{"flood", static_cast<uint64_t>(flood.flood)},
+                 {"targets", static_cast<uint64_t>(flood.targets.size())},
+                 {"ttl", static_cast<uint64_t>(flood.ttl)}});
+
   const Bytes payload =
       frame_relay(RelayMsg::kCollectFlood, flood.serialize());
   scratch_dsts_.clear();
@@ -61,6 +91,11 @@ void RelayTransport::launch_scoped(CachedRoute& route, attest::MsgType type,
   request.request.assign(body.begin(), body.end());
 
   register_flood(request.flood);  // the response report needs dedup state
+
+  trace_overlay("scoped_send",
+                {{"flood", static_cast<uint64_t>(request.flood)},
+                 {"target", static_cast<uint64_t>(route.route.back())},
+                 {"hops", static_cast<uint64_t>(route.route.size())}});
 
   route.used = true;
   network_.send(self_, route.route.front(),
@@ -86,15 +121,19 @@ void RelayTransport::send(net::NodeId peer, attest::MsgType type,
       // one use -- a silent failure means the route is suspect, so the
       // next retry re-floods.
       ++stats_.scoped_sent;
+      if (inst_.scoped_sent) inst_.scoped_sent->add();
       launch_scoped(routes_.at(peer), type, body);
       return;
     }
     ++stats_.scoped_fallbacks;
+    if (inst_.scoped_fallbacks) inst_.scoped_fallbacks->add();
+    trace_overlay("scoped_fallback", {{"target", static_cast<uint64_t>(peer)}});
   }
   // A targeted flood: everyone forwards, only `peer` serves. The fresh
   // flood id rebuilds the parent tree from the topology as it is NOW, so
   // per-device re-floods double as route re-discovery.
   ++stats_.targeted_floods;
+  if (inst_.targeted_floods) inst_.targeted_floods->add();
   launch_flood({peer}, type, body);
 }
 
@@ -114,6 +153,7 @@ void RelayTransport::broadcast(const std::vector<net::NodeId>& peers,
     if (all_routed) {
       for (const net::NodeId peer : peers) {
         ++stats_.scoped_sent;
+        if (inst_.scoped_sent) inst_.scoped_sent->add();
         launch_scoped(routes_.at(peer), type, body);
       }
       return;
@@ -121,7 +161,12 @@ void RelayTransport::broadcast(const std::vector<net::NodeId>& peers,
     // Retry-economy accounting: how many retried devices had no usable
     // route, forcing this wave back onto the flood path.
     for (const net::NodeId peer : peers) {
-      if (!has_fresh_route(peer)) ++stats_.scoped_fallbacks;
+      if (!has_fresh_route(peer)) {
+        ++stats_.scoped_fallbacks;
+        if (inst_.scoped_fallbacks) inst_.scoped_fallbacks->add();
+        trace_overlay("scoped_fallback",
+                      {{"target", static_cast<uint64_t>(peer)}});
+      }
     }
   }
   // One flood covers the dispatch batch: flooding is field-wide by
@@ -130,8 +175,10 @@ void RelayTransport::broadcast(const std::vector<net::NodeId>& peers,
   // compresses to the {kEveryone} wildcard.
   if (retry_wave) {
     ++stats_.targeted_floods;
+    if (inst_.targeted_floods) inst_.targeted_floods->add();
   } else {
     ++stats_.floods_sent;
+    if (inst_.floods) inst_.floods->add();
   }
   if (peers.size() + 1 >= num_nodes_) {
     launch_flood({kEveryone}, type, body);
@@ -175,6 +222,9 @@ void RelayTransport::on_datagram(const net::Datagram& dgram) {
       // A hop on the cached route lost its next link: the route is
       // stale. Evict it so the session's next retry re-floods.
       ++stats_.naks_received;
+      if (inst_.naks) inst_.naks->add();
+      trace_overlay("nak", {{"flood", static_cast<uint64_t>(nak->flood)},
+                            {"target", static_cast<uint64_t>(nak->target)}});
       routes_.erase(nak->target);
       return;
     }
@@ -213,13 +263,22 @@ void RelayTransport::on_datagram(const net::Datagram& dgram) {
     // A flood id we never launched, or one already outside the dedup
     // window: a straggler from a long-finished round (or a forgery).
     ++stats_.stale_reports;
+    if (inst_.stale_reports) inst_.stale_reports->add();
     return;
   }
   if (!it->second.insert(report->origin).second) {
     ++stats_.duplicate_reports;  // same report over a second path
+    if (inst_.duplicate_reports) inst_.duplicate_reports->add();
     return;
   }
   ++stats_.reports_received;
+  if (inst_.reports) inst_.reports->add();
+  if (inst_.hops) inst_.hops->observe(static_cast<double>(report->hops));
+  trace_overlay("report",
+                {{"flood", static_cast<uint64_t>(report->flood)},
+                 {"origin", static_cast<uint64_t>(report->origin)},
+                 {"hops", static_cast<uint64_t>(report->hops)},
+                 {"queue", static_cast<double>(report->queue) / 255.0}});
   if (hops_.size() <= report->hops) hops_.resize(report->hops + 1, 0);
   ++hops_[report->hops];
   if (receiver_) {

@@ -39,6 +39,8 @@
 #include <vector>
 
 #include "attest/transport.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "overlay/wire.h"
 
 namespace erasmus::overlay {
@@ -63,6 +65,12 @@ struct RelayTransportConfig {
   /// How long a recorded path stays trustworthy. Size to mobility: at
   /// vehicle speeds a multi-hop path decays in tens of seconds.
   sim::Duration route_ttl = sim::Duration::seconds(30);
+  /// Flight recorder for flood/scoped/report lifecycle events (category
+  /// kOverlay). Not owned; nullptr = no tracing.
+  obs::TraceRecorder* trace = nullptr;
+  /// Metrics registry; the transport registers its packet counters plus the
+  /// hop-count histogram under subsystem "overlay". Not owned; nullptr = off.
+  obs::Registry* metrics = nullptr;
 };
 
 class RelayTransport : public attest::Transport {
@@ -124,6 +132,10 @@ class RelayTransport : public attest::Transport {
   };
 
   void on_datagram(const net::Datagram& dgram);
+  /// Registers the transport's obs instruments (no-op without a registry).
+  void register_instruments();
+  /// kOverlay category instant (no-op when tracing is off/filtered).
+  void trace_overlay(const char* name, obs::TraceArgs args);
   /// Opens the per-flood dedup window for a fresh id, evicting the
   /// oldest beyond flood_memory (shared by floods and scoped requests).
   void register_flood(uint32_t flood);
@@ -145,6 +157,19 @@ class RelayTransport : public attest::Transport {
   double pending_congestion_ = 0.0;
   bool next_broadcast_is_retry_ = false;
   Stats stats_;
+
+  /// obs instruments (all null without RelayTransportConfig::metrics).
+  struct {
+    obs::Counter* floods = nullptr;
+    obs::Counter* targeted_floods = nullptr;
+    obs::Counter* scoped_sent = nullptr;
+    obs::Counter* scoped_fallbacks = nullptr;
+    obs::Counter* naks = nullptr;
+    obs::Counter* reports = nullptr;
+    obs::Counter* duplicate_reports = nullptr;
+    obs::Counter* stale_reports = nullptr;
+    obs::Histogram* hops = nullptr;
+  } inst_;
 };
 
 }  // namespace erasmus::overlay

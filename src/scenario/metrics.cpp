@@ -22,12 +22,29 @@ std::string Value::to_json() const {
 
 // --- CsvSink -----------------------------------------------------------------
 
+namespace {
+
+// RFC 4180 quoting, applied only when needed so the common all-scalar
+// output stays byte-identical to the unquoted form.
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
 void CsvSink::begin_run(std::string_view scenario) {
   out_ << "# scenario=" << scenario << "\n";
 }
 
 void CsvSink::note(std::string_view key, Value value) {
-  out_ << "# note " << key << "=" << value.to_plain() << "\n";
+  out_ << "# note " << key << "=" << csv_escape(value.to_plain()) << "\n";
 }
 
 void CsvSink::row(std::string_view table, const Row& r) {
@@ -44,7 +61,7 @@ void CsvSink::row(std::string_view table, const Row& r) {
   out_ << table;
   for (const auto& [col, value] : r) {
     (void)col;
-    out_ << "," << value.to_plain();
+    out_ << "," << csv_escape(value.to_plain());
   }
   out_ << "\n";
 }

@@ -69,7 +69,10 @@ class MetricsSink {
 
 /// Streams CSV: `# scenario=...` header, `# note key=value` lines as they
 /// arrive, and per-table sections with a header row emitted on first use.
-/// Rows carry their table name in the first column.
+/// Rows carry their table name in the first column. Cells containing a
+/// comma, quote, or newline are RFC-4180 quoted (inner quotes doubled);
+/// all other cells are emitted raw, keeping the common numeric output
+/// byte-identical to the historical unquoted form.
 class CsvSink : public MetricsSink {
  public:
   explicit CsvSink(std::ostream& out) : out_(out) {}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -107,9 +108,19 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
     }
   }
 
+  // The flight recorder is process-global (installed by the CLI's --trace
+  // before the scenario runs) so scenario signatures stay unchanged.
+  trace_ = obs::global_trace();
+  if (trace_) {
+    trace_->attach_shards(shards_.size());
+    attach_device_tracing();
+  }
+
   attest::ServiceConfig sc;
   sc.keep_audit = false;  // million-device fleets aggregate via rows instead
   sc.window = config_.window.resolve(config_.backend, specs_.size());
+  sc.trace = trace_;
+  sc.metrics = &metrics_;
   attest::Transport* transport = &direct_transport_;
   if (config_.backend == CollectionBackend::kOverlay) {
     build_overlay();
@@ -142,6 +153,8 @@ void ShardedFleetRunner::build_overlay() {
   nc.queue_depth = config_.overlay.queue_depth;
   nc.forward_spacing = config_.overlay.forward_spacing;
   nc.flood_memory = overlay::flood_memory_for(specs_.size());
+  nc.trace = trace_;
+  nc.metrics = &metrics_;
   relay_nodes_.reserve(specs_.size());
   for (swarm::DeviceId id = 0; id < specs_.size(); ++id) {
     relay_nodes_.push_back(std::make_unique<overlay::RelayNode>(
@@ -157,8 +170,28 @@ void ShardedFleetRunner::build_overlay() {
   tc.flood_memory = overlay::flood_memory_for(specs_.size());
   tc.scoped_retries = config_.overlay.scoped_retries;
   tc.route_ttl = config_.overlay.route_ttl;
+  tc.trace = trace_;
+  tc.metrics = &metrics_;
   relay_transport_ = std::make_unique<overlay::RelayTransport>(
       *overlay_net_, verifier_node_, specs_.size() + 1, tc);
+}
+
+void ShardedFleetRunner::attach_device_tracing() {
+  // shard(i) is nullptr when the kDevice category is filtered out: the
+  // observers are then never installed and the hot measurement path pays
+  // nothing. A device's observer writes ONLY its own shard's buffer, from
+  // its own shard's thread -- the lock-free discipline TraceShard wants.
+  if (!trace_ || !trace_->shard(0)) return;
+  for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
+    obs::TraceShard* shard = trace_->shard(shard_of(id));
+    const auto actor = static_cast<uint32_t>(id);
+    stacks_[id].prover->set_measurement_observer(
+        [shard, actor](sim::Time at, uint64_t t_ticks) {
+          shard->emit({at, actor, obs::Subsystem::kDevice,
+                       obs::TraceKind::kInstant, "measure",
+                       {{"t", t_ticks}}});
+        });
+  }
 }
 
 bool ShardedFleetRunner::link_up(net::NodeId a, net::NodeId b) {
@@ -208,6 +241,13 @@ void ShardedFleetRunner::set_present(swarm::DeviceId id, bool present) {
   }
   if (present_[id] == present) return;
   present_[id] = present;
+  if (trace_ && trace_->enabled(obs::Subsystem::kRunner)) {
+    // Churn only happens at barriers (round hook) or before run(), both
+    // coordinator-side, so direct emission keeps deterministic order.
+    trace_->instant(obs::Subsystem::kRunner, coordinator_queue_.now(),
+                    present ? "device_join" : "device_leave",
+                    {{"device", static_cast<uint64_t>(id)}});
+  }
   if (!started_) return;
   if (present) {
     // Rejoin: the schedule restarts one period from now, exactly as a
@@ -224,18 +264,35 @@ size_t ShardedFleetRunner::present_count() const {
 }
 
 void ShardedFleetRunner::advance_all(sim::Time barrier) {
+  using clock = std::chrono::steady_clock;
+  const auto wall_start = clock::now();
+  // Per-shard busy clocks vs the advance's wall clock: their gap is the
+  // barrier-wait the phase profile reports. Each worker writes only its
+  // own slot.
+  std::vector<double> busy_ms(shards_.size(), 0.0);
+  const auto advance_shard = [&](size_t s) {
+    const auto t0 = clock::now();
+    shards_[s].queue->run_until(barrier);
+    busy_ms[s] =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+  };
   if (shards_.size() == 1) {
-    shards_[0].queue->run_until(barrier);
-    return;
+    advance_shard(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size() - 1);
+    for (size_t s = 1; s < shards_.size(); ++s) {
+      workers.emplace_back([&advance_shard, s] { advance_shard(s); });
+    }
+    advance_shard(0);
+    for (auto& w : workers) w.join();
   }
-  std::vector<std::thread> workers;
-  workers.reserve(shards_.size() - 1);
-  for (size_t s = 1; s < shards_.size(); ++s) {
-    workers.emplace_back(
-        [&shard = shards_[s], barrier] { shard.queue->run_until(barrier); });
-  }
-  shards_[0].queue->run_until(barrier);
-  for (auto& w : workers) w.join();
+  double busy_sum = 0.0;
+  for (const double b : busy_ms) busy_sum += b;
+  phases_.record_advance(
+      shards_.size(), busy_sum,
+      std::chrono::duration<double, std::milli>(clock::now() - wall_start)
+          .count());
 }
 
 FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
@@ -331,10 +388,20 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
 
   std::vector<FleetRoundResult> results;
   results.reserve(config_.rounds);
+  const bool trace_runner =
+      trace_ && trace_->enabled(obs::Subsystem::kRunner);
   for (size_t round = 1; round <= config_.rounds; ++round) {
     const sim::Time barrier =
         sim::Time::zero() + config_.round_interval * round;
     advance_all(barrier);
+    // Barrier: drain the shards' device events BEFORE any coordinator
+    // event of this round, so the merged order is partition-independent.
+    if (trace_) trace_->merge_shards();
+    const auto coord_start = std::chrono::steady_clock::now();
+    if (trace_runner) {
+      trace_->span_begin(obs::Subsystem::kRunner, barrier, "collect",
+                         {{"round", static_cast<uint64_t>(round)}});
+    }
     if (round_hook_) round_hook_(*this, round, barrier);
     const OverlayTotals before = overlay_totals();
     const overlay::RelayTransport::Stats transport_before =
@@ -342,6 +409,15 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
                          : overlay::RelayTransport::Stats{};
     const FleetRoundResult r = collect_round(round, barrier);
     results.push_back(r);
+    if (trace_runner) {
+      trace_->span_end(obs::Subsystem::kRunner, coordinator_queue_.now(),
+                       "collect",
+                       {{"round", static_cast<uint64_t>(round)},
+                        {"present", static_cast<uint64_t>(r.present)},
+                        {"reachable", static_cast<uint64_t>(r.reachable)},
+                        {"healthy", static_cast<uint64_t>(r.healthy)},
+                        {"flagged", static_cast<uint64_t>(r.flagged)}});
+    }
     sink.row("rounds",
              {{"round", static_cast<uint64_t>(r.round)},
               {"t_min", static_cast<uint64_t>(r.at.ns() / 60'000'000'000ull)},
@@ -353,6 +429,11 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
     if (config_.backend == CollectionBackend::kOverlay) {
       emit_overlay_round(sink, round, before);
     }
+    emit_metrics_round(sink, round);
+    phases_.record_coordinator(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - coord_start)
+            .count());
   }
   return results;
 }
@@ -437,6 +518,28 @@ void ShardedFleetRunner::emit_overlay_round(MetricsSink& sink, size_t round,
     sink.row("hops", {{"round", static_cast<uint64_t>(round)},
                       {"hops", static_cast<uint64_t>(h)},
                       {"reports", now.hops[h] - prev}});
+  }
+}
+
+void ShardedFleetRunner::emit_metrics_round(MetricsSink& sink, size_t round) {
+  // Cumulative-to-date values in registration order: differencing is the
+  // analyst's job, determinism (same rows at any thread count) is ours.
+  for (const obs::Registry::Sample& s : metrics_.snapshot()) {
+    const char* kind = "counter";
+    if (s.kind == obs::Registry::Kind::kGauge) kind = "gauge";
+    if (s.kind == obs::Registry::Kind::kHistogram) kind = "histogram";
+    sink.row("metrics", {{"round", static_cast<uint64_t>(round)},
+                         {"subsystem", s.subsystem},
+                         {"name", s.name},
+                         {"kind", std::string(kind)},
+                         {"value", s.value}});
+    for (const auto& [le, count] : s.buckets) {
+      sink.row("metrics_hist", {{"round", static_cast<uint64_t>(round)},
+                                {"subsystem", s.subsystem},
+                                {"name", s.name},
+                                {"le", le},
+                                {"count", count}});
+    }
   }
 }
 

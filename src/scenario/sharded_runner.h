@@ -30,6 +30,9 @@
 #include "attest/service.h"
 #include "attest/transport.h"
 #include "net/network.h"
+#include "obs/phase.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "overlay/relay_node.h"
 #include "overlay/relay_transport.h"
 #include "scenario/metrics.h"
@@ -181,6 +184,12 @@ class ShardedFleetRunner {
   const net::Network* overlay_network() const { return overlay_net_.get(); }
   /// The verifier-side service (window trajectory, round stats).
   const attest::AttestationService& service() const { return *service_; }
+  /// The runner's metrics registry: service/window/overlay instruments,
+  /// snapshotted into the sink's "metrics"/"metrics_hist" tables per round.
+  const obs::Registry& metrics() const { return metrics_; }
+  /// Wall-clock phase profile of run(): shard work vs barrier wait vs
+  /// coordinator drain. Host-dependent -- report, never gate.
+  const obs::PhaseProfiler& phases() const { return phases_; }
 
  private:
   struct Shard {
@@ -200,6 +209,12 @@ class ShardedFleetRunner {
   void build_overlay();
   void emit_overlay_round(MetricsSink& sink, size_t round,
                           const OverlayTotals& before);
+  /// Snapshot of every registered instrument into the "metrics" table
+  /// (histograms additionally into "metrics_hist", one row per bucket).
+  void emit_metrics_round(MetricsSink& sink, size_t round);
+  /// Hooks each traced device's measurement observer to its shard's trace
+  /// buffer (kDevice category; no-op when tracing is off/filtered).
+  void attach_device_tracing();
 
   ShardedFleetConfig config_;
   std::vector<swarm::DeviceSpec> specs_;  // indexed by global DeviceId
@@ -228,6 +243,14 @@ class ShardedFleetRunner {
   /// Sessions completed during the current overlay round (observer-fed;
   /// kDirect rounds use collect_now()'s synchronous return instead).
   std::vector<attest::AttestationService::SessionOutcome> round_outcomes_;
+
+  /// Observability: the registry every subsystem registers into, the
+  /// process-global flight recorder (nullptr = tracing off) and the
+  /// wall-clock phase profile. All updates happen on the coordinator
+  /// thread except shard-buffered kDevice events.
+  obs::Registry metrics_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::PhaseProfiler phases_;
 };
 
 }  // namespace erasmus::scenario

@@ -33,7 +33,7 @@ TEST(CsvSink, GoldenOutput) {
             "# scenario=demo\n"
             "# note devices=20\n"
             "# note rate=0.5\n"
-            "# note label=fleet \"A\"\n"
+            "# note label=\"fleet \"\"A\"\"\"\n"
             "# note ok=true\n"
             "table,round,healthy\n"
             "rounds,1,19\n"
@@ -97,6 +97,96 @@ TEST(ValueFormatting, JsonQuotesAndEscapesStringsOnly) {
 
 TEST(ValueFormatting, NonFiniteDoublesStayValidJson) {
   EXPECT_EQ(Value(std::nan("")).to_json(), "null");
+  // Infinities overflow any JSON number parser back to infinity, so the
+  // document round-trips without becoming a string.
+  EXPECT_EQ(Value(INFINITY).to_json(), "1e999");
+  EXPECT_EQ(Value(-INFINITY).to_json(), "-1e999");
+  EXPECT_EQ(Value(std::nan("")).to_plain(), "null");
+  EXPECT_EQ(Value(INFINITY).to_plain(), "1e999");
+  EXPECT_EQ(Value(-INFINITY).to_plain(), "-1e999");
+}
+
+TEST(CsvSink, QuotesCellsWithEmbeddedSeparators) {
+  // RFC 4180: a cell containing a comma, quote, or newline is quoted with
+  // inner quotes doubled; plain cells stay raw so historical output is
+  // byte-identical.
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.begin_run("edge");
+  sink.note("msg", "a,b");
+  sink.row("t", {{"label", "x\ny"}, {"quote", "say \"hi\""}, {"plain", "ok"}});
+  sink.end_run();
+  EXPECT_EQ(out.str(),
+            "# scenario=edge\n"
+            "# note msg=\"a,b\"\n"
+            "table,label,quote,plain\n"
+            "t,\"x\ny\",\"say \"\"hi\"\"\",ok\n");
+}
+
+TEST(JsonSink, EscapesEmbeddedSeparators) {
+  std::ostringstream out;
+  JsonSink sink(out);
+  sink.begin_run("edge");
+  sink.row("t", {{"label", "x\ny"}, {"quote", "say \"hi\""}, {"comma", "a,b"}});
+  sink.end_run();
+  EXPECT_EQ(out.str(),
+            "{\n"
+            "  \"scenario\": \"edge\",\n"
+            "  \"notes\": {},\n"
+            "  \"tables\": {\n"
+            "    \"t\": [\n"
+            "      {\"label\": \"x\\ny\", \"quote\": \"say \\\"hi\\\"\", "
+            "\"comma\": \"a,b\"}\n"
+            "    ]\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(CsvSink, EmptyRun) {
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.begin_run("empty");
+  sink.end_run();
+  EXPECT_EQ(out.str(), "# scenario=empty\n");
+}
+
+TEST(MetricsSinks, NonFiniteDoublesInBothSinks) {
+  std::ostringstream csv_out;
+  CsvSink csv(csv_out);
+  csv.begin_run("nonfinite");
+  csv.row("t", {{"nan", std::nan("")}, {"inf", INFINITY}});
+  csv.end_run();
+  EXPECT_EQ(csv_out.str(),
+            "# scenario=nonfinite\n"
+            "table,nan,inf\n"
+            "t,null,1e999\n");
+
+  std::ostringstream json_out;
+  JsonSink json(json_out);
+  json.begin_run("nonfinite");
+  json.row("t", {{"nan", std::nan("")}, {"inf", INFINITY}});
+  json.end_run();
+  EXPECT_NE(json_out.str().find("{\"nan\": null, \"inf\": 1e999}"),
+            std::string::npos);
+}
+
+TEST(MetricsSinks, ReRenderingIsByteIdentical) {
+  // The determinism guarantee the sharded runner leans on: the same feed
+  // yields the same bytes, every time, for both sinks.
+  const auto render_csv = [] {
+    std::ostringstream out;
+    CsvSink sink(out);
+    feed(sink);
+    return out.str();
+  };
+  const auto render_json = [] {
+    std::ostringstream out;
+    JsonSink sink(out);
+    feed(sink);
+    return out.str();
+  };
+  EXPECT_EQ(render_csv(), render_csv());
+  EXPECT_EQ(render_json(), render_json());
 }
 
 }  // namespace

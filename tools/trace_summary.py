@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Digest an erasmus flight-recorder trace (Chrome trace-event JSON or
+JSONL) into a terminal summary.
+
+Usage: trace_summary.py TRACE [--top N]
+
+Reports the sim-time range, per-category event counts, the most frequent
+instant events, and span statistics (count / total / mean / max sim
+duration) per span name -- the quick look before opening the trace in
+Perfetto. The input format is auto-detected: a `{"traceEvents": ...}`
+document is parsed as Chrome trace-event JSON (as written by
+`erasmus_run run ... --trace=trace.json`), anything else as
+one-object-per-line JSONL (`--trace=trace.jsonl`).
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+
+def parse_chrome(doc):
+    """Yields (ts_us, cat, phase, name, tid) from a Chrome trace doc."""
+    for e in doc.get("traceEvents", []):
+        if e.get("ph") == "M":
+            continue  # metadata (thread names)
+        yield (float(e.get("ts", 0.0)), e.get("cat", "?"), e.get("ph", "i"),
+               e.get("name", "?"), e.get("tid", 0))
+
+
+def parse_jsonl(lines):
+    """Yields (ts_us, cat, phase, name, tid) from JSONL lines."""
+    kinds = {"span_begin": "B", "span_end": "E", "instant": "i"}
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            e = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"error: line {lineno} is not valid JSON: {exc}")
+        actor = e.get("actor", "coordinator")
+        tid = 0 if actor == "coordinator" else int(actor) + 1
+        yield (float(e.get("at_ns", 0)) / 1e3, e.get("sub", "?"),
+               kinds.get(e.get("kind"), "i"), e.get("name", "?"), tid)
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in text[:4096]:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+        events = list(parse_chrome(doc))
+        dropped = doc.get("otherData", {}).get("dropped_events")
+        return events, dropped
+    return list(parse_jsonl(text.splitlines())), None
+
+
+def fmt_us(us):
+    """Compact sim-duration rendering from microseconds."""
+    if us >= 60e6:
+        return f"{us / 60e6:.1f}min"
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.1f}us"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows per ranking (default 10)")
+    args = parser.parse_args()
+
+    events, dropped = load_events(args.trace)
+    if not events:
+        print(f"{args.trace}: no events")
+        return 0
+
+    ts_all = [ts for ts, *_ in events]
+    cats = Counter(cat for _, cat, *_ in events)
+    instants = Counter((cat, name) for _, cat, ph, name, _ in events
+                       if ph == "i")
+
+    # Pair B/E per (cat, tid, name), nesting-aware via a per-key stack.
+    open_spans = defaultdict(list)
+    durations = defaultdict(list)
+    unbalanced = 0
+    for ts, cat, ph, name, tid in events:
+        key = (cat, tid, name)
+        if ph == "B":
+            open_spans[key].append(ts)
+        elif ph == "E":
+            if open_spans[key]:
+                durations[(cat, name)].append(ts - open_spans[key].pop())
+            else:
+                unbalanced += 1
+    unbalanced += sum(len(v) for v in open_spans.values())
+
+    print(f"{args.trace}: {len(events)} events, "
+          f"sim time {fmt_us(min(ts_all))} .. {fmt_us(max(ts_all))}")
+    if dropped is not None:
+        print(f"dropped events: {dropped}")
+    if unbalanced:
+        print(f"unbalanced span begin/end pairs: {unbalanced}")
+
+    print("\nevents by category:")
+    for cat, n in cats.most_common():
+        print(f"  {cat:<10} {n}")
+
+    if instants:
+        print(f"\ntop instant events (of {len(instants)} kinds):")
+        for (cat, name), n in instants.most_common(args.top):
+            print(f"  {cat}/{name:<24} {n}")
+
+    if durations:
+        print("\nspans (sim-time):")
+        rows = sorted(durations.items(),
+                      key=lambda kv: -sum(kv[1]))[:args.top]
+        for (cat, name), ds in rows:
+            print(f"  {cat}/{name:<24} n={len(ds):<6} "
+                  f"total={fmt_us(sum(ds)):<10} "
+                  f"mean={fmt_us(sum(ds) / len(ds)):<10} "
+                  f"max={fmt_us(max(ds))}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # summary | head is a supported use
+        sys.exit(0)
