@@ -16,7 +16,7 @@
 //                    chrome://tracing).
 //   --trace-filter=<subsystems>
 //                    comma-separated categories to record
-//                    (runner,service,window,overlay,device; default all).
+//                    (runner,service,window,overlay,device,energy; default all).
 //
 // Exit code is the scenario's own (0 = success / expected property held).
 #include <cstdio>
@@ -69,7 +69,7 @@ int cmd_describe(const std::string& name) {
               "flight-recorder trace; .jsonl = JSONL, else Chrome "
               "trace-event JSON");
   std::printf("  %-16s (default %-6s) %s\n", "--trace-filter=L", "all",
-              "trace categories: runner,service,window,overlay,device");
+              "trace categories: runner,service,window,overlay,device,energy");
   return 0;
 }
 

@@ -1,0 +1,138 @@
+#include "energy/meter.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace erasmus::energy {
+
+const sim::EnergyProfile& profile_for(hw::ArchKind kind) {
+  static const sim::EnergyProfile smart = sim::EnergyProfile::msp430();
+  static const sim::EnergyProfile hydra = sim::EnergyProfile::imx6();
+  static const sim::EnergyProfile trustlite = sim::EnergyProfile::trustlite();
+  switch (kind) {
+    case hw::ArchKind::kSmartPlus: return smart;
+    case hw::ArchKind::kHydra: return hydra;
+    case hw::ArchKind::kTrustLite: return trustlite;
+  }
+  return smart;
+}
+
+uint64_t to_nanojoules(sim::Energy e) {
+  const double nj = e.microjoules * 1e3;
+  if (!(nj > 0.0)) return 0;  // negatives and NaN clamp to zero
+  if (nj >= static_cast<double>(std::numeric_limits<uint64_t>::max())) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(std::llround(nj));
+}
+
+sim::Energy from_nanojoules(uint64_t nj) {
+  return sim::Energy{static_cast<double>(nj) / 1e3};
+}
+
+CostModel CostModel::for_device(const sim::DeviceProfile& profile,
+                                const sim::EnergyProfile& energy,
+                                crypto::MacAlgo algo,
+                                uint64_t attested_bytes) {
+  CostModel m;
+  m.measurement_nj = to_nanojoules(
+      energy.active_energy(profile.measurement_time(algo, attested_bytes)));
+  m.tx_nj_per_byte = to_nanojoules(energy.tx_energy_per_byte());
+  m.rx_nj_per_byte = to_nanojoules(energy.rx_energy_per_byte());
+  m.sleep_nj_per_s = to_nanojoules(
+      energy.sleep_energy(sim::Duration::seconds(1)));
+  return m;
+}
+
+namespace {
+uint64_t sat_add(uint64_t a, uint64_t b) {
+  const uint64_t sum = a + b;
+  return sum < a ? std::numeric_limits<uint64_t>::max() : sum;
+}
+}  // namespace
+
+bool DeviceMeter::charge(uint64_t nj, uint64_t& bucket, sim::Time at) {
+  if (dark_) return false;
+  bucket = sat_add(bucket, nj);
+  if (capacity_nj_ != 0 && spent_nj() >= capacity_nj_) {
+    dark_ = true;
+    dark_at_ = at;
+    return true;
+  }
+  return false;
+}
+
+bool DeviceMeter::charge_measurement(sim::Time at) {
+  return charge(cost_.measurement_nj, cpu_nj_, at);
+}
+
+bool DeviceMeter::charge_tx(size_t bytes, sim::Time at) {
+  return charge(cost_.tx_nj_per_byte * static_cast<uint64_t>(bytes), tx_nj_,
+                at);
+}
+
+bool DeviceMeter::charge_rx(size_t bytes, sim::Time at) {
+  return charge(cost_.rx_nj_per_byte * static_cast<uint64_t>(bytes), rx_nj_,
+                at);
+}
+
+bool DeviceMeter::charge_sleep(sim::Duration d, sim::Time at) {
+  // Integer ns * nJ/s with the division folded in to keep sub-second
+  // intervals exact enough (nJ resolution) without double round-trips.
+  const uint64_t nj =
+      static_cast<uint64_t>(static_cast<double>(cost_.sleep_nj_per_s) *
+                            d.to_seconds());
+  return charge(nj, sleep_nj_, at);
+}
+
+double DeviceMeter::remaining_fraction() const {
+  if (capacity_nj_ == 0) return 1.0;
+  if (spent_nj() >= capacity_nj_) return 0.0;
+  return 1.0 - static_cast<double>(spent_nj()) /
+                   static_cast<double>(capacity_nj_);
+}
+
+DeviceMeter& FleetMeter::device(size_t id) {
+  if (id >= meters_.size()) {
+    throw std::out_of_range("FleetMeter: device id " + std::to_string(id) +
+                            " >= fleet size " +
+                            std::to_string(meters_.size()));
+  }
+  return meters_[id];
+}
+
+const DeviceMeter& FleetMeter::device(size_t id) const {
+  return const_cast<FleetMeter*>(this)->device(id);
+}
+
+size_t FleetMeter::dark_count() const {
+  size_t n = 0;
+  for (const auto& m : meters_) n += m.dark();
+  return n;
+}
+
+FleetMeter::Totals FleetMeter::totals() const {
+  // Sum the integer ledgers first; one float conversion per bucket keeps
+  // the doubles a pure function of the integer state.
+  uint64_t cpu = 0, tx = 0, rx = 0, sleep = 0;
+  for (const auto& m : meters_) {
+    cpu = sat_add(cpu, m.cpu_nj());
+    tx = sat_add(tx, m.tx_nj());
+    rx = sat_add(rx, m.rx_nj());
+    sleep = sat_add(sleep, m.sleep_nj());
+  }
+  Totals t;
+  t.cpu_mj = static_cast<double>(cpu) / 1e6;
+  t.tx_mj = static_cast<double>(tx) / 1e6;
+  t.rx_mj = static_cast<double>(rx) / 1e6;
+  t.sleep_mj = static_cast<double>(sleep) / 1e6;
+  return t;
+}
+
+sim::Energy FleetMeter::spent_total() const {
+  const Totals t = totals();
+  return sim::Energy{t.spent_mj() * 1e3};
+}
+
+}  // namespace erasmus::energy

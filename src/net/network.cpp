@@ -47,7 +47,9 @@ void Network::send(NodeId src, NodeId dst, Bytes payload) {
   if (src >= handlers_.size() || dst >= handlers_.size()) {
     throw std::out_of_range("Network: unknown endpoint");
   }
+  if (energy_tap_) energy_tap_(src, payload.size(), /*tx=*/true);
   if (!admit(src, dst, payload.size())) return;
+  if (energy_tap_) energy_tap_(dst, payload.size(), /*tx=*/false);
   deliver(Datagram{src, dst, std::move(payload)});
 }
 
@@ -55,6 +57,12 @@ void Network::broadcast(NodeId src, const std::vector<NodeId>& dsts,
                         ByteView payload) {
   if (src >= handlers_.size()) {
     throw std::out_of_range("Network: unknown endpoint");
+  }
+  // One physical transmission: the sender's radio is charged once, not
+  // per destination (Stats::bytes_sent stays per-attempt -- it counts
+  // offered load, the tap counts joules).
+  if (energy_tap_ && !dsts.empty()) {
+    energy_tap_(src, payload.size(), /*tx=*/true);
   }
   for (const NodeId dst : dsts) {
     if (dst >= handlers_.size()) {
@@ -65,6 +73,7 @@ void Network::broadcast(NodeId src, const std::vector<NodeId>& dsts,
     // actually delivered to, which is what makes swarm-wide radio floods
     // (1 sender x N destinations, most out of range) affordable.
     if (!admit(src, dst, payload.size())) continue;
+    if (energy_tap_) energy_tap_(dst, payload.size(), /*tx=*/false);
     deliver(Datagram{src, dst, Bytes(payload.begin(), payload.end())});
   }
 }

@@ -51,6 +51,15 @@ class Network {
   /// full connectivity.
   void set_link_filter(LinkFilter filter) { filter_ = std::move(filter); }
 
+  /// Radio-energy tap, invoked at send time: once with tx=true per
+  /// physical transmission (a broadcast keys the radio ONCE however many
+  /// destinations it reaches), and once with tx=false per destination the
+  /// datagram is actually delivered to. Kept as a generic callback so the
+  /// network stays ignorant of who meters what; the energy layer installs
+  /// one that charges DeviceMeters. nullptr = no metering (zero cost).
+  using EnergyTap = std::function<void(NodeId node, size_t bytes, bool tx)>;
+  void set_energy_tap(EnergyTap tap) { energy_tap_ = std::move(tap); }
+
   /// Queues a datagram for delivery after the network latency. Silently
   /// drops it when the nodes are disconnected or the loss draw fires
   /// (datagram networks do not report loss to the sender).
@@ -94,6 +103,7 @@ class Network {
   double loss_probability_;
   sim::Rng rng_;
   LinkFilter filter_;
+  EnergyTap energy_tap_;
   std::vector<Handler> handlers_;
   Stats stats_;
   std::vector<Stats> node_stats_;  // indexed by destination

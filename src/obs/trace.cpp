@@ -14,6 +14,7 @@ const char* to_string(Subsystem s) {
     case Subsystem::kWindow: return "window";
     case Subsystem::kOverlay: return "overlay";
     case Subsystem::kDevice: return "device";
+    case Subsystem::kEnergy: return "energy";
   }
   return "?";
 }
@@ -36,7 +37,7 @@ uint32_t parse_subsystem_filter(const std::string& csv) {
       throw std::invalid_argument(
           "trace filter: unknown subsystem '" + name +
           "' (expected a comma-separated subset of "
-          "runner,service,window,overlay,device)");
+          "runner,service,window,overlay,device,energy)");
     }
     begin = comma + 1;
   }

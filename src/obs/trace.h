@@ -47,8 +47,9 @@ enum class Subsystem : uint8_t {
   kWindow = 2,   // AIMD grow/cut/recovery-epoch decisions
   kOverlay = 3,  // floods, scoped retries, relay queues, NAKs
   kDevice = 4,   // shard-side device state transitions
+  kEnergy = 5,   // budget-exhausted (went_dark) instants, planner decisions
 };
-inline constexpr size_t kSubsystemCount = 5;
+inline constexpr size_t kSubsystemCount = 6;
 
 const char* to_string(Subsystem s);
 /// Bitmask with every subsystem enabled.

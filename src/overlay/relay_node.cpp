@@ -62,6 +62,13 @@ void RelayNode::physical_broadcast(ByteView payload, net::NodeId except) {
 }
 
 void RelayNode::on_datagram(const net::Datagram& dgram) {
+  if (config_.meter && config_.meter->dark()) {
+    // Battery exhausted: the radio still drew the rx joules (charged by the
+    // network's energy tap before delivery), but nobody is home to serve,
+    // relay, or re-flood. The frame dies here.
+    ++stats_.dropped_dark;
+    return;
+  }
   const auto framed = unframe_relay(dgram.payload);
   if (!framed) {
     ++stats_.malformed_frames;
@@ -292,6 +299,14 @@ void RelayNode::enqueue_report(RelayReport report, bool relayed) {
 }
 
 void RelayNode::drain_one() {
+  if (config_.meter && config_.meter->dark()) {
+    // Went dark with reports still queued: the store-and-forward buffer
+    // dies with the node.
+    stats_.dropped_dark += queue_out_.size();
+    queue_out_.clear();
+    draining_ = false;
+    return;
+  }
   if (queue_out_.empty()) {
     draining_ = false;
     return;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "attest/prover.h"
+#include "energy/meter.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "overlay/wire.h"
@@ -62,6 +63,11 @@ struct RelayNodeConfig {
   /// thousand-node swarm shares ONE "relay_drops" counter and one
   /// queue-occupancy histogram under subsystem "overlay". Not owned.
   obs::Registry* metrics = nullptr;
+  /// This node's battery meter (not owned; nullptr = unmetered). A dark
+  /// node has browned out: frames it would have heard are dropped on
+  /// arrival and its store-and-forward queue is purged -- radio bytes are
+  /// charged by the network's energy tap, not here.
+  const energy::DeviceMeter* meter = nullptr;
 };
 
 class RelayNode {
@@ -98,6 +104,7 @@ class RelayNode {
     uint64_t naks_forwarded = 0;    // NAKs passed up toward the verifier
     uint64_t malformed_frames = 0;  // frames that did not parse (cf.
                                     // NetworkTransport::malformed_frames)
+    uint64_t dropped_dark = 0;      // frames/reports lost to a dead battery
   };
   const Stats& stats() const { return stats_; }
   net::NodeId self() const { return self_; }

@@ -46,6 +46,10 @@ class SwarmPatrolScenario : public Scenario {
         {"infect_device", "13", "device infected mid-patrol (skipped when "
                                 ">= devices)"},
         {"infect_at", "42m", "infection time into the patrol"},
+        {"battery", "", "per-device battery with a REQUIRED unit (e.g. "
+                        "500mJ, 2J); devices that exhaust it go dark. "
+                        "Empty = unmetered; 0J = metered but unlimited "
+                        "(joule accounting only)"},
     };
   }
 
@@ -73,6 +77,10 @@ class SwarmPatrolScenario : public Scenario {
     cfg.round_interval =
         params.get_duration("interval", Duration::minutes(30));
     cfg.k = static_cast<size_t>(params.get_u64("k", 8));
+    if (params.has("battery")) {
+      cfg.energy.metered = true;
+      cfg.energy.battery = params.get_energy("battery", {});
+    }
 
     sink.note("devices", static_cast<uint64_t>(cfg.plan.devices()));
     sink.note("seed", params.get_u64("seed", 2024));
@@ -101,6 +109,12 @@ class SwarmPatrolScenario : public Scenario {
     for (const auto& r : rounds) flagged_rounds += r.flagged > 0;
     sink.note("rounds_with_flagged_device",
               static_cast<uint64_t>(flagged_rounds));
+
+    if (const energy::FleetMeter* meter = runner.energy_meter()) {
+      sink.note("fleet_spent_mj", meter->totals().spent_mj());
+      sink.note("dark_devices_final",
+                static_cast<uint64_t>(meter->dark_count()));
+    }
 
     // Contrast: one SEDA-style on-demand round vs ERASMUS collection over
     // the swarm state at the end of the patrol.

@@ -67,6 +67,10 @@ class SwarmRelayScenario : public Scenario {
         {"infect_device", "13", "device infected mid-run (skipped when "
                                 ">= devices)"},
         {"infect_at", "42m", "infection time into the run"},
+        {"battery", "", "per-device battery with a REQUIRED unit (e.g. "
+                        "500mJ, 2J); devices that exhaust it go dark. "
+                        "Empty = unmetered; 0J = metered but unlimited "
+                        "(joule accounting only)"},
     };
   }
 
@@ -115,6 +119,10 @@ class SwarmRelayScenario : public Scenario {
     cfg.overlay.scoped_retries = params.get_bool("scoped_retries", false);
     cfg.overlay.route_ttl =
         params.get_duration("route_ttl", Duration::seconds(30));
+    if (params.has("battery")) {
+      cfg.energy.metered = true;
+      cfg.energy.battery = params.get_energy("battery", {});
+    }
 
     sink.note("devices", static_cast<uint64_t>(cfg.plan.devices()));
     sink.note("seed", params.get_u64("seed", 2024));
@@ -152,6 +160,12 @@ class SwarmRelayScenario : public Scenario {
     sink.note("rounds_with_flagged_device",
               static_cast<uint64_t>(flagged_rounds));
     sink.note("device_collections", static_cast<uint64_t>(collected));
+
+    if (const energy::FleetMeter* meter = runner.energy_meter()) {
+      sink.note("fleet_spent_mj", meter->totals().spent_mj());
+      sink.note("dark_devices_final",
+                static_cast<uint64_t>(meter->dark_count()));
+    }
 
     // End-of-run overlay totals: how the swarm was actually reached.
     const auto totals = runner.overlay_totals();

@@ -1,5 +1,6 @@
 #include "scenario/params.h"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
@@ -64,6 +65,42 @@ std::vector<sim::Duration> parse_duration_list(const std::string& text) {
     pos = comma + 1;
   }
   return list;
+}
+
+sim::Energy parse_energy(const std::string& text) {
+  size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  std::string unit = text.substr(used);
+  for (char& c : unit) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  if (used == 0 || unit.empty() || value < 0.0 ||
+      !(value == value) /* NaN */) {
+    throw std::invalid_argument(
+        "'" + text +
+        "' is not a valid energy (expected <number><unit>, e.g. 40mJ, 2J; "
+        "units: uJ, mJ, J, kJ)");
+  }
+  double uj_per_unit = 0.0;
+  if (unit == "uj") {
+    uj_per_unit = 1.0;
+  } else if (unit == "mj") {
+    uj_per_unit = 1e3;
+  } else if (unit == "j") {
+    uj_per_unit = 1e6;
+  } else if (unit == "kj") {
+    uj_per_unit = 1e9;
+  } else {
+    throw std::invalid_argument("'" + text +
+                                "' has an unknown energy unit '" +
+                                text.substr(used) +
+                                "' (units: uJ, mJ, J, kJ)");
+  }
+  return sim::Energy{value * uj_per_unit};
 }
 
 ParamMap ParamMap::from_args(const std::vector<std::string>& args) {
@@ -138,6 +175,18 @@ sim::Duration ParamMap::get_duration(std::string_view key,
   if (it == entries_.end()) return def;
   try {
     return parse_duration(it->second);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("parameter '" + std::string(key) +
+                                "': " + e.what());
+  }
+}
+
+sim::Energy ParamMap::get_energy(std::string_view key,
+                                 sim::Energy def) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  try {
+    return parse_energy(it->second);
   } catch (const std::invalid_argument& e) {
     throw std::invalid_argument("parameter '" + std::string(key) +
                                 "': " + e.what());

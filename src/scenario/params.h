@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/energy.h"
 #include "sim/time.h"
 
 namespace erasmus::scenario {
@@ -25,6 +26,14 @@ sim::Duration parse_duration(const std::string& text);
 /// Comma-separated parse_duration list ("5m,10m,20m"); rejects empty lists
 /// and empty entries.
 std::vector<sim::Duration> parse_duration_list(const std::string& text);
+
+/// Parses a human-friendly energy value: a non-negative number with a
+/// required unit suffix -- "500mJ", "2J", "750uJ", "1.5kJ". Units: uJ, mJ,
+/// J, kJ (case-insensitive). Throws std::invalid_argument on a missing or
+/// unknown unit, a negative or non-numeric value -- same loud-rejection
+/// convention as parse_duration, so `battery=40` never silently means
+/// 40 of anything.
+sim::Energy parse_energy(const std::string& text);
 
 struct ParamSpec {
   std::string key;
@@ -53,6 +62,8 @@ class ParamMap {
   /// parse_duration). Every T_M/T_C-style knob goes through this, so CLI
   /// users never guess whether a raw number means seconds or minutes.
   sim::Duration get_duration(std::string_view key, sim::Duration def) const;
+  /// Energy with a required unit ("40mJ", "2J" -- see parse_energy).
+  sim::Energy get_energy(std::string_view key, sim::Energy def) const;
 
   /// Sorted key -> value view (deterministic iteration for sinks).
   const std::map<std::string, std::string, std::less<>>& entries() const {

@@ -13,6 +13,16 @@ namespace erasmus::scenario {
 
 using swarm::detail::throw_bad_device_id;
 
+namespace {
+// kDirect wire model: the direct backend bypasses the radio Network, so
+// radio joules are charged from the served-session loop using the same
+// per-message byte costs the energy::Planner's closed form assumes
+// (request down, one k-record report up).
+constexpr size_t kDirectRequestBytes = 24;
+constexpr size_t kDirectReportHeaderBytes = 20;
+constexpr size_t kDirectRecordBytes = 73;
+}  // namespace
+
 WindowSpec WindowSpec::parse(const std::string& text) {
   WindowSpec spec;
   if (text == "default") {
@@ -111,10 +121,9 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
   // The flight recorder is process-global (installed by the CLI's --trace
   // before the scenario runs) so scenario signatures stay unchanged.
   trace_ = obs::global_trace();
-  if (trace_) {
-    trace_->attach_shards(shards_.size());
-    attach_device_tracing();
-  }
+  if (trace_) trace_->attach_shards(shards_.size());
+  if (config_.energy.metered) build_energy_meter();
+  attach_device_observers();
 
   attest::ServiceConfig sc;
   sc.keep_audit = false;  // million-device fleets aggregate via rows instead
@@ -149,6 +158,23 @@ void ShardedFleetRunner::build_overlay() {
   overlay_net_->set_link_filter(
       [this](net::NodeId a, net::NodeId b) { return link_up(a, b); });
 
+  if (energy_meter_) {
+    // Radio joules: tx once per physical transmission, rx per delivered
+    // destination (Network's tap contract). The tap runs from coordinator
+    // events only, while every shard queue is parked at the barrier. A
+    // transition silences the device's prover on the spot -- shard queues
+    // are parked, so touching the shard-owned prover is safe.
+    overlay_net_->set_energy_tap(
+        [this](net::NodeId node, size_t bytes, bool tx) {
+          if (node == verifier_node_) return;  // mains-powered root
+          energy::DeviceMeter& m = energy_meter_->device(node);
+          const sim::Time now = coordinator_queue_.now();
+          const bool out =
+              tx ? m.charge_tx(bytes, now) : m.charge_rx(bytes, now);
+          if (out) stacks_[node].prover->stop();
+        });
+  }
+
   overlay::RelayNodeConfig nc;
   nc.queue_depth = config_.overlay.queue_depth;
   nc.forward_spacing = config_.overlay.forward_spacing;
@@ -157,6 +183,7 @@ void ShardedFleetRunner::build_overlay() {
   nc.metrics = &metrics_;
   relay_nodes_.reserve(specs_.size());
   for (swarm::DeviceId id = 0; id < specs_.size(); ++id) {
+    if (energy_meter_) nc.meter = &energy_meter_->device(id);
     relay_nodes_.push_back(std::make_unique<overlay::RelayNode>(
         coordinator_queue_, *overlay_net_, id, *stacks_[id].prover,
         specs_.size() + 1, nc));
@@ -176,22 +203,75 @@ void ShardedFleetRunner::build_overlay() {
       *overlay_net_, verifier_node_, specs_.size() + 1, tc);
 }
 
-void ShardedFleetRunner::attach_device_tracing() {
-  // shard(i) is nullptr when the kDevice category is filtered out: the
-  // observers are then never installed and the hot measurement path pays
-  // nothing. A device's observer writes ONLY its own shard's buffer, from
-  // its own shard's thread -- the lock-free discipline TraceShard wants.
-  if (!trace_ || !trace_->shard(0)) return;
+void ShardedFleetRunner::build_energy_meter() {
+  const uint64_t capacity = energy::to_nanojoules(config_.energy.battery);
+  std::vector<energy::DeviceMeter> meters;
+  meters.reserve(specs_.size());
+  for (swarm::DeviceId id = 0; id < specs_.size(); ++id) {
+    meters.emplace_back(
+        energy::CostModel::for_device(specs_[id].profile,
+                                      energy::profile_for(specs_[id].arch),
+                                      specs_[id].algo,
+                                      stacks_[id].prover->attested_bytes()),
+        capacity);
+  }
+  energy_meter_ = std::make_unique<energy::FleetMeter>(std::move(meters));
+  swept_dark_.assign(specs_.size(), false);
+}
+
+void ShardedFleetRunner::attach_device_observers() {
+  // shard(i) is nullptr when the kDevice category is filtered out: trace
+  // emission is then never installed and the hot measurement path pays
+  // nothing for it. A device's observer writes ONLY its own shard's trace
+  // buffer and its own meter, from its own shard's thread -- the lock-free
+  // discipline TraceShard and DeviceMeter both want.
+  const bool tracing = trace_ && trace_->shard(0);
+  if (!tracing && !energy_meter_) return;
   for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
-    obs::TraceShard* shard = trace_->shard(shard_of(id));
+    obs::TraceShard* shard = tracing ? trace_->shard(shard_of(id)) : nullptr;
+    energy::DeviceMeter* meter =
+        energy_meter_ ? &energy_meter_->device(id) : nullptr;
+    attest::Prover* prover = stacks_[id].prover.get();
     const auto actor = static_cast<uint32_t>(id);
-    stacks_[id].prover->set_measurement_observer(
-        [shard, actor](sim::Time at, uint64_t t_ticks) {
-          shard->emit({at, actor, obs::Subsystem::kDevice,
-                       obs::TraceKind::kInstant, "measure",
-                       {{"t", t_ticks}}});
+    prover->set_measurement_observer(
+        [shard, meter, prover, actor](sim::Time at, uint64_t t_ticks) {
+          if (shard) {
+            shard->emit({at, actor, obs::Subsystem::kDevice,
+                         obs::TraceKind::kInstant, "measure",
+                         {{"t", t_ticks}}});
+          }
+          // The measurement that empties the battery is the device's last:
+          // stop the schedule shard-side, immediately. The coordinator's
+          // barrier sweep handles the trace event and the dark count.
+          if (meter && meter->charge_measurement(at)) prover->stop();
         });
   }
+}
+
+bool ShardedFleetRunner::active(swarm::DeviceId id) const {
+  return present_[id] &&
+         !(energy_meter_ && energy_meter_->device(id).dark());
+}
+
+size_t ShardedFleetRunner::sweep_dark() {
+  if (!energy_meter_) return 0;
+  size_t newly = 0;
+  for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
+    const energy::DeviceMeter& m = energy_meter_->device(id);
+    if (!m.dark() || swept_dark_[id]) continue;
+    swept_dark_[id] = true;
+    ++newly;
+    stacks_[id].prover->stop();  // idempotent; shard side may have already
+    if (trace_ && trace_->enabled(obs::Subsystem::kEnergy)) {
+      // Timestamped with the exhausting charge's instant (possibly mid
+      // shard phase); swept in device-id order at the barrier, so the
+      // stream is deterministic at any thread count.
+      trace_->instant(obs::Subsystem::kEnergy, m.dark_at(), "went_dark",
+                      {{"device", static_cast<uint64_t>(id)},
+                       {"spent_nj", m.spent_nj()}});
+    }
+  }
+  return newly;
 }
 
 bool ShardedFleetRunner::link_up(net::NodeId a, net::NodeId b) {
@@ -201,8 +281,11 @@ bool ShardedFleetRunner::link_up(net::NodeId a, net::NodeId b) {
     return n == verifier_node_ ? config_.root
                                : static_cast<swarm::DeviceId>(n);
   };
-  if (a != verifier_node_ && !present_[a]) return false;
-  if (b != verifier_node_ && !present_[b]) return false;
+  // active() also mutes dark devices: a dead battery keys no radio. (An
+  // in-flight frame addressed to a device that went dark after the send
+  // admit is instead dropped by the RelayNode's dark gate.)
+  if (a != verifier_node_ && !active(a)) return false;
+  if (b != verifier_node_ && !active(b)) return false;
   const swarm::DeviceId da = device(a);
   const swarm::DeviceId db = device(b);
   if (da == db) return true;
@@ -251,8 +334,11 @@ void ShardedFleetRunner::set_present(swarm::DeviceId id, bool present) {
   if (!started_) return;
   if (present) {
     // Rejoin: the schedule restarts one period from now, exactly as a
-    // rebooted device's timer would.
-    stacks_[id].prover->start();
+    // rebooted device's timer would. A rejoiner with a dead battery stays
+    // dark -- back in the roster, but its prover never restarts.
+    if (!(energy_meter_ && energy_meter_->device(id).dark())) {
+      stacks_[id].prover->start();
+    }
   } else {
     stacks_[id].prover->stop();
   }
@@ -324,7 +410,9 @@ FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
     // RNG, so it must only ever be queried here, in deterministic order.
     swarm::Topology topo = mobility_.snapshot(at);
     for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
-      if (present_[id]) continue;
+      // Dark devices relay nothing either: prune them from the tree like
+      // departed ones.
+      if (active(id)) continue;
       for (const swarm::DeviceId nb : topo.neighbors(id)) {
         topo.remove_edge(id, nb);
       }
@@ -334,7 +422,7 @@ FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
     std::vector<attest::DeviceId> targets;
     targets.reserve(stacks_.size());
     for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
-      if (!present_[id] || !tree.parent[id].has_value()) continue;
+      if (!active(id) || !tree.parent[id].has_value()) continue;
       targets.push_back(id);
     }
     // Over the DirectTransport every session completes synchronously at
@@ -343,6 +431,20 @@ FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
         service_->collect_now(targets, static_cast<uint32_t>(config_.k));
     result.reachable = outcomes.size();
     for (const auto& outcome : outcomes) judge(outcome);
+    if (energy_meter_) {
+      // No radio Network under kDirect, so charge the session's wire bytes
+      // here: each served device heard one request and transmitted one
+      // k-record report. A device this charge kills still answered THIS
+      // round (the radio browned out transmitting the report).
+      const size_t report_bytes =
+          kDirectReportHeaderBytes + config_.k * kDirectRecordBytes;
+      for (const attest::DeviceId id : targets) {
+        energy::DeviceMeter& m = energy_meter_->device(id);
+        bool out = m.charge_rx(kDirectRequestBytes, at);
+        out = m.charge_tx(report_bytes, at) || out;
+        if (out) stacks_[id].prover->stop();
+      }
+    }
     return result;
   }
 
@@ -402,12 +504,28 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
       trace_->span_begin(obs::Subsystem::kRunner, barrier, "collect",
                          {{"round", static_cast<uint64_t>(round)}});
     }
+    if (energy_meter_) {
+      // The idle floor for the interval just simulated, then a sweep so
+      // measurement- or sleep-exhausted devices are dark BEFORE this
+      // round's topology/flood decisions see them.
+      for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
+        if (present_[id]) {
+          energy_meter_->device(id).charge_sleep(config_.round_interval,
+                                                 barrier);
+        }
+      }
+      sweep_dark();
+    }
     if (round_hook_) round_hook_(*this, round, barrier);
     const OverlayTotals before = overlay_totals();
     const overlay::RelayTransport::Stats transport_before =
         relay_transport_ ? relay_transport_->stats()
                          : overlay::RelayTransport::Stats{};
-    const FleetRoundResult r = collect_round(round, barrier);
+    FleetRoundResult r = collect_round(round, barrier);
+    if (energy_meter_) {
+      sweep_dark();  // radio/direct transitions from this collection
+      r.dark = energy_meter_->dark_count();
+    }
     results.push_back(r);
     if (trace_runner) {
       trace_->span_end(obs::Subsystem::kRunner, coordinator_queue_.now(),
@@ -418,17 +536,24 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
                         {"healthy", static_cast<uint64_t>(r.healthy)},
                         {"flagged", static_cast<uint64_t>(r.flagged)}});
     }
-    sink.row("rounds",
-             {{"round", static_cast<uint64_t>(r.round)},
-              {"t_min", static_cast<uint64_t>(r.at.ns() / 60'000'000'000ull)},
-              {"present", static_cast<uint64_t>(r.present)},
-              {"reachable", static_cast<uint64_t>(r.reachable)},
-              {"healthy", static_cast<uint64_t>(r.healthy)},
-              {"flagged", static_cast<uint64_t>(r.flagged)}});
+    // The "dark" column only exists on metered runs, so unmetered output
+    // stays byte-for-byte what it was before energy metering existed.
+    Row rounds_row = {
+        {"round", static_cast<uint64_t>(r.round)},
+        {"t_min", static_cast<uint64_t>(r.at.ns() / 60'000'000'000ull)},
+        {"present", static_cast<uint64_t>(r.present)},
+        {"reachable", static_cast<uint64_t>(r.reachable)},
+        {"healthy", static_cast<uint64_t>(r.healthy)},
+        {"flagged", static_cast<uint64_t>(r.flagged)}};
+    if (energy_meter_) {
+      rounds_row.push_back({"dark", static_cast<uint64_t>(r.dark)});
+    }
+    sink.row("rounds", rounds_row);
     emit_window_round(sink, round, transport_before);
     if (config_.backend == CollectionBackend::kOverlay) {
       emit_overlay_round(sink, round, before);
     }
+    emit_energy_round(sink, round);
     emit_metrics_round(sink, round);
     phases_.record_coordinator(
         std::chrono::duration<double, std::milli>(
@@ -519,6 +644,39 @@ void ShardedFleetRunner::emit_overlay_round(MetricsSink& sink, size_t round,
                       {"hops", static_cast<uint64_t>(h)},
                       {"reports", now.hops[h] - prev}});
   }
+}
+
+void ShardedFleetRunner::emit_energy_round(MetricsSink& sink, size_t round) {
+  if (!energy_meter_) return;
+  const energy::FleetMeter::Totals now = energy_meter_->totals();
+  const size_t dark = energy_meter_->dark_count();
+  // Per-round joule economy as deltas: where did this round's energy go?
+  sink.row("energy",
+           {{"round", static_cast<uint64_t>(round)},
+            {"cpu_mj", now.cpu_mj - last_energy_totals_.cpu_mj},
+            {"tx_mj", now.tx_mj - last_energy_totals_.tx_mj},
+            {"rx_mj", now.rx_mj - last_energy_totals_.rx_mj},
+            {"sleep_mj", now.sleep_mj - last_energy_totals_.sleep_mj},
+            {"dark", static_cast<uint64_t>(dark)},
+            {"went_dark", static_cast<uint64_t>(dark - last_dark_)}});
+  // Gauges ride the generic "metrics" snapshot (registration idempotent).
+  metrics_.gauge("energy", "fleet_cpu_j").set(now.cpu_mj / 1e3);
+  metrics_.gauge("energy", "fleet_tx_j").set(now.tx_mj / 1e3);
+  metrics_.gauge("energy", "fleet_rx_j").set(now.rx_mj / 1e3);
+  metrics_.gauge("energy", "fleet_sleep_j").set(now.sleep_mj / 1e3);
+  metrics_.gauge("energy", "dark_devices").set(static_cast<double>(dark));
+  if (energy_meter_->device(0).capacity_nj() > 0) {
+    // Battery health distribution, one observation per present device per
+    // round (cumulative, like every histogram in the registry).
+    obs::Histogram& remaining = metrics_.histogram(
+        "energy", "battery_remaining", {0.1, 0.25, 0.5, 0.75, 0.9, 1.0});
+    for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
+      if (!present_[id]) continue;
+      remaining.observe(energy_meter_->device(id).remaining_fraction());
+    }
+  }
+  last_energy_totals_ = now;
+  last_dark_ = dark;
 }
 
 void ShardedFleetRunner::emit_metrics_round(MetricsSink& sink, size_t round) {

@@ -29,6 +29,7 @@
 #include "attest/directory.h"
 #include "attest/service.h"
 #include "attest/transport.h"
+#include "energy/meter.h"
 #include "net/network.h"
 #include "obs/phase.h"
 #include "obs/registry.h"
@@ -107,6 +108,19 @@ struct ShardedFleetConfig {
   OverlayBackendConfig overlay;
   /// Dispatch window policy at collection barriers (both backends).
   WindowSpec window;
+  /// Live energy metering (energy/meter.h). When metered, every device
+  /// carries a DeviceMeter charged for CPU self-measurements (shard-side),
+  /// radio bytes (coordinator-side, via the overlay network's energy tap or
+  /// the kDirect served-session accounting) and the per-round sleep floor.
+  /// A device that exhausts `battery` goes DARK: its prover stops, the
+  /// link filter mutes its radio, its relay queue is purged, and it is
+  /// excluded from kDirect topology -- it counts as present but
+  /// unreachable. battery == 0 with metered == true means metered but
+  /// unlimited (mains powered): full joule accounting, dark() never fires.
+  struct EnergyBudgetConfig {
+    bool metered = false;
+    sim::Energy battery{};  // per-device capacity; 0 = unlimited
+  } energy;
 };
 
 struct FleetRoundResult {
@@ -117,6 +131,7 @@ struct FleetRoundResult {
                          // kOverlay: a report actually made it back
   size_t healthy = 0;    // reachable, verified trustworthy and fresh
   size_t flagged = 0;    // reachable but NOT healthy: infection/tampering
+  size_t dark = 0;       // battery-exhausted devices to date (metered only)
 };
 
 class ShardedFleetRunner {
@@ -187,6 +202,11 @@ class ShardedFleetRunner {
   /// The runner's metrics registry: service/window/overlay instruments,
   /// snapshotted into the sink's "metrics"/"metrics_hist" tables per round.
   const obs::Registry& metrics() const { return metrics_; }
+  /// The fleet's battery ledgers (nullptr when energy.metered is false) --
+  /// joule totals and dark counts for scenarios and benches.
+  const energy::FleetMeter* energy_meter() const {
+    return energy_meter_.get();
+  }
   /// Wall-clock phase profile of run(): shard work vs barrier wait vs
   /// coordinator drain. Host-dependent -- report, never gate.
   const obs::PhaseProfiler& phases() const { return phases_; }
@@ -212,9 +232,24 @@ class ShardedFleetRunner {
   /// Snapshot of every registered instrument into the "metrics" table
   /// (histograms additionally into "metrics_hist", one row per bucket).
   void emit_metrics_round(MetricsSink& sink, size_t round);
-  /// Hooks each traced device's measurement observer to its shard's trace
-  /// buffer (kDevice category; no-op when tracing is off/filtered).
-  void attach_device_tracing();
+  /// Hooks each device's measurement observer: trace emission into its
+  /// shard's buffer (kDevice category) and/or the meter's CPU charge. The
+  /// observer runs shard-side and touches only shard-local state -- the
+  /// lock-free discipline both TraceShard and DeviceMeter want.
+  void attach_device_observers();
+  /// Builds one DeviceMeter per device from its spec's cost profile
+  /// (energy.metered only).
+  void build_energy_meter();
+  /// Is `id` an active collection participant? Present AND not dark.
+  bool active(swarm::DeviceId id) const;
+  /// Coordinator-side pass over the fleet: newly dark devices get their
+  /// prover silenced (idempotent; shard-side transitions already stopped
+  /// it) and a kEnergy "went_dark" trace instant at the exhausting
+  /// charge's timestamp. Returns how many devices were newly swept.
+  size_t sweep_dark();
+  /// Per-round "energy" row (per-bucket mJ deltas, dark counts) plus the
+  /// energy gauges/histogram snapshotted by emit_metrics_round.
+  void emit_energy_round(MetricsSink& sink, size_t round);
 
   ShardedFleetConfig config_;
   std::vector<swarm::DeviceSpec> specs_;  // indexed by global DeviceId
@@ -222,6 +257,13 @@ class ShardedFleetRunner {
   std::vector<Shard> shards_;
   std::vector<swarm::DeviceStack> stacks_;  // indexed by global DeviceId
   std::vector<bool> present_;
+  /// Battery ledgers (energy.metered only). Shard threads write only their
+  /// own devices' meters between barriers; the coordinator writes only
+  /// while shards are parked (see energy/meter.h).
+  std::unique_ptr<energy::FleetMeter> energy_meter_;
+  std::vector<bool> swept_dark_;  // went-dark already traced/counted
+  energy::FleetMeter::Totals last_energy_totals_;  // previous round's row
+  size_t last_dark_ = 0;
   std::function<void(ShardedFleetRunner&, size_t, sim::Time)> round_hook_;
   bool started_ = false;
 

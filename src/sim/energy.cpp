@@ -23,16 +23,41 @@ Energy EnergyProfile::sleep_energy(Duration d) const {
   return power_for(sleep_power_mw, d);
 }
 
+Duration EnergyProfile::byte_airtime() const {
+  if (radio_bits_per_s <= 0.0) return Duration(0);
+  return Duration(static_cast<uint64_t>(8e9 / radio_bits_per_s));
+}
+
+Energy EnergyProfile::tx_energy_per_byte() const {
+  return power_for(radio_power_mw, byte_airtime());
+}
+
+Energy EnergyProfile::rx_energy_per_byte() const {
+  const double rx_mw =
+      radio_rx_power_mw > 0.0 ? radio_rx_power_mw : radio_power_mw;
+  return power_for(rx_mw, byte_airtime());
+}
+
 EnergyProfile EnergyProfile::msp430() {
   // MSP430F2xx-class: ~600 uA @ 3V active (1.8 mW), CC2500-class radio
-  // ~21 mA @ 3V (63 mW) while transmitting, ~1 uA sleep (3 uW).
-  return EnergyProfile{"MSP430 + low-power radio", 1.8, 63.0, 0.003};
+  // ~21 mA @ 3V (63 mW) TX / ~19 mA (57 mW) RX at 250 kbps, ~1 uA sleep
+  // (3 uW).
+  return EnergyProfile{"MSP430 + low-power radio", 1.8, 63.0, 0.003,
+                       57.0, 250e3};
 }
 
 EnergyProfile EnergyProfile::imx6() {
-  // i.MX6 Solo-class: ~800 mW active core, ~200 mW Ethernet PHY, ~50 mW
-  // suspend floor.
-  return EnergyProfile{"i.MX6 + Ethernet", 800.0, 200.0, 50.0};
+  // i.MX6 Solo-class: ~800 mW active core, ~200 mW Ethernet PHY (~150 mW
+  // receiving), ~50 mW suspend floor, 100 Mbps link.
+  return EnergyProfile{"i.MX6 + Ethernet", 800.0, 200.0, 50.0, 150.0, 100e6};
+}
+
+EnergyProfile EnergyProfile::trustlite() {
+  // TrustLite/TyTAN-class low-end MCU: same CC2500-class radio as the
+  // MSP430 platform, core a touch hungrier (EA-MPU rule checks), ~2 uA
+  // sleep.
+  return EnergyProfile{"TrustLite + low-power radio", 2.4, 63.0, 0.006,
+                       57.0, 250e3};
 }
 
 AttestationEnergy attestation_energy(const DeviceProfile& device,

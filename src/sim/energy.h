@@ -27,14 +27,23 @@ struct Energy {
   Energy operator+(Energy other) const {
     return Energy{microjoules + other.microjoules};
   }
+  Energy& operator+=(Energy other) {
+    microjoules += other.microjoules;
+    return *this;
+  }
   Energy operator*(double k) const { return Energy{microjoules * k}; }
 };
 
 struct EnergyProfile {
   std::string name;
   double active_power_mw = 0.0;  // CPU busy (measurement)
-  double radio_power_mw = 0.0;   // TX/RX
+  double radio_power_mw = 0.0;   // TX
   double sleep_power_mw = 0.0;   // idle baseline
+  /// Receive-path radio draw; 0 means "same as TX" (radio_power_mw).
+  double radio_rx_power_mw = 0.0;
+  /// Link rate used to turn bytes into radio airtime (per-byte costs for
+  /// the runtime meter). Default is a 250 kbps 802.15.4-class radio.
+  double radio_bits_per_s = 250e3;
 
   /// Energy to run the CPU flat-out for `d`.
   Energy active_energy(Duration d) const;
@@ -43,10 +52,19 @@ struct EnergyProfile {
   /// Baseline sleep energy over `d`.
   Energy sleep_energy(Duration d) const;
 
+  /// Airtime of one payload byte at radio_bits_per_s.
+  Duration byte_airtime() const;
+  /// Radio energy to transmit / receive one payload byte.
+  Energy tx_energy_per_byte() const;
+  Energy rx_energy_per_byte() const;
+
   /// MSP430-class MCU: ~1.8 mW active @ 3V, low-power radio, uA sleep.
   static EnergyProfile msp430();
   /// i.MX6-class application processor: hundreds of mW active.
   static EnergyProfile imx6();
+  /// TrustLite/TyTAN-class low-end MCU: MSP430-like radio, slightly
+  /// hungrier core (EA-MPU rule checks on every access).
+  static EnergyProfile trustlite();
 };
 
 /// Attestation energy ledger for one prover over a horizon.

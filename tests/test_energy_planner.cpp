@@ -2,7 +2,10 @@
 // §3.1: lower T_M/T_C buy QoA with computation, power and communication).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "analysis/qoa_planner.h"
+#include "energy/planner.h"
 #include "sim/energy.h"
 
 namespace erasmus {
@@ -161,6 +164,156 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(GoalCase{30, 0.9, 4}, GoalCase{60, 0.5, 8},
                       GoalCase{10, 0.99, 2}, GoalCase{120, 0.8, 24},
                       GoalCase{5, 0.5, 1}));
+
+// ---------------------------------------------------------------------------
+// Runtime QoA-per-joule planner (energy::plan): the field operator's dual
+// question -- not "cheapest config meeting a goal" but "most QoA per joule
+// for the deployment I have".
+
+energy::FleetModel field_fleet() {
+  energy::FleetModel f;
+  f.devices = 50;
+  f.mean_degree = 6.0;
+  f.mean_hops = 3.0;
+  return f;
+}
+
+energy::Mission field_mission() {
+  energy::Mission m;
+  m.dwell = Duration::minutes(8);
+  m.round_interval = Duration::minutes(30);
+  m.rounds = 4;
+  return m;
+}
+
+TEST(EnergyPlan, TmLandsOnDwell) {
+  // QoA/J = reach * p(tm) / (a/tm + b) peaks exactly at tm = dwell
+  // (planner.h header comment); a mains mission with a sane dwell must
+  // pick it.
+  const auto d = energy::plan(field_fleet(), field_mission());
+  EXPECT_EQ(d.tm, Duration::minutes(8));
+  EXPECT_NE(d.reasons.find("tm_matched_dwell"), std::string::npos)
+      << d.reasons;
+  EXPECT_DOUBLE_EQ(d.detection_prob, 1.0);
+}
+
+TEST(EnergyPlan, TmClampsToSaneRange) {
+  energy::Mission m = field_mission();
+  m.dwell = Duration::seconds(5);  // sub-floor dwell: nothing catches this
+  auto d = energy::plan(field_fleet(), m);
+  EXPECT_EQ(d.tm, Duration::minutes(1));
+  EXPECT_NE(d.reasons.find("tm_clamped_floor"), std::string::npos);
+
+  m.dwell = Duration::hours(4);  // dwell past the collection interval
+  d = energy::plan(field_fleet(), m);
+  EXPECT_EQ(d.tm, m.round_interval);
+  EXPECT_NE(d.reasons.find("tm_clamped_interval"), std::string::npos);
+}
+
+TEST(EnergyPlan, BackendFollowsDeployment) {
+  energy::Mission m = field_mission();
+  m.infrastructure = true;
+  EXPECT_EQ(energy::plan(field_fleet(), m).backend,
+            energy::BackendChoice::kDirect);
+
+  m.infrastructure = false;
+  m.loss = 0.12;
+  EXPECT_EQ(energy::plan(field_fleet(), m).backend,
+            energy::BackendChoice::kScoped)
+      << "lossy field: retries must not re-flood";
+
+  m.loss = 0.0;
+  EXPECT_EQ(energy::plan(field_fleet(), m).backend,
+            energy::BackendChoice::kOverlay);
+}
+
+TEST(EnergyPlan, AdaptiveWindowOnlyForCongestionScaleFleets) {
+  // AIMD manages relay-queue congestion, not loss -- and a small adaptive
+  // window dispatches a round as many batches, each one a swarm-wide
+  // flood. A small lossy fleet must keep the default window.
+  energy::Mission m = field_mission();
+  m.loss = 0.12;
+  energy::FleetModel f = field_fleet();
+  auto d = energy::plan(f, m);
+  EXPECT_FALSE(d.adaptive_window);
+  EXPECT_NE(d.reasons.find("window_default"), std::string::npos);
+
+  f.devices = 200;
+  d = energy::plan(f, m);
+  EXPECT_TRUE(d.adaptive_window);
+  EXPECT_NE(d.reasons.find("window_adaptive_fleet"), std::string::npos);
+}
+
+TEST(EnergyPlan, BudgetRaisesTm) {
+  energy::Mission m = field_mission();
+  m.loss = 0.12;
+  const auto unconstrained = energy::plan(field_fleet(), m);
+
+  // A budget below the tm=dwell bill forces fewer measurements: tm walks
+  // up from the dwell until the predicted bill fits.
+  m.device_budget = energy::predict_device_energy(
+                        field_fleet(), m, unconstrained.tm,
+                        unconstrained.backend) *
+                    0.8;
+  const auto d = energy::plan(field_fleet(), m);
+  EXPECT_GT(d.tm, unconstrained.tm);
+  EXPECT_NE(d.reasons.find("tm_raised_for_budget"), std::string::npos)
+      << d.reasons;
+  EXPECT_EQ(d.reasons.find("budget_infeasible"), std::string::npos)
+      << "a 0.8x budget is reachable by raising tm: " << d.reasons;
+  EXPECT_LE(energy::to_nanojoules(d.predicted_device_energy),
+            energy::to_nanojoules(m.device_budget));
+}
+
+TEST(EnergyPlan, ImpossibleBudgetIsCalledOut) {
+  energy::Mission m = field_mission();
+  m.device_budget = sim::Energy{1.0};  // 1 uJ: even sleeping costs more
+  const auto d = energy::plan(field_fleet(), m);
+  EXPECT_NE(d.reasons.find("budget_infeasible"), std::string::npos)
+      << d.reasons;
+}
+
+TEST(EnergyPredict, EnergyFallsAsTmRises) {
+  // E(tm) = a/tm + b: each tm doubling sheds measurement AND report bytes
+  // (a report carries only what the store accumulated since last round).
+  const auto fleet = field_fleet();
+  const auto m = field_mission();
+  uint64_t prev = std::numeric_limits<uint64_t>::max();
+  for (uint64_t tm_min : {2ull, 4ull, 8ull, 16ull}) {
+    const uint64_t nj = energy::to_nanojoules(energy::predict_device_energy(
+        fleet, m, Duration::minutes(tm_min), energy::BackendChoice::kScoped));
+    EXPECT_LT(nj, prev) << "tm=" << tm_min;
+    prev = nj;
+  }
+}
+
+TEST(EnergyPredict, QoaPerJoulePeaksAtDwell) {
+  const auto fleet = field_fleet();
+  const auto m = field_mission();
+  const auto qpj = [&](uint64_t tm_min) {
+    return energy::predict_qoa_per_joule(fleet, m, Duration::minutes(tm_min),
+                                         energy::BackendChoice::kScoped);
+  };
+  EXPECT_GT(qpj(8), qpj(4)) << "tm < dwell: same detections, more joules";
+  EXPECT_GT(qpj(8), qpj(16)) << "tm > dwell: detection prob decays faster";
+}
+
+TEST(EnergyPredict, ReachDegradesWithLossButRetriesHelp) {
+  const auto fleet = field_fleet();
+  energy::Mission m = field_mission();
+  EXPECT_DOUBLE_EQ(
+      energy::predict_reach(fleet, m, energy::BackendChoice::kDirect), 1.0);
+  EXPECT_DOUBLE_EQ(
+      energy::predict_reach(fleet, m, energy::BackendChoice::kScoped), 1.0)
+      << "lossless radio reaches everyone";
+  m.loss = 0.12;
+  const double lossy =
+      energy::predict_reach(fleet, m, energy::BackendChoice::kScoped);
+  EXPECT_LT(lossy, 1.0);
+  m.loss = 0.3;
+  EXPECT_LT(energy::predict_reach(fleet, m, energy::BackendChoice::kScoped),
+            lossy);
+}
 
 }  // namespace
 }  // namespace erasmus

@@ -30,8 +30,9 @@ TraceEvent device_event(uint64_t at_ns, uint32_t actor, const char* name) {
 TEST(TraceFilter, ParsesKnownNames) {
   EXPECT_EQ(parse_subsystem_filter("service"),
             1u << static_cast<uint8_t>(Subsystem::kService));
-  EXPECT_EQ(parse_subsystem_filter("runner,service,window,overlay,device"),
-            all_subsystems());
+  EXPECT_EQ(
+      parse_subsystem_filter("runner,service,window,overlay,device,energy"),
+      all_subsystems());
 }
 
 TEST(TraceFilter, ThrowsOnUnknownOrEmptyName) {

@@ -20,16 +20,16 @@ from collections import Counter, defaultdict
 
 
 def parse_chrome(doc):
-    """Yields (ts_us, cat, phase, name, tid) from a Chrome trace doc."""
+    """Yields (ts_us, cat, phase, name, tid, args) from a Chrome trace doc."""
     for e in doc.get("traceEvents", []):
         if e.get("ph") == "M":
             continue  # metadata (thread names)
         yield (float(e.get("ts", 0.0)), e.get("cat", "?"), e.get("ph", "i"),
-               e.get("name", "?"), e.get("tid", 0))
+               e.get("name", "?"), e.get("tid", 0), e.get("args", {}))
 
 
 def parse_jsonl(lines):
-    """Yields (ts_us, cat, phase, name, tid) from JSONL lines."""
+    """Yields (ts_us, cat, phase, name, tid, args) from JSONL lines."""
     kinds = {"span_begin": "B", "span_end": "E", "instant": "i"}
     for lineno, line in enumerate(lines, 1):
         line = line.strip()
@@ -42,7 +42,8 @@ def parse_jsonl(lines):
         actor = e.get("actor", "coordinator")
         tid = 0 if actor == "coordinator" else int(actor) + 1
         yield (float(e.get("at_ns", 0)) / 1e3, e.get("sub", "?"),
-               kinds.get(e.get("kind"), "i"), e.get("name", "?"), tid)
+               kinds.get(e.get("kind"), "i"), e.get("name", "?"), tid,
+               e.get("args", {}))
 
 
 def load_events(path):
@@ -85,14 +86,14 @@ def main():
 
     ts_all = [ts for ts, *_ in events]
     cats = Counter(cat for _, cat, *_ in events)
-    instants = Counter((cat, name) for _, cat, ph, name, _ in events
+    instants = Counter((cat, name) for _, cat, ph, name, _, _ in events
                        if ph == "i")
 
     # Pair B/E per (cat, tid, name), nesting-aware via a per-key stack.
     open_spans = defaultdict(list)
     durations = defaultdict(list)
     unbalanced = 0
-    for ts, cat, ph, name, tid in events:
+    for ts, cat, ph, name, tid, _ in events:
         key = (cat, tid, name)
         if ph == "B":
             open_spans[key].append(ts)
@@ -128,6 +129,29 @@ def main():
                   f"total={fmt_us(sum(ds)):<10} "
                   f"mean={fmt_us(sum(ds) / len(ds)):<10} "
                   f"max={fmt_us(max(ds))}")
+
+    # Energy digest: planner decisions (with their reason codes) and the
+    # battery-exhaustion timeline recorded by the runtime meter.
+    decisions = [(ts, a) for ts, cat, ph, name, _, a in events
+                 if cat == "energy" and name == "planner_decision"]
+    darks = [(ts, a) for ts, cat, ph, name, _, a in events
+             if cat == "energy" and name == "went_dark"]
+    if decisions or darks:
+        print("\nenergy:")
+        for ts, a in decisions:
+            print(f"  planner_decision: tm={a.get('tm_s', '?')}s "
+                  f"backend={a.get('backend', '?')} "
+                  f"adaptive_window={a.get('adaptive_window', '?')} "
+                  f"qoa_per_joule={a.get('qoa_per_joule', '?')}")
+            if a.get("reasons"):
+                print(f"    reasons: {a['reasons']}")
+        if darks:
+            spent = [a.get("spent_nj", 0) for _, a in darks]
+            print(f"  went_dark: {len(darks)} devices, "
+                  f"first at {fmt_us(min(ts for ts, _ in darks))}, "
+                  f"last at {fmt_us(max(ts for ts, _ in darks))}, "
+                  f"spent {min(spent) / 1e6:.2f}..{max(spent) / 1e6:.2f} mJ "
+                  f"each")
     return 0
 
 
