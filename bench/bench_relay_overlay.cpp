@@ -64,6 +64,92 @@ scenario::ShardedFleetConfig make_config(size_t threads) {
   return cfg;
 }
 
+// --- Hierarchical collection cell: 10k devices -------------------------------
+//
+// The aggregation payoff only shows at scale: a 2 km field keeps the
+// parent trees ~40 hops deep, so per-device relaying pays
+// O(devices x hops) radio bytes while cluster heads collapse whole
+// depth bands into single authenticated frames. Both cells run ONE
+// round over the identical topology/seed; the gate is physical radio
+// tx bytes per device (counted once per transmission, like the energy
+// tap) at equal-or-better coverage.
+
+constexpr size_t kCellDevices = 10000;
+
+scenario::ShardedFleetConfig cell_config(bool aggregated) {
+  swarm::DeviceSpec base;
+  base.arch = hw::ArchKind::kSmartPlus;
+  base.profile = swarm::default_profile_for(base.arch);
+  base.app_ram_bytes = 1024;
+  base.store_slots = 32;
+
+  scenario::ShardedFleetConfig cfg;
+  cfg.plan = swarm::FleetPlan::uniform(kCellDevices, /*key_seed=*/42, base);
+  cfg.plan.staggered = true;
+  // ~28 neighbours average and a ~40-hop diameter: deep trees, the
+  // regime hierarchical collection exists for. Near-walking speeds keep
+  // the topology stable across the (single) 2-minute listening window.
+  cfg.plan.mobility.field_size = 2000.0;
+  cfg.plan.mobility.radio_range = 60.0;
+  cfg.plan.mobility.speed_min = 1.0;
+  cfg.plan.mobility.speed_max = 3.0;
+  cfg.plan.mobility.seed = 42;
+  cfg.threads = 8;
+  cfg.rounds = 1;
+  cfg.round_interval = Duration::minutes(30);
+  cfg.k = 8;
+  cfg.backend = scenario::CollectionBackend::kOverlay;
+  cfg.overlay.ttl = 80;
+  cfg.overlay.queue_depth = 1024;
+  cfg.overlay.collect_deadline = Duration::seconds(120);
+  cfg.overlay.response_timeout = Duration::seconds(5);
+  cfg.overlay.max_retries = 2;
+  cfg.window = scenario::WindowSpec::parse("fleet");
+  if (aggregated) {
+    cfg.overlay.aggregation.enabled = true;
+    cfg.overlay.aggregation.election = {aggregate::ElectionMode::kDepthBand,
+                                        2};
+    cfg.overlay.aggregation.window = Duration::millis(200);
+  }
+  return cfg;
+}
+
+struct CellRun {
+  size_t collected = 0;
+  size_t healthy = 0;
+  double tx_bytes_per_device = 0.0;
+  uint64_t clusters = 0;
+  uint64_t aggregated_sessions = 0;
+  uint64_t demand_fetches = 0;
+  double wall_ms = 0.0;
+};
+
+CellRun run_cell(bool aggregated) {
+  const auto t0 = std::chrono::steady_clock::now();
+  scenario::ShardedFleetRunner runner(cell_config(aggregated));
+  std::ostringstream out;
+  scenario::JsonSink sink(out);
+  sink.begin_run("bench_relay_overlay_10k");
+  const auto rounds = runner.run(sink);
+  sink.end_run();
+
+  CellRun r;
+  for (const auto& round : rounds) {
+    r.collected += round.reachable;
+    r.healthy += round.healthy;
+  }
+  r.tx_bytes_per_device =
+      static_cast<double>(runner.overlay_network()->stats().phys_tx_bytes) /
+      static_cast<double>(kCellDevices);
+  r.clusters = runner.overlay_totals().aggregates_received;
+  r.aggregated_sessions = runner.service().stats().aggregated_sessions;
+  r.demand_fetches = runner.service().stats().demand_fetches;
+  r.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return r;
+}
+
 struct BenchRun {
   double build_ms = 0.0;
   double round_ms = 0.0;           // wall per collection round
@@ -180,6 +266,63 @@ int main(int argc, char** argv) {
   std::printf("metrics byte-identical across thread counts: %s\n\n",
               deterministic ? "yes" : "NO (BUG)");
   if (!deterministic) return 1;
+
+  // --- The 10k hierarchical-collection cell (runs in --quick too: its
+  // quantities are simulation-derived, and the gate fails missing
+  // quantities BY NAME). -------------------------------------------------
+  std::printf("=== Hierarchical collection: %zu devices, 2 km field, one "
+              "round, per-device vs cluster-head aggregated ===\n\n",
+              kCellDevices);
+  const CellRun noagg = run_cell(/*aggregated=*/false);
+  const CellRun agg = run_cell(/*aggregated=*/true);
+  const double compression =
+      agg.tx_bytes_per_device == 0.0
+          ? 0.0
+          : noagg.tx_bytes_per_device / agg.tx_bytes_per_device;
+
+  analysis::Table cell_table({"mode", "radio tx B/device", "collected",
+                              "healthy", "clusters", "demand fetches",
+                              "wall ms"});
+  cell_table.add_row({"per-device", analysis::fmt(noagg.tx_bytes_per_device, 0),
+                      std::to_string(noagg.collected),
+                      std::to_string(noagg.healthy), "-", "-",
+                      analysis::fmt(noagg.wall_ms, 0)});
+  cell_table.add_row({"aggregated", analysis::fmt(agg.tx_bytes_per_device, 0),
+                      std::to_string(agg.collected),
+                      std::to_string(agg.healthy),
+                      std::to_string(agg.clusters),
+                      std::to_string(agg.demand_fetches),
+                      analysis::fmt(agg.wall_ms, 0)});
+  std::printf("%s\n", cell_table.render().c_str());
+  std::printf("radio bytes/device compression: %.2fx\n\n", compression);
+
+  bench.sample("noagg10k_radio_tx_bytes_per_device",
+               noagg.tx_bytes_per_device);
+  bench.sample("agg10k_radio_tx_bytes_per_device", agg.tx_bytes_per_device);
+  bench.sample("agg10k_compression", compression);
+  bench.sample("noagg10k_collected", static_cast<double>(noagg.collected));
+  bench.sample("agg10k_collected", static_cast<double>(agg.collected));
+  bench.sample("agg10k_healthy", static_cast<double>(agg.healthy));
+  bench.sample("agg10k_clusters", static_cast<double>(agg.clusters));
+  bench.sample("agg10k_aggregated_sessions",
+               static_cast<double>(agg.aggregated_sessions));
+  bench.sample("agg10k_demand_fetches",
+               static_cast<double>(agg.demand_fetches));
+  bench.sample("noagg10k_wall_ms", noagg.wall_ms);
+  bench.sample("agg10k_wall_ms", agg.wall_ms);
+
+  // The tentpole claim, self-gated: aggregation must cut radio bytes per
+  // device >= 5x at equal-or-better coverage.
+  if (compression < 5.0) {
+    std::printf("FAIL: compression %.2fx < 5x\n", compression);
+    return 1;
+  }
+  if (agg.collected < noagg.collected || agg.healthy < noagg.healthy) {
+    std::printf("FAIL: aggregated coverage regressed (%zu/%zu collected, "
+                "%zu/%zu healthy)\n",
+                agg.collected, noagg.collected, agg.healthy, noagg.healthy);
+    return 1;
+  }
 
   const std::string path = bench.write();
   // A missing BENCH json would silently weaken the CI baseline gate.

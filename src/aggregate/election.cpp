@@ -1,0 +1,18 @@
+#include "aggregate/election.h"
+
+#include <algorithm>
+
+namespace erasmus::aggregate {
+
+bool is_head(const ElectionPolicy& policy, net::NodeId self, uint32_t depth) {
+  const uint32_t stride = std::max<uint32_t>(1, policy.stride);
+  switch (policy.mode) {
+    case ElectionMode::kDepthBand:
+      return depth > 0 && depth % stride == 0;
+    case ElectionMode::kPlanned:
+      return self % stride == 0;
+  }
+  return false;
+}
+
+}  // namespace erasmus::aggregate

@@ -1,0 +1,40 @@
+// Cluster-head election for hierarchical collection.
+//
+// Two policies, both deterministic and coordination-free (unattended
+// devices cannot run a leader-election protocol between rounds):
+//
+//  * kDepthBand -- heads fall out of each flood's parent-tree fan-out: a
+//    node whose first-sight depth is a multiple of `stride` is a head for
+//    that flood. Every node is at most `stride` raw hops below its
+//    absorbing head, re-election after churn or a dead battery is just
+//    the next flood (a dark node forwards nothing, so the tree -- and
+//    with it the head set -- rebuilds around it), and no state outlives
+//    the flood.
+//  * kPlanned -- heads are fixed ahead of time from the fleet plan: every
+//    `stride`-th device id. Immune to tree churn mid-round, but blind to
+//    topology: a planned head can end up deeper than its children.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.h"
+
+namespace erasmus::aggregate {
+
+enum class ElectionMode : uint8_t {
+  kDepthBand,
+  kPlanned,
+};
+
+struct ElectionPolicy {
+  ElectionMode mode = ElectionMode::kDepthBand;
+  /// kDepthBand: vertical distance between head bands (2 keeps one band
+  /// of plain relays between heads). kPlanned: device-id stride.
+  uint8_t stride = 2;
+};
+
+/// Is `self` a cluster head? `depth` is the node's first-sight flood
+/// depth (>= 1; the verifier itself never serves).
+bool is_head(const ElectionPolicy& policy, net::NodeId self, uint32_t depth);
+
+}  // namespace erasmus::aggregate

@@ -410,6 +410,56 @@ void AttestationService::on_receive(net::NodeId src, MsgType type,
   complete(src, /*reachable=*/true, std::move(report), od.fresh_valid);
 }
 
+bool AttestationService::complete_aggregated(net::NodeId node) {
+  const auto it = active_.find(node);
+  if (it == active_.end()) {
+    // No session awaiting this node: a duplicate aggregate's bit, or a
+    // head vouching for a device that already answered raw.
+    ++stats_.stray_datagrams;
+    if (inst_.stray_datagrams != nullptr) inst_.stray_datagrams->add();
+    return false;
+  }
+  ++stats_.aggregated_sessions;
+  ++round_stats_.aggregated_sessions;
+  CollectionReport report;  // trustworthy by default, freshness nullopt
+  report.note = "aggregated by cluster head; ";
+  complete(node, /*reachable=*/true, std::move(report),
+           /*fresh_valid=*/false, /*aggregated=*/true);
+  return true;
+}
+
+bool AttestationService::demand_fetch(net::NodeId node) {
+  const auto it = active_.find(node);
+  if (it == active_.end()) return false;
+  Session& session = it->second;
+  ++stats_.demand_fetches;
+  ++round_stats_.demand_fetches;
+  if (config_.trace != nullptr) {
+    config_.trace->instant(
+        obs::Subsystem::kService, queue_.now(), "demand_fetch",
+        {{"device", static_cast<uint64_t>(session.device)},
+         {"attempts", static_cast<int64_t>(session.attempts)}});
+  }
+  if (session.attempts > config_.max_retries) {
+    // Budget spent: the armed timeout will close the session as
+    // unreachable -- a cleared bit must not grant extra attempts.
+    return true;
+  }
+  // Spend one retry immediately instead of waiting out the timeout: a
+  // cleared bit is a stronger signal than silence. The per-device send
+  // rides the scoped-retry machinery (cached route or targeted flood).
+  if (session.timeout) {
+    queue_.cancel(*session.timeout);
+    session.timeout.reset();
+  }
+  ++stats_.retries;
+  ++round_stats_.retries;
+  if (inst_.retries != nullptr) inst_.retries->add();
+  transport_.hint_retry_wave();
+  send_attempt(session);
+  return true;
+}
+
 void AttestationService::on_timeout(net::NodeId node) {
   const auto it = active_.find(node);
   if (it == active_.end()) return;  // completed; cancel raced the event
@@ -451,7 +501,8 @@ void AttestationService::on_timeout(net::NodeId node) {
 }
 
 void AttestationService::complete(net::NodeId node, bool reachable,
-                                  CollectionReport report, bool fresh_valid) {
+                                  CollectionReport report, bool fresh_valid,
+                                  bool aggregated) {
   const auto it = active_.find(node);
   Session session = std::move(it->second);
   if (session.timeout) queue_.cancel(*session.timeout);
@@ -464,6 +515,7 @@ void AttestationService::complete(net::NodeId node, bool reachable,
   outcome.reachable = reachable;
   outcome.attempts = session.attempts;
   outcome.fresh_valid = fresh_valid;
+  outcome.aggregated = aggregated;
   if (reachable) {
     ++stats_.responses;
     ++round_stats_.responses;

@@ -84,6 +84,10 @@ class AttestationService {
     CollectionReport report;   // empty when unreachable
     /// kOnDemand only: fresh measurement authentic and current.
     bool fresh_valid = false;
+    /// Completed via a cluster head's healthy bit (hierarchical
+    /// collection): the report is an empty placeholder -- the head
+    /// vouched for the digest, not for per-measurement history.
+    bool aggregated = false;
   };
   using Observer = std::function<void(const SessionOutcome&)>;
 
@@ -103,6 +107,10 @@ class AttestationService {
     /// Adaptive-window backoffs (0 when the window is fixed).
     uint64_t loss_backoffs = 0;
     uint64_t congestion_backoffs = 0;
+    /// Hierarchical collection: sessions closed by a head's healthy bit,
+    /// and per-device evidence fetches forced by a cleared bit.
+    uint64_t aggregated_sessions = 0;
+    uint64_t demand_fetches = 0;
   };
 
   /// Per-round counters, reset when a round begins (a periodic round, a
@@ -123,6 +131,8 @@ class AttestationService {
     uint64_t window_final = 0;
     uint64_t loss_backoffs = 0;
     uint64_t congestion_backoffs = 0;
+    uint64_t aggregated_sessions = 0;
+    uint64_t demand_fetches = 0;
   };
 
   /// The service takes exclusive ownership of `transport`'s receiver:
@@ -156,6 +166,20 @@ class AttestationService {
       std::optional<uint32_t> k = std::nullopt);
 
   bool round_in_progress() const { return round_active_; }
+
+  // --- Hierarchical collection ----------------------------------------------
+  /// Closes `node`'s in-flight session on the strength of a cluster
+  /// head's healthy bit (caller has already authenticated the aggregate).
+  /// The outcome carries an empty report with `aggregated` set -- the
+  /// head vouched for the digest, not for history or freshness. Returns
+  /// false (counted as a stray) when no session awaits the node.
+  bool complete_aggregated(net::NodeId node);
+  /// A cleared bit (or root mismatch) demands the device's raw evidence:
+  /// spends one retry NOW as a scoped per-device send instead of waiting
+  /// for the session's timeout. With the retry budget already exhausted
+  /// the session is left to its armed timeout. Returns false when no
+  /// session awaits the node.
+  bool demand_fetch(net::NodeId node);
 
   /// Per-device longitudinal record. Empty when keep_audit is off or no
   /// round has reached the device yet.
@@ -223,7 +247,7 @@ class AttestationService {
   /// kWindow category instant with the current window attached.
   void trace_window(const char* name, const char* reason);
   void complete(net::NodeId node, bool reachable, CollectionReport report,
-                bool fresh_valid);
+                bool fresh_valid, bool aggregated = false);
   void finish_round();
 
   sim::EventQueue& queue_;

@@ -67,6 +67,10 @@ bool DeviceMeter::charge_measurement(sim::Time at) {
   return charge(cost_.measurement_nj, cpu_nj_, at);
 }
 
+bool DeviceMeter::charge_cpu(uint64_t nj, sim::Time at) {
+  return charge(nj, cpu_nj_, at);
+}
+
 bool DeviceMeter::charge_tx(size_t bytes, sim::Time at) {
   return charge(cost_.tx_nj_per_byte * static_cast<uint64_t>(bytes), tx_nj_,
                 at);

@@ -72,6 +72,9 @@ class DeviceMeter {
   /// budget (the go-dark transition). A dark meter absorbs nothing: the
   /// MCU has browned out, it neither hashes nor keys the radio.
   bool charge_measurement(sim::Time at);
+  /// Arbitrary CPU work in nanojoules (e.g. a cluster head's combine:
+  /// hashing absorbed evidence plus one MAC), in the cpu bucket.
+  bool charge_cpu(uint64_t nj, sim::Time at);
   bool charge_tx(size_t bytes, sim::Time at);
   bool charge_rx(size_t bytes, sim::Time at);
   bool charge_sleep(sim::Duration d, sim::Time at);

@@ -47,8 +47,10 @@ void Network::send(NodeId src, NodeId dst, Bytes payload) {
   if (src >= handlers_.size() || dst >= handlers_.size()) {
     throw std::out_of_range("Network: unknown endpoint");
   }
+  stats_.phys_tx_bytes += payload.size();
   if (energy_tap_) energy_tap_(src, payload.size(), /*tx=*/true);
   if (!admit(src, dst, payload.size())) return;
+  stats_.phys_rx_bytes += payload.size();
   if (energy_tap_) energy_tap_(dst, payload.size(), /*tx=*/false);
   deliver(Datagram{src, dst, std::move(payload)});
 }
@@ -61,6 +63,7 @@ void Network::broadcast(NodeId src, const std::vector<NodeId>& dsts,
   // One physical transmission: the sender's radio is charged once, not
   // per destination (Stats::bytes_sent stays per-attempt -- it counts
   // offered load, the tap counts joules).
+  if (!dsts.empty()) stats_.phys_tx_bytes += payload.size();
   if (energy_tap_ && !dsts.empty()) {
     energy_tap_(src, payload.size(), /*tx=*/true);
   }
@@ -73,6 +76,7 @@ void Network::broadcast(NodeId src, const std::vector<NodeId>& dsts,
     // actually delivered to, which is what makes swarm-wide radio floods
     // (1 sender x N destinations, most out of range) affordable.
     if (!admit(src, dst, payload.size())) continue;
+    stats_.phys_rx_bytes += payload.size();
     if (energy_tap_) energy_tap_(dst, payload.size(), /*tx=*/false);
     deliver(Datagram{src, dst, Bytes(payload.begin(), payload.end())});
   }

@@ -86,6 +86,15 @@ class Network {
     /// Payload bytes offered to the medium (counted per destination
     /// attempt, delivered or not -- the radio transmits either way).
     uint64_t bytes_sent = 0;
+    /// PHYSICAL radio bytes: tx counted once per transmission like the
+    /// energy tap (a broadcast keys the radio once, however many
+    /// destinations it reaches), rx per destination actually delivered
+    /// to. The honest air-interface load -- bytes_sent scales with the
+    /// destination count and would overstate a flood's radio cost.
+    /// (node_stats() keeps these zero: per-destination attribution of a
+    /// shared transmission is exactly the double count avoided here.)
+    uint64_t phys_tx_bytes = 0;
+    uint64_t phys_rx_bytes = 0;
   };
   const Stats& stats() const { return stats_; }
   /// Delivery stats for traffic TO one node (what did device d actually

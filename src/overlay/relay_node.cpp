@@ -1,8 +1,11 @@
 #include "overlay/relay_node.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "attest/measurement.h"
 #include "attest/protocol.h"
+#include "crypto/mac.h"
 
 namespace erasmus::overlay {
 
@@ -97,9 +100,40 @@ void RelayNode::on_datagram(const net::Datagram& dgram) {
         ++stats_.reports_orphaned;
         return;
       }
+      // Head role: while the aggregation window is open, child reports
+      // stop here and fold into the cluster aggregate instead of climbing
+      // on. Reports arriving after the flush relay raw as usual.
+      const auto agg = aggs_.find(report->flood);
+      if (agg != aggs_.end()) {
+        agg->second.absorb(report->origin, report->response);
+        ++stats_.reports_absorbed;
+        if (agg->second.members() >= config_.aggregation.max_members) {
+          flush_aggregate(report->flood);
+        }
+        return;
+      }
       ++report->hops;
       report->path.push_back(self_);
       enqueue_report(std::move(*report), /*relayed=*/true);
+      return;
+    }
+    case RelayMsg::kAggregateReport: {
+      auto agg = AggregateReport::deserialize(framed->second);
+      if (!agg) {
+        ++stats_.malformed_frames;
+        return;
+      }
+      // Aggregates relay exactly like reports -- opaque payload, hop and
+      // path bookkeeping, queue piggyback. No re-aggregation: a deeper
+      // head's aggregate passes a shallower head unchanged.
+      const auto it = routes_.find(agg->flood);
+      if (it == routes_.end()) {
+        ++stats_.reports_orphaned;
+        return;
+      }
+      ++agg->hops;
+      agg->path.push_back(self_);
+      enqueue_aggregate(std::move(*agg), /*relayed=*/true);
       return;
     }
     case RelayMsg::kScopedRequest: {
@@ -199,6 +233,16 @@ void RelayNode::handle_flood(const CollectFlood& flood, net::NodeId from) {
   routes_[flood.flood] = FloodRoute{from, {}};
   prune_routes();
 
+  // First-sight depth: the frame carries the sender's re-broadcast count,
+  // so this node sits one deeper. Election must precede serve(): with
+  // zero processing time the node's own report would otherwise race the
+  // window open.
+  const uint32_t depth = std::min<uint32_t>(flood.depth, 254) + 1;
+  if (config_.aggregation.enabled && (flood.flags & kFloodAggregate) != 0 &&
+      aggregate::is_head(config_.aggregation.election, self_, depth)) {
+    elect_head(flood.flood, depth);
+  }
+
   if (flood.serves(self_)) {
     serve(flood.flood, flood.inner_type, flood.request);
   }
@@ -206,10 +250,80 @@ void RelayNode::handle_flood(const CollectFlood& flood, net::NodeId from) {
   if (flood.ttl > 0) {
     CollectFlood next = flood;
     next.ttl = flood.ttl - 1;
+    next.depth = static_cast<uint8_t>(std::min<uint32_t>(depth, 255));
     ++stats_.floods_forwarded;
     physical_broadcast(frame_relay(RelayMsg::kCollectFlood, next.serialize()),
                        from);
   }
+}
+
+void RelayNode::elect_head(uint32_t flood_id, uint32_t depth) {
+  if (aggs_.count(flood_id) != 0) return;
+  // The healthy judgment compares children against this node's own latest
+  // digest; a prover that has never measured has no yardstick and
+  // declines the role (its cluster's reports simply relay raw).
+  const auto latest = prover_.store().get(prover_.latest_index());
+  if (!prover_.any_measurement_taken() || !latest) return;
+  ++stats_.heads_elected;
+  if (obs::TraceRecorder* trace = config_.trace;
+      trace && trace->enabled(obs::Subsystem::kOverlay)) {
+    trace->instant(obs::Subsystem::kOverlay, queue_.now(), "head_elected",
+                   {{"node", static_cast<uint64_t>(self_)},
+                    {"flood", static_cast<uint64_t>(flood_id)},
+                    {"depth", static_cast<uint64_t>(depth)}});
+  }
+  aggs_.emplace(flood_id,
+                aggregate::Combiner(attest::hash_for(prover_.config().algo),
+                                    latest->digest));
+  while (aggs_.size() > config_.flood_memory) aggs_.erase(aggs_.begin());
+  schedule(config_.aggregation.window,
+           [this, flood_id] { flush_aggregate(flood_id); });
+}
+
+void RelayNode::flush_aggregate(uint32_t flood_id) {
+  const auto it = aggs_.find(flood_id);
+  if (it == aggs_.end()) return;
+  const aggregate::Combiner combiner = std::move(it->second);
+  aggs_.erase(it);
+  if (combiner.members() == 0) return;
+  if (config_.meter && config_.meter->dark()) {
+    // The battery died while the evidence was held: the aggregate never
+    // existed on the wire. Counted apart from dropped_dark -- these
+    // members re-enter collection via election-time recovery (session
+    // timeouts re-flood, and the new tree routes around this node).
+    ++stats_.aggregates_dark_purged;
+    return;
+  }
+  // Combine cost: the head pays CPU for hashing the absorbed evidence and
+  // one MAC. Charging may itself brown the head out mid-combine.
+  if (config_.aggregation.combine_charge) {
+    config_.aggregation.combine_charge(combiner.raw_bytes(), queue_.now());
+    if (config_.meter && config_.meter->dark()) {
+      ++stats_.aggregates_dark_purged;
+      return;
+    }
+  }
+  aggregate::AggregateFrame frame = combiner.build(flood_id, self_);
+  prover_.arch().run_protected([&](hw::SecurityArch::ProtectedContext& ctx) {
+    frame.mac = crypto::Mac::compute(prover_.config().algo, ctx.key(),
+                                     aggregate::aggregate_mac_input(frame));
+  });
+  ++stats_.aggregates_built;
+  AggregateReport env;
+  env.flood = flood_id;
+  env.head = self_;
+  env.path.push_back(self_);
+  env.payload = frame.serialize();
+  if (obs::TraceRecorder* trace = config_.trace;
+      trace && trace->enabled(obs::Subsystem::kOverlay)) {
+    trace->instant(obs::Subsystem::kOverlay, queue_.now(), "aggregate_built",
+                   {{"node", static_cast<uint64_t>(self_)},
+                    {"flood", static_cast<uint64_t>(flood_id)},
+                    {"members", static_cast<uint64_t>(frame.members.size())},
+                    {"raw_bytes", static_cast<uint64_t>(frame.raw_bytes)},
+                    {"wire_bytes", static_cast<uint64_t>(env.payload.size())}});
+  }
+  enqueue_aggregate(std::move(env), /*relayed=*/false);
 }
 
 void RelayNode::serve(uint32_t flood_id, uint8_t inner_type,
@@ -291,7 +405,34 @@ void RelayNode::enqueue_report(RelayReport report, bool relayed) {
   }
   queue_out_.push_back(
       {report.flood, frame_relay(RelayMsg::kRelayReport, report.serialize()),
-       relayed});
+       relayed, /*aggregate=*/false});
+  if (!draining_) {
+    draining_ = true;
+    schedule(config_.forward_spacing, [this] { drain_one(); });
+  }
+}
+
+void RelayNode::enqueue_aggregate(AggregateReport agg, bool relayed) {
+  if (queue_out_.size() >= config_.queue_depth) {
+    ++stats_.reports_dropped;
+    if (inst_.relay_drops) inst_.relay_drops->add();
+    if (obs::TraceRecorder* trace = config_.trace;
+        trace && trace->enabled(obs::Subsystem::kOverlay)) {
+      trace->instant(obs::Subsystem::kOverlay, queue_.now(), "relay_drop",
+                     {{"node", static_cast<uint64_t>(self_)},
+                      {"flood", static_cast<uint64_t>(agg.flood)},
+                      {"origin", static_cast<uint64_t>(agg.head)}});
+    }
+    return;
+  }
+  agg.queue = std::max(agg.queue, occupancy_byte());
+  if (inst_.occupancy) {
+    inst_.occupancy->observe(static_cast<double>(occupancy_byte()) / 255.0);
+  }
+  queue_out_.push_back({agg.flood,
+                        frame_relay(RelayMsg::kAggregateReport,
+                                    agg.serialize()),
+                        relayed, /*aggregate=*/true});
   if (!draining_) {
     draining_ = true;
     schedule(config_.forward_spacing, [this] { drain_one(); });
@@ -300,9 +441,21 @@ void RelayNode::enqueue_report(RelayReport report, bool relayed) {
 
 void RelayNode::drain_one() {
   if (config_.meter && config_.meter->dark()) {
-    // Went dark with reports still queued: the store-and-forward buffer
-    // dies with the node.
-    stats_.dropped_dark += queue_out_.size();
+    // Went dark with frames still queued: the store-and-forward buffer
+    // dies with the node. Aggregates (queued or still held in an open
+    // window) are accounted apart from plain reports -- their members
+    // re-enter collection via election-time recovery, not silently.
+    for (const QueuedReport& item : queue_out_) {
+      if (item.aggregate) {
+        ++stats_.aggregates_dark_purged;
+      } else {
+        ++stats_.dropped_dark;
+      }
+    }
+    for (const auto& [flood_id, combiner] : aggs_) {
+      if (combiner.members() > 0) ++stats_.aggregates_dark_purged;
+    }
+    aggs_.clear();
     queue_out_.clear();
     draining_ = false;
     return;
@@ -320,7 +473,11 @@ void RelayNode::drain_one() {
     ++stats_.reports_orphaned;
   } else {
     if (item.relayed) {
-      ++stats_.reports_relayed;
+      if (item.aggregate) {
+        ++stats_.aggregates_relayed;
+      } else {
+        ++stats_.reports_relayed;
+      }
       if (inst_.reports_relayed) inst_.reports_relayed->add();
     }
     network_.send(self_, uplink(it->second), std::move(item.frame));

@@ -34,6 +34,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "aggregate/combine.h"
+#include "aggregate/election.h"
 #include "attest/prover.h"
 #include "energy/meter.h"
 #include "obs/registry.h"
@@ -42,6 +44,28 @@
 #include "sim/event_queue.h"
 
 namespace erasmus::overlay {
+
+/// Hierarchical collection: this node's cluster-head behaviour. With
+/// `enabled`, a node elected head for a flood (aggregate/election.h)
+/// holds the child reports flowing through it for `window`, judges them
+/// against its own latest digest, and uplinks ONE authenticated
+/// AggregateFrame instead of each report individually. Late reports that
+/// miss the window simply relay raw -- aggregation is an optimisation,
+/// never a correctness gate.
+struct AggregationConfig {
+  bool enabled = false;
+  aggregate::ElectionPolicy election;
+  /// Hold-and-combine window, measured from election (the flood's first
+  /// sight). Must sit well under the verifier's response timeout.
+  sim::Duration window = sim::Duration::millis(200);
+  /// Flush early once a cluster holds this many members.
+  size_t max_members = 256;
+  /// Head CPU for the combine (hashing absorbed evidence + one MAC),
+  /// charged at flush with the absorbed byte count. Runner-installed;
+  /// nullptr = unmetered. May brown the head out: a dark head's
+  /// aggregate never leaves (counted aggregates_dark_purged).
+  std::function<void(uint64_t combined_bytes, sim::Time at)> combine_charge;
+};
 
 struct RelayNodeConfig {
   /// Store-and-forward buffer capacity (reports queued for the uplink).
@@ -68,6 +92,8 @@ struct RelayNodeConfig {
   /// arrival and its store-and-forward queue is purged -- radio bytes are
   /// charged by the network's energy tap, not here.
   const energy::DeviceMeter* meter = nullptr;
+  /// Cluster-head aggregation (hierarchical collection).
+  AggregationConfig aggregation;
 };
 
 class RelayNode {
@@ -105,6 +131,16 @@ class RelayNode {
     uint64_t malformed_frames = 0;  // frames that did not parse (cf.
                                     // NetworkTransport::malformed_frames)
     uint64_t dropped_dark = 0;      // frames/reports lost to a dead battery
+    // Hierarchical collection (cluster-head role):
+    uint64_t heads_elected = 0;      // floods this node served as head
+    uint64_t reports_absorbed = 0;   // child reports combined, not relayed
+    uint64_t aggregates_built = 0;   // aggregate frames MAC'd and uplinked
+    uint64_t aggregates_relayed = 0; // upstream aggregates forwarded
+    /// Aggregate state (held evidence or queued frames) lost to a dead
+    /// battery. Kept apart from dropped_dark: these members re-enter
+    /// collection through election-time recovery -- their sessions time
+    /// out and the retry flood rebuilds the tree around the dark head.
+    uint64_t aggregates_dark_purged = 0;
   };
   const Stats& stats() const { return stats_; }
   net::NodeId self() const { return self_; }
@@ -117,7 +153,8 @@ class RelayNode {
   struct QueuedReport {
     uint32_t flood = 0;
     Bytes frame;
-    bool relayed = false;  // someone else's report (vs served locally)
+    bool relayed = false;    // someone else's report (vs served locally)
+    bool aggregate = false;  // an AggregateReport (dark-purge accounting)
   };
 
   void on_datagram(const net::Datagram& dgram);
@@ -133,7 +170,14 @@ class RelayNode {
   /// Stamps occupancy into the report and queues it for store-and-forward;
   /// drops on overflow.
   void enqueue_report(RelayReport report, bool relayed);
+  void enqueue_aggregate(AggregateReport agg, bool relayed);
   void drain_one();
+  /// Takes the head role for this flood (if the prover can judge, i.e.
+  /// has measured at least once) and arms the aggregation window.
+  void elect_head(uint32_t flood_id, uint32_t depth);
+  /// Builds, MACs and uplinks the held aggregate; purges it instead when
+  /// the battery died (the members recover through re-election).
+  void flush_aggregate(uint32_t flood_id);
   /// The route's current uplink, after any route repair.
   net::NodeId uplink(FloodRoute& route);
   void physical_broadcast(ByteView payload, net::NodeId except);
@@ -159,6 +203,9 @@ class RelayNode {
   std::set<uint32_t> seen_floods_;         // recent ids above watermark
   uint32_t flood_watermark_ = 0;           // highest flood id seen
   std::deque<QueuedReport> queue_out_;
+  /// Held hold-and-combine state per flood this node heads. Entries live
+  /// from election to flush (or dark purge); bounded like routes_.
+  std::map<uint32_t, aggregate::Combiner> aggs_;
   bool draining_ = false;
   std::unordered_set<sim::EventId> pending_events_;
   Stats stats_;

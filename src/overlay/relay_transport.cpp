@@ -50,16 +50,19 @@ RelayTransport::~RelayTransport() {
 void RelayTransport::register_flood(uint32_t flood) {
   delivered_[flood];  // open the dedup window for this flood
   while (delivered_.size() > config_.flood_memory) {
+    agg_delivered_.erase(delivered_.begin()->first);
     delivered_.erase(delivered_.begin());
   }
 }
 
 void RelayTransport::launch_flood(std::vector<net::NodeId> targets,
-                                  attest::MsgType type, ByteView body) {
+                                  attest::MsgType type, ByteView body,
+                                  bool aggregate_eligible) {
   CollectFlood flood;
   flood.flood = next_flood_++;
   flood.targets = std::move(targets);
   flood.ttl = config_.ttl;
+  if (aggregate_eligible) flood.flags |= kFloodAggregate;
   flood.inner_type = static_cast<uint8_t>(type);
   flood.request.assign(body.begin(), body.end());
 
@@ -180,11 +183,14 @@ void RelayTransport::broadcast(const std::vector<net::NodeId>& peers,
     ++stats_.floods_sent;
     if (inst_.floods) inst_.floods->add();
   }
+  // Multi-member waves are aggregate-eligible; a single-device batch has
+  // nothing to combine and stays on the raw path.
+  const bool aggregate_eligible = config_.aggregate && peers.size() > 1;
   if (peers.size() + 1 >= num_nodes_) {
-    launch_flood({kEveryone}, type, body);
+    launch_flood({kEveryone}, type, body, aggregate_eligible);
     return;
   }
-  launch_flood(peers, type, body);
+  launch_flood(peers, type, body, aggregate_eligible);
 }
 
 void RelayTransport::set_receiver(Receiver receiver) {
@@ -228,6 +234,9 @@ void RelayTransport::on_datagram(const net::Datagram& dgram) {
       routes_.erase(nak->target);
       return;
     }
+    case RelayMsg::kAggregateReport:
+      handle_aggregate(framed->second);
+      return;
     case RelayMsg::kRelayReport:
       break;
   }
@@ -286,6 +295,57 @@ void RelayTransport::on_datagram(const net::Datagram& dgram) {
               static_cast<attest::MsgType>(report->inner_type),
               report->response);
   }
+}
+
+void RelayTransport::handle_aggregate(ByteView body) {
+  const auto env = AggregateReport::deserialize(body);
+  if (!env) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  // The head's queue stamp is congestion evidence like any report's.
+  pending_congestion_ = std::max(
+      pending_congestion_, static_cast<double>(env->queue) / 255.0);
+  if (config_.scoped_retries && !env->path.empty() &&
+      env->path.front() == env->head &&
+      env->path.size() == static_cast<size_t>(env->hops) + 1) {
+    // Same prefix-caching as raw reports: the reversed path is the route
+    // to the head, and each prefix routes to the relay that stamped it.
+    const sim::Time now = network_.now();
+    std::vector<net::NodeId> route;
+    route.reserve(env->path.size());
+    for (auto hop = env->path.rbegin(); hop != env->path.rend(); ++hop) {
+      route.push_back(*hop);
+      routes_[*hop] = CachedRoute{route, now, /*used=*/false};
+    }
+  }
+  if (delivered_.find(env->flood) == delivered_.end()) {
+    ++stats_.stale_reports;
+    if (inst_.stale_reports) inst_.stale_reports->add();
+    return;
+  }
+  if (!agg_delivered_[env->flood].insert(env->head).second) {
+    ++stats_.duplicate_aggregates;  // same aggregate over a second path
+    return;
+  }
+  const auto frame = aggregate::AggregateFrame::deserialize(env->payload);
+  if (!frame || frame->head != env->head || frame->flood != env->flood) {
+    // An unparsable payload -- or an envelope whose addressing disagrees
+    // with the authenticated frame inside it -- is a malformed frame.
+    ++stats_.malformed_frames;
+    return;
+  }
+  ++stats_.aggregates_received;
+  stats_.aggregate_members += frame->members.size();
+  stats_.aggregate_wire_bytes += env->payload.size();
+  stats_.aggregate_raw_bytes += frame->raw_bytes;
+  if (inst_.hops) inst_.hops->observe(static_cast<double>(env->hops));
+  trace_overlay("aggregate",
+                {{"flood", static_cast<uint64_t>(env->flood)},
+                 {"head", static_cast<uint64_t>(env->head)},
+                 {"members", static_cast<uint64_t>(frame->members.size())},
+                 {"hops", static_cast<uint64_t>(env->hops)}});
+  if (aggregate_receiver_) aggregate_receiver_(*frame, env->hops);
 }
 
 }  // namespace erasmus::overlay

@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "aggregate/frame.h"
 #include "attest/transport.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -71,6 +72,11 @@ struct RelayTransportConfig {
   /// Metrics registry; the transport registers its packet counters plus the
   /// hop-count histogram under subsystem "overlay". Not owned; nullptr = off.
   obs::Registry* metrics = nullptr;
+  /// Hierarchical collection: mark multi-member round/retry-wave floods
+  /// aggregate-eligible (kFloodAggregate), so elected heads absorb their
+  /// reports. Single-target sends -- retries and demand fetches -- are
+  /// never eligible: their whole point is raw per-device evidence.
+  bool aggregate = false;
 };
 
 class RelayTransport : public attest::Transport {
@@ -85,6 +91,16 @@ class RelayTransport : public attest::Transport {
   void broadcast(const std::vector<net::NodeId>& peers, attest::MsgType type,
                  ByteView body) override;
   void set_receiver(Receiver receiver) override;
+  /// Delivery channel for cluster aggregates: called once per accepted
+  /// (deduplicated, well-formed) AggregateFrame with the relay count it
+  /// crossed. Authentication is the caller's job -- the transport has no
+  /// key directory.
+  using AggregateReceiver =
+      std::function<void(const aggregate::AggregateFrame& frame,
+                         uint8_t hops)>;
+  void set_aggregate_receiver(AggregateReceiver receiver) {
+    aggregate_receiver_ = std::move(receiver);
+  }
   /// Worst-case one-way estimate: per-hop network latency plus relay
   /// serialization, times the flood depth bound.
   sim::Duration latency() const override;
@@ -109,6 +125,12 @@ class RelayTransport : public attest::Transport {
     uint64_t duplicate_reports = 0;  // same (flood, origin) via another path
     uint64_t stale_reports = 0;      // flood id outside the dedup window
     uint64_t malformed_frames = 0;
+    // Hierarchical collection:
+    uint64_t aggregates_received = 0;   // accepted aggregate frames
+    uint64_t duplicate_aggregates = 0;  // same (flood, head) again
+    uint64_t aggregate_members = 0;     // members across accepted frames
+    uint64_t aggregate_wire_bytes = 0;  // accepted frame payload bytes
+    uint64_t aggregate_raw_bytes = 0;   // raw evidence those frames absorbed
   };
   const Stats& stats() const { return stats_; }
 
@@ -140,7 +162,8 @@ class RelayTransport : public attest::Transport {
   /// oldest beyond flood_memory (shared by floods and scoped requests).
   void register_flood(uint32_t flood);
   void launch_flood(std::vector<net::NodeId> targets, attest::MsgType type,
-                    ByteView body);
+                    ByteView body, bool aggregate_eligible = false);
+  void handle_aggregate(ByteView body);
   void launch_scoped(CachedRoute& route, attest::MsgType type, ByteView body);
 
   net::Network& network_;
@@ -148,10 +171,16 @@ class RelayTransport : public attest::Transport {
   size_t num_nodes_;
   RelayTransportConfig config_;
   Receiver receiver_;
+  AggregateReceiver aggregate_receiver_;
 
   uint32_t next_flood_ = 1;
   std::vector<net::NodeId> scratch_dsts_;  // flood-launch reuse
   std::map<uint32_t, std::set<net::NodeId>> delivered_;  // flood -> origins
+  /// Aggregate dedup, keyed by head but kept apart from delivered_: a
+  /// head both BUILDS an aggregate and sends its own raw report up the
+  /// tree, so one key space would let whichever arrives first shadow the
+  /// other. Staleness still follows delivered_'s flood window.
+  std::map<uint32_t, std::set<net::NodeId>> agg_delivered_;
   std::unordered_map<net::NodeId, CachedRoute> routes_;  // origin -> path
   std::vector<uint64_t> hops_;
   double pending_congestion_ = 0.0;

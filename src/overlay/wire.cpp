@@ -30,6 +30,8 @@ Bytes CollectFlood::serialize() const {
   ByteWriter w;
   w.u32(flood);
   w.u8(ttl);
+  w.u8(depth);
+  w.u8(flags);
   w.u8(inner_type);
   write_node_list(w, targets);
   w.var_bytes(request);
@@ -41,6 +43,8 @@ std::optional<CollectFlood> CollectFlood::deserialize(ByteView data) {
   CollectFlood f;
   f.flood = r.u32();
   f.ttl = r.u8();
+  f.depth = r.u8();
+  f.flags = r.u8();
   f.inner_type = r.u8();
   auto targets = read_node_list(r);
   if (!targets) return std::nullopt;
@@ -76,6 +80,32 @@ std::optional<RelayReport> RelayReport::deserialize(ByteView data) {
   report.response = r.var_bytes();
   if (!r.done()) return std::nullopt;
   return report;
+}
+
+Bytes AggregateReport::serialize() const {
+  ByteWriter w;
+  w.u32(flood);
+  w.u32(head);
+  w.u8(hops);
+  w.u8(queue);
+  write_node_list(w, path);
+  w.var_bytes(payload);
+  return w.take();
+}
+
+std::optional<AggregateReport> AggregateReport::deserialize(ByteView data) {
+  ByteReader r(data);
+  AggregateReport agg;
+  agg.flood = r.u32();
+  agg.head = r.u32();
+  agg.hops = r.u8();
+  agg.queue = r.u8();
+  auto path = read_node_list(r);
+  if (!path) return std::nullopt;
+  agg.path = std::move(*path);
+  agg.payload = r.var_bytes();
+  if (!r.done()) return std::nullopt;
+  return agg;
 }
 
 Bytes ScopedRequest::serialize() const {
@@ -127,7 +157,7 @@ std::optional<std::pair<RelayMsg, ByteView>> unframe_relay(ByteView data) {
   if (data.empty()) return std::nullopt;
   const uint8_t tag = data[0];
   if (tag < static_cast<uint8_t>(RelayMsg::kCollectFlood) ||
-      tag > static_cast<uint8_t>(RelayMsg::kScopedNak)) {
+      tag > static_cast<uint8_t>(RelayMsg::kAggregateReport)) {
     return std::nullopt;
   }
   return std::make_pair(static_cast<RelayMsg>(tag), data.subspan(1));

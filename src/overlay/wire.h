@@ -48,6 +48,7 @@ enum class RelayMsg : uint8_t {
   kRelayReport = 0x21,
   kScopedRequest = 0x22,
   kScopedNak = 0x23,
+  kAggregateReport = 0x24,
 };
 
 /// CollectFlood targets wildcard: every node that hears the flood serves.
@@ -65,9 +66,20 @@ inline constexpr size_t flood_memory_for(size_t fleet) {
   return fleet + 16;
 }
 
+/// CollectFlood flag: cluster heads may absorb this flood's reports into
+/// aggregate frames. Round broadcasts set it; single-target retries and
+/// demand fetches never do -- their whole point is raw per-device evidence.
+inline constexpr uint8_t kFloodAggregate = 0x01;
+
 struct CollectFlood {
   uint32_t flood = 0;      // flood id == parent-tree id
   uint8_t ttl = 8;         // remaining re-flood budget
+  /// Re-broadcasts behind this frame: the verifier launches with 0, every
+  /// forwarder increments (saturating). A node that first hears the flood
+  /// at depth d sits d+1 hops from the verifier -- the input to depth-band
+  /// cluster-head election.
+  uint8_t depth = 0;
+  uint8_t flags = 0;       // kFloodAggregate
   uint8_t inner_type = 0;  // attest::MsgType of `request`
   /// Who serves: {kEveryone}, or an explicit device list (a windowed
   /// dispatch batch, or a single retry target). Everyone still FORWARDS;
@@ -103,6 +115,23 @@ struct RelayReport {
 
   Bytes serialize() const;
   static std::optional<RelayReport> deserialize(ByteView data);
+};
+
+/// Routing envelope for one cluster head's aggregate (hierarchical
+/// collection). Travels up the parent tree exactly like a RelayReport --
+/// hop count, path record, queue piggyback -- but the payload is an
+/// aggregate::AggregateFrame covering a whole cluster, opaque to relays
+/// (heads upstream forward it unchanged; there is no re-aggregation).
+struct AggregateReport {
+  uint32_t flood = 0;
+  net::NodeId head = 0;  // the elected head that built the payload
+  uint8_t hops = 0;      // relays traversed so far (head sends 0)
+  uint8_t queue = 0;     // worst queue occupancy along the path, 0..255
+  std::vector<net::NodeId> path;  // head first, then every forwarder
+  Bytes payload;  // serialized aggregate::AggregateFrame
+
+  Bytes serialize() const;
+  static std::optional<AggregateReport> deserialize(ByteView data);
 };
 
 struct ScopedRequest {

@@ -60,6 +60,14 @@ class SwarmRelayScenario : public Scenario {
                                   "is fresh (on|off)"},
         {"route_ttl", "30s", "how long a reported path stays usable for "
                              "scoped retries"},
+        {"aggregate", "off", "hierarchical collection: off | on (depth-band "
+                             "head election per flood) | planned (static "
+                             "id-stride heads)"},
+        {"aggregate_stride", "2", "head election stride: every stride-th "
+                                  "flood depth (on) or device id (planned) "
+                                  "heads a cluster"},
+        {"aggregate_window", "200ms", "head hold-and-combine window before "
+                                      "the aggregate frame is flushed"},
         {"field", "300", "field side (metres) -- topology density"},
         {"range", "60", "radio range (metres)"},
         {"speed_min", "6", "min speed (m/s)"},
@@ -119,6 +127,24 @@ class SwarmRelayScenario : public Scenario {
     cfg.overlay.scoped_retries = params.get_bool("scoped_retries", false);
     cfg.overlay.route_ttl =
         params.get_duration("route_ttl", Duration::seconds(30));
+    // Loud on anything but the three-valued grammar: a typo silently
+    // falling back to per-device relaying would invalidate a 10k bench.
+    const std::string agg = params.get_str("aggregate", "off");
+    if (agg == "on") {
+      cfg.overlay.aggregation.enabled = true;
+      cfg.overlay.aggregation.election.mode =
+          aggregate::ElectionMode::kDepthBand;
+    } else if (agg == "planned") {
+      cfg.overlay.aggregation.enabled = true;
+      cfg.overlay.aggregation.election.mode = aggregate::ElectionMode::kPlanned;
+    } else if (agg != "off") {
+      throw std::invalid_argument(
+          "aggregate: expected 'off', 'on' or 'planned', got '" + agg + "'");
+    }
+    cfg.overlay.aggregation.election.stride =
+        static_cast<uint32_t>(params.get_u64("aggregate_stride", 2));
+    cfg.overlay.aggregation.window =
+        params.get_duration("aggregate_window", Duration::millis(200));
     if (params.has("battery")) {
       cfg.energy.metered = true;
       cfg.energy.battery = params.get_energy("battery", {});
@@ -133,6 +159,7 @@ class SwarmRelayScenario : public Scenario {
     sink.note("queue_depth", static_cast<uint64_t>(cfg.overlay.queue_depth));
     sink.note("window", params.get_str("window", "default"));
     sink.note("scoped_retries", params.get_bool("scoped_retries", false));
+    sink.note("aggregate", agg);
 
     ShardedFleetRunner runner(cfg);
 
@@ -177,6 +204,17 @@ class SwarmRelayScenario : public Scenario {
       sink.note("scoped_retries_total", totals.scoped_sent);
       sink.note("scoped_hops_total", totals.scoped_forwarded);
       sink.note("scoped_naks_total", totals.naks);
+    }
+    if (cfg.overlay.aggregation.enabled) {
+      sink.note("heads_elected_total", totals.heads_elected);
+      sink.note("reports_absorbed_total", totals.reports_absorbed);
+      sink.note("aggregates_built_total", totals.aggregates_built);
+      sink.note("aggregates_received_total", totals.aggregates_received);
+      sink.note("aggregates_dark_purged_total",
+                totals.aggregates_dark_purged);
+      sink.note("demand_fetches_total", runner.service().stats().demand_fetches);
+      sink.note("aggregated_sessions_total",
+                runner.service().stats().aggregated_sessions);
     }
     uint64_t weighted = 0;
     uint64_t reports = 0;

@@ -181,9 +181,28 @@ void ShardedFleetRunner::build_overlay() {
   nc.flood_memory = overlay::flood_memory_for(specs_.size());
   nc.trace = trace_;
   nc.metrics = &metrics_;
+  nc.aggregation = config_.overlay.aggregation;
   relay_nodes_.reserve(specs_.size());
   for (swarm::DeviceId id = 0; id < specs_.size(); ++id) {
-    if (energy_meter_) nc.meter = &energy_meter_->device(id);
+    if (energy_meter_) {
+      nc.meter = &energy_meter_->device(id);
+      if (nc.aggregation.enabled) {
+        // Heads pay CPU for the combine: hashing the absorbed evidence
+        // plus one MAC, costed as the device's self-measurement charge
+        // scaled by bytes combined over bytes attested (same cycle/byte
+        // model, different buffer). Floor of one nJ so a combine is
+        // never free. Runs at flush time, coordinator-side.
+        nc.aggregation.combine_charge = [this, id](uint64_t bytes,
+                                                   sim::Time at) {
+          energy::DeviceMeter& m = energy_meter_->device(id);
+          const uint64_t attested =
+              std::max<uint64_t>(1, stacks_[id].prover->attested_bytes());
+          const uint64_t nj = std::max<uint64_t>(
+              1, m.cost().measurement_nj * bytes / attested);
+          if (m.charge_cpu(nj, at)) stacks_[id].prover->stop();
+        };
+      }
+    }
     relay_nodes_.push_back(std::make_unique<overlay::RelayNode>(
         coordinator_queue_, *overlay_net_, id, *stacks_[id].prover,
         specs_.size() + 1, nc));
@@ -199,8 +218,54 @@ void ShardedFleetRunner::build_overlay() {
   tc.route_ttl = config_.overlay.route_ttl;
   tc.trace = trace_;
   tc.metrics = &metrics_;
+  tc.aggregate = config_.overlay.aggregation.enabled;
   relay_transport_ = std::make_unique<overlay::RelayTransport>(
       *overlay_net_, verifier_node_, specs_.size() + 1, tc);
+  if (tc.aggregate) {
+    relay_transport_->set_aggregate_receiver(
+        [this](const aggregate::AggregateFrame& frame, uint8_t hops) {
+          on_aggregate(frame, hops);
+        });
+  }
+}
+
+void ShardedFleetRunner::on_aggregate(const aggregate::AggregateFrame& frame,
+                                      uint8_t hops) {
+  // The transport deduplicated and parsed; authentication lands here,
+  // where the directory lives. Node ids are device ids for the fleet,
+  // and the verifier endpoint never heads a cluster.
+  if (frame.head >= specs_.size()) {
+    ++agg_counters_.auth_failures;
+    return;
+  }
+  const attest::DeviceRecord& rec = directory_.record(frame.head);
+  if (!aggregate::verify_aggregate(frame, rec.algo, rec.key)) {
+    ++agg_counters_.auth_failures;
+    if (trace_ && trace_->enabled(obs::Subsystem::kOverlay)) {
+      trace_->instant(obs::Subsystem::kOverlay, coordinator_queue_.now(),
+                      "aggregate_auth_fail",
+                      {{"head", static_cast<uint64_t>(frame.head)},
+                       {"flood", static_cast<uint64_t>(frame.flood)}});
+    }
+    return;
+  }
+  ++agg_counters_.clusters;
+  agg_counters_.members += frame.members.size();
+  for (size_t i = 0; i < frame.members.size(); ++i) {
+    const net::NodeId member = frame.members[i];
+    if (frame.healthy(i)) {
+      // The head vouched for this member's digest: close its session
+      // without its raw report ever crossing the field.
+      if (service_->complete_aggregated(member)) {
+        ++agg_counters_.healthy_bits;
+      }
+    } else {
+      // Cleared bit: the head saw evidence it could not vouch for. Demand
+      // the member's raw report over the per-device (scoped) path.
+      service_->demand_fetch(member);
+    }
+  }
+  (void)hops;  // already histogrammed by the transport
 }
 
 void ShardedFleetRunner::build_energy_meter() {
@@ -396,8 +461,12 @@ FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
 
   const auto judge = [&result](
       const attest::AttestationService::SessionOutcome& outcome) {
+    // An aggregated outcome carries no per-measurement history: the
+    // head's healthy bit stands in for freshness (the head judged the
+    // member against its own latest digest this round).
     const bool healthy = outcome.report.device_trustworthy() &&
-                         outcome.report.freshness.has_value();
+                         (outcome.report.freshness.has_value() ||
+                          outcome.aggregated);
     if (healthy) {
       ++result.healthy;
     } else {
@@ -521,6 +590,7 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
     const overlay::RelayTransport::Stats transport_before =
         relay_transport_ ? relay_transport_->stats()
                          : overlay::RelayTransport::Stats{};
+    const AggregateCounters agg_before = agg_counters_;
     FleetRoundResult r = collect_round(round, barrier);
     if (energy_meter_) {
       sweep_dark();  // radio/direct transitions from this collection
@@ -552,6 +622,9 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
     emit_window_round(sink, round, transport_before);
     if (config_.backend == CollectionBackend::kOverlay) {
       emit_overlay_round(sink, round, before);
+      if (config_.overlay.aggregation.enabled) {
+        emit_aggregate_round(sink, round, agg_before, transport_before);
+      }
     }
     emit_energy_round(sink, round);
     emit_metrics_round(sink, round);
@@ -610,12 +683,19 @@ ShardedFleetRunner::OverlayTotals ShardedFleetRunner::overlay_totals() const {
     totals.malformed_frames += s.malformed_frames;
     totals.scoped_forwarded += s.scoped_forwarded;
     totals.naks += s.naks_sent;
+    totals.heads_elected += s.heads_elected;
+    totals.reports_absorbed += s.reports_absorbed;
+    totals.aggregates_built += s.aggregates_built;
+    totals.aggregates_relayed += s.aggregates_relayed;
+    totals.aggregates_dark_purged += s.aggregates_dark_purged;
   }
   const overlay::RelayTransport::Stats& t = relay_transport_->stats();
   totals.malformed_frames += t.malformed_frames;
   totals.duplicate_reports += t.duplicate_reports;
   totals.stale_reports += t.stale_reports;
   totals.scoped_sent += t.scoped_sent;
+  totals.aggregates_received += t.aggregates_received;
+  totals.duplicate_aggregates += t.duplicate_aggregates;
   totals.hops = relay_transport_->hop_histogram();
   return totals;
 }
@@ -644,6 +724,34 @@ void ShardedFleetRunner::emit_overlay_round(MetricsSink& sink, size_t round,
                       {"hops", static_cast<uint64_t>(h)},
                       {"reports", now.hops[h] - prev}});
   }
+}
+
+void ShardedFleetRunner::emit_aggregate_round(
+    MetricsSink& sink, size_t round, const AggregateCounters& before,
+    const overlay::RelayTransport::Stats& transport_before) {
+  // The round's hierarchical-collection economy: how many clusters
+  // reported, how many sessions their bitmaps closed, and what the
+  // bitmap+root encoding saved over relaying every report raw.
+  const AggregateCounters& now = agg_counters_;
+  const overlay::RelayTransport::Stats& t = relay_transport_->stats();
+  const attest::AttestationService::RoundStats& rs = service_->round_stats();
+  const uint64_t wire = t.aggregate_wire_bytes -
+                        transport_before.aggregate_wire_bytes;
+  const uint64_t raw = t.aggregate_raw_bytes -
+                       transport_before.aggregate_raw_bytes;
+  sink.row("aggregate",
+           {{"round", static_cast<uint64_t>(round)},
+            {"clusters", now.clusters - before.clusters},
+            {"members", now.members - before.members},
+            {"healthy_bits", now.healthy_bits - before.healthy_bits},
+            {"aggregated_sessions", rs.aggregated_sessions},
+            {"demand_fetches", rs.demand_fetches},
+            {"auth_failures", now.auth_failures - before.auth_failures},
+            {"raw_bytes", raw},
+            {"wire_bytes", wire},
+            {"compression",
+             wire > 0 ? static_cast<double>(raw) / static_cast<double>(wire)
+                      : 0.0}});
 }
 
 void ShardedFleetRunner::emit_energy_round(MetricsSink& sink, size_t round) {

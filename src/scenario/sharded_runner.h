@@ -74,6 +74,14 @@ struct OverlayBackendConfig {
   /// younger than route_ttl. Emits the per-round "scoped_retry" table.
   bool scoped_retries = false;
   sim::Duration route_ttl = sim::Duration::seconds(30);
+  /// Hierarchical collection (src/aggregate): elect cluster heads per
+  /// flood; heads absorb child reports and uplink ONE authenticated
+  /// AggregateFrame (bitmap of healthy + hash-tree root). The runner
+  /// verifies each head's MAC against the directory, closes healthy
+  /// members' sessions and demand-fetches cleared ones; emits the
+  /// per-round "aggregate" table. The combine_charge hook is installed
+  /// by the runner (per-head meter); anything set here is overwritten.
+  overlay::AggregationConfig aggregation;
 };
 
 /// The service's dispatch window at collection barriers: the backend
@@ -188,6 +196,14 @@ class ShardedFleetRunner {
     uint64_t scoped_sent = 0;       // transport: unicast retries launched
     uint64_t scoped_forwarded = 0;  // relays: scoped hops passed on
     uint64_t naks = 0;              // relays: broken-route notices raised
+    // Hierarchical collection (zero with aggregation off):
+    uint64_t heads_elected = 0;
+    uint64_t reports_absorbed = 0;
+    uint64_t aggregates_built = 0;
+    uint64_t aggregates_relayed = 0;
+    uint64_t aggregates_dark_purged = 0;
+    uint64_t aggregates_received = 0;   // transport: accepted frames
+    uint64_t duplicate_aggregates = 0;  // transport: dedup'd frames
     std::vector<uint64_t> hops;  // transport hop histogram
   };
   OverlayTotals overlay_totals() const;
@@ -229,6 +245,23 @@ class ShardedFleetRunner {
   void build_overlay();
   void emit_overlay_round(MetricsSink& sink, size_t round,
                           const OverlayTotals& before);
+  /// Verifier-side landing of one deduplicated aggregate frame: MAC
+  /// verification against the HEAD's directory record (the transport is
+  /// deliberately directory-free), then per-bit session resolution --
+  /// healthy bits close sessions, cleared bits demand raw evidence.
+  void on_aggregate(const aggregate::AggregateFrame& frame, uint8_t hops);
+  /// Coordinator-side lifetime counters behind the per-round "aggregate"
+  /// table (emitted as deltas, byte-identical at any thread count).
+  struct AggregateCounters {
+    uint64_t clusters = 0;       // authenticated frames accepted
+    uint64_t members = 0;        // members those frames vouched for
+    uint64_t healthy_bits = 0;   // sessions closed by a healthy bit
+    uint64_t auth_failures = 0;  // bad head MAC (or out-of-range head)
+  };
+  void emit_aggregate_round(MetricsSink& sink, size_t round,
+                            const AggregateCounters& before,
+                            const overlay::RelayTransport::Stats&
+                                transport_before);
   /// Snapshot of every registered instrument into the "metrics" table
   /// (histograms additionally into "metrics_hist", one row per bucket).
   void emit_metrics_round(MetricsSink& sink, size_t round);
@@ -281,6 +314,7 @@ class ShardedFleetRunner {
   std::vector<std::unique_ptr<overlay::RelayNode>> relay_nodes_;
   std::unique_ptr<overlay::RelayTransport> relay_transport_;
   net::NodeId verifier_node_ = 0;
+  AggregateCounters agg_counters_;
   std::unique_ptr<attest::AttestationService> service_;
   /// Sessions completed during the current overlay round (observer-fed;
   /// kDirect rounds use collect_now()'s synchronous return instead).

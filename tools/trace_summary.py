@@ -130,6 +130,48 @@ def main():
                   f"mean={fmt_us(sum(ds) / len(ds)):<10} "
                   f"max={fmt_us(max(ds))}")
 
+    # Hierarchical-collection digest: cluster formation, head churn and
+    # the demand-fetch economy (overlay head_elected/aggregate_built/
+    # aggregate instants plus the service's demand_fetch instants).
+    elections = [a for _, cat, _, name, _, a in events
+                 if cat == "overlay" and name == "head_elected"]
+    built = [a for _, cat, _, name, _, a in events
+             if cat == "overlay" and name == "aggregate_built"]
+    accepted = [a for _, cat, _, name, _, a in events
+                if cat == "overlay" and name == "aggregate"]
+    fetches = [a for _, cat, _, name, _, a in events
+               if cat == "service" and name == "demand_fetch"]
+    if elections or built or accepted or fetches:
+        print("\nhierarchical collection:")
+        if elections:
+            heads = Counter(a.get("node") for a in elections)
+            floods = {a.get("flood") for a in elections}
+            churn = len(heads) / len(elections)
+            print(f"  head elections: {len(elections)} across "
+                  f"{len(floods)} floods, {len(heads)} distinct heads "
+                  f"(churn {churn:.2f})")
+        if built:
+            members = sum(a.get("members", 0) for a in built)
+            raw = sum(a.get("raw_bytes", 0) for a in built)
+            wire = sum(a.get("wire_bytes", 0) for a in built)
+            ratio = f"{raw / wire:.1f}x" if wire else "n/a"
+            print(f"  aggregates built: {len(built)}, "
+                  f"{members} members "
+                  f"(mean {members / len(built):.1f}/cluster), "
+                  f"evidence {raw} B -> {wire} B wire ({ratio})")
+        if accepted:
+            floods = Counter(a.get("flood") for a in accepted)
+            members = sum(a.get("members", 0) for a in accepted)
+            print(f"  aggregates accepted: {len(accepted)} over "
+                  f"{len(floods)} round floods "
+                  f"({len(accepted) / len(floods):.1f} clusters/round), "
+                  f"covering {members} members")
+            rate = len(fetches) / members if members else 0.0
+            print(f"  demand fetches: {len(fetches)} "
+                  f"({rate:.1%} of aggregated members)")
+        elif fetches:
+            print(f"  demand fetches: {len(fetches)}")
+
     # Energy digest: planner decisions (with their reason codes) and the
     # battery-exhaustion timeline recorded by the runtime meter.
     decisions = [(ts, a) for ts, cat, ph, name, _, a in events
