@@ -73,6 +73,13 @@ class Network {
   void broadcast(NodeId src, const std::vector<NodeId>& dsts,
                  ByteView payload);
 
+  /// Replaces the per-datagram loss probability mid-run (scheduled
+  /// loss-burst fault injection, src/adversary). Takes effect at the next
+  /// admit draw; the RNG stream is untouched, so a burst schedule is as
+  /// deterministic as a fixed loss rate.
+  void set_loss_probability(double p) { loss_probability_ = p; }
+  double loss_probability() const { return loss_probability_; }
+
   sim::Duration latency() const { return latency_; }
   /// The owning queue's current instant (route-freshness decisions of
   /// higher layers key off send-time, which is this clock).

@@ -15,6 +15,7 @@ const char* to_string(Subsystem s) {
     case Subsystem::kOverlay: return "overlay";
     case Subsystem::kDevice: return "device";
     case Subsystem::kEnergy: return "energy";
+    case Subsystem::kAdversary: return "adversary";
   }
   return "?";
 }
@@ -37,7 +38,7 @@ uint32_t parse_subsystem_filter(const std::string& csv) {
       throw std::invalid_argument(
           "trace filter: unknown subsystem '" + name +
           "' (expected a comma-separated subset of "
-          "runner,service,window,overlay,device,energy)");
+          "runner,service,window,overlay,device,energy,adversary)");
     }
     begin = comma + 1;
   }

@@ -48,8 +48,9 @@ enum class Subsystem : uint8_t {
   kOverlay = 3,  // floods, scoped retries, relay queues, NAKs
   kDevice = 4,   // shard-side device state transitions
   kEnergy = 5,   // budget-exhausted (went_dark) instants, planner decisions
+  kAdversary = 6,  // infect/migrate/evade/detected instants (src/adversary)
 };
-inline constexpr size_t kSubsystemCount = 6;
+inline constexpr size_t kSubsystemCount = 7;
 
 const char* to_string(Subsystem s);
 /// Bitmask with every subsystem enabled.

@@ -100,6 +100,21 @@ void RelayNode::on_datagram(const net::Datagram& dgram) {
         ++stats_.reports_orphaned;
         return;
       }
+      // A compromised relay discards what it was trusted to carry. Placed
+      // after the route lookup so only frames this node would actually
+      // have relayed count as attack losses.
+      if (config_.compromise.drop_relayed) {
+        ++stats_.dropped_adversarial;
+        if (obs::TraceRecorder* trace = config_.trace;
+            trace && trace->enabled(obs::Subsystem::kOverlay)) {
+          trace->instant(obs::Subsystem::kOverlay, queue_.now(),
+                         "adversarial_drop",
+                         {{"node", static_cast<uint64_t>(self_)},
+                          {"flood", static_cast<uint64_t>(report->flood)},
+                          {"origin", static_cast<uint64_t>(report->origin)}});
+        }
+        return;
+      }
       // Head role: while the aggregation window is open, child reports
       // stop here and fold into the cluster aggregate instead of climbing
       // on. Reports arriving after the flush relay raw as usual.
@@ -114,6 +129,27 @@ void RelayNode::on_datagram(const net::Datagram& dgram) {
       }
       ++report->hops;
       report->path.push_back(self_);
+      if (config_.compromise.corrupt_relayed) {
+        // Scribble instead of drop: the mangled frame still burns this
+        // node's queue slot and forward spacing, then fails to parse at
+        // the next hop (its malformed_frames). Truncating the tail keeps
+        // the relay framing header valid but breaks the inner
+        // deserialize, which insists on consuming the frame exactly.
+        ++stats_.corrupted_adversarial;
+        if (obs::TraceRecorder* trace = config_.trace;
+            trace && trace->enabled(obs::Subsystem::kOverlay)) {
+          trace->instant(obs::Subsystem::kOverlay, queue_.now(),
+                         "adversarial_corrupt",
+                         {{"node", static_cast<uint64_t>(self_)},
+                          {"flood", static_cast<uint64_t>(report->flood)},
+                          {"origin", static_cast<uint64_t>(report->origin)}});
+        }
+        Bytes frame = frame_relay(RelayMsg::kRelayReport, report->serialize());
+        frame.resize(frame.size() - frame.size() / 3);
+        enqueue_frame(report->flood, report->origin, std::move(frame),
+                      /*relayed=*/true, /*aggregate=*/false);
+        return;
+      }
       enqueue_report(std::move(*report), /*relayed=*/true);
       return;
     }
@@ -131,8 +167,37 @@ void RelayNode::on_datagram(const net::Datagram& dgram) {
         ++stats_.reports_orphaned;
         return;
       }
+      if (config_.compromise.drop_relayed) {
+        ++stats_.dropped_adversarial;
+        if (obs::TraceRecorder* trace = config_.trace;
+            trace && trace->enabled(obs::Subsystem::kOverlay)) {
+          trace->instant(obs::Subsystem::kOverlay, queue_.now(),
+                         "adversarial_drop",
+                         {{"node", static_cast<uint64_t>(self_)},
+                          {"flood", static_cast<uint64_t>(agg->flood)},
+                          {"origin", static_cast<uint64_t>(agg->head)}});
+        }
+        return;
+      }
       ++agg->hops;
       agg->path.push_back(self_);
+      if (config_.compromise.corrupt_relayed) {
+        ++stats_.corrupted_adversarial;
+        if (obs::TraceRecorder* trace = config_.trace;
+            trace && trace->enabled(obs::Subsystem::kOverlay)) {
+          trace->instant(obs::Subsystem::kOverlay, queue_.now(),
+                         "adversarial_corrupt",
+                         {{"node", static_cast<uint64_t>(self_)},
+                          {"flood", static_cast<uint64_t>(agg->flood)},
+                          {"origin", static_cast<uint64_t>(agg->head)}});
+        }
+        Bytes frame =
+            frame_relay(RelayMsg::kAggregateReport, agg->serialize());
+        frame.resize(frame.size() - frame.size() / 3);
+        enqueue_frame(agg->flood, agg->head, std::move(frame),
+                      /*relayed=*/true, /*aggregate=*/true);
+        return;
+      }
       enqueue_aggregate(std::move(*agg), /*relayed=*/true);
       return;
     }
@@ -232,6 +297,36 @@ void RelayNode::handle_flood(const CollectFlood& flood, net::NodeId from) {
 
   routes_[flood.flood] = FloodRoute{from, {}};
   prune_routes();
+
+  if (config_.compromise.sybil_per_flood > 0) {
+    // Sybil flood: answer each first-sight collection flood with forged
+    // reports from origins that do not exist on the network. They travel
+    // the honest uplink path, consuming queue slots and spacing all the
+    // way up, until the verifier's transport rejects the out-of-range
+    // origins (spoofed_rejected). The bogus responses carry no valid MAC
+    // either -- origin-range rejection just catches them cheaper.
+    if (obs::TraceRecorder* trace = config_.trace;
+        trace && trace->enabled(obs::Subsystem::kOverlay)) {
+      trace->instant(
+          obs::Subsystem::kOverlay, queue_.now(), "sybil_inject",
+          {{"node", static_cast<uint64_t>(self_)},
+           {"flood", static_cast<uint64_t>(flood.flood)},
+           {"count",
+            static_cast<uint64_t>(config_.compromise.sybil_per_flood)}});
+    }
+    for (uint32_t j = 0; j < config_.compromise.sybil_per_flood; ++j) {
+      RelayReport forged;
+      forged.flood = flood.flood;
+      forged.origin = config_.compromise.sybil_origin_base + j;
+      forged.hops = 0;
+      forged.inner_type =
+          static_cast<uint8_t>(attest::MsgType::kCollectResponse);
+      forged.path.push_back(self_);
+      forged.response = Bytes(24, 0xAB);
+      ++stats_.sybil_injected;
+      enqueue_report(std::move(forged), /*relayed=*/false);
+    }
+  }
 
   // First-sight depth: the frame carries the sender's re-broadcast count,
   // so this node sits one deeper. Election must precede serve(): with
@@ -384,7 +479,8 @@ uint8_t RelayNode::occupancy_byte() const {
   return static_cast<uint8_t>(occupied * 255 / config_.queue_depth);
 }
 
-void RelayNode::enqueue_report(RelayReport report, bool relayed) {
+void RelayNode::enqueue_frame(uint32_t flood, net::NodeId origin, Bytes frame,
+                              bool relayed, bool aggregate) {
   if (queue_out_.size() >= config_.queue_depth) {
     ++stats_.reports_dropped;
     if (inst_.relay_drops) inst_.relay_drops->add();
@@ -392,51 +488,35 @@ void RelayNode::enqueue_report(RelayReport report, bool relayed) {
         trace && trace->enabled(obs::Subsystem::kOverlay)) {
       trace->instant(obs::Subsystem::kOverlay, queue_.now(), "relay_drop",
                      {{"node", static_cast<uint64_t>(self_)},
-                      {"flood", static_cast<uint64_t>(report.flood)},
-                      {"origin", static_cast<uint64_t>(report.origin)}});
+                      {"flood", static_cast<uint64_t>(flood)},
+                      {"origin", static_cast<uint64_t>(origin)}});
     }
     return;
   }
-  // Congestion piggyback: the report remembers the most saturated queue
-  // it crossed, measured as this queue will stand once it joins it.
-  report.queue = std::max(report.queue, occupancy_byte());
   if (inst_.occupancy) {
     inst_.occupancy->observe(static_cast<double>(occupancy_byte()) / 255.0);
   }
-  queue_out_.push_back(
-      {report.flood, frame_relay(RelayMsg::kRelayReport, report.serialize()),
-       relayed, /*aggregate=*/false});
+  queue_out_.push_back({flood, std::move(frame), relayed, aggregate});
   if (!draining_) {
     draining_ = true;
     schedule(config_.forward_spacing, [this] { drain_one(); });
   }
 }
 
+void RelayNode::enqueue_report(RelayReport report, bool relayed) {
+  // Congestion piggyback: the report remembers the most saturated queue
+  // it crossed, measured as this queue will stand once it joins it.
+  report.queue = std::max(report.queue, occupancy_byte());
+  enqueue_frame(report.flood, report.origin,
+                frame_relay(RelayMsg::kRelayReport, report.serialize()),
+                relayed, /*aggregate=*/false);
+}
+
 void RelayNode::enqueue_aggregate(AggregateReport agg, bool relayed) {
-  if (queue_out_.size() >= config_.queue_depth) {
-    ++stats_.reports_dropped;
-    if (inst_.relay_drops) inst_.relay_drops->add();
-    if (obs::TraceRecorder* trace = config_.trace;
-        trace && trace->enabled(obs::Subsystem::kOverlay)) {
-      trace->instant(obs::Subsystem::kOverlay, queue_.now(), "relay_drop",
-                     {{"node", static_cast<uint64_t>(self_)},
-                      {"flood", static_cast<uint64_t>(agg.flood)},
-                      {"origin", static_cast<uint64_t>(agg.head)}});
-    }
-    return;
-  }
   agg.queue = std::max(agg.queue, occupancy_byte());
-  if (inst_.occupancy) {
-    inst_.occupancy->observe(static_cast<double>(occupancy_byte()) / 255.0);
-  }
-  queue_out_.push_back({agg.flood,
-                        frame_relay(RelayMsg::kAggregateReport,
-                                    agg.serialize()),
-                        relayed, /*aggregate=*/true});
-  if (!draining_) {
-    draining_ = true;
-    schedule(config_.forward_spacing, [this] { drain_one(); });
-  }
+  enqueue_frame(agg.flood, agg.head,
+                frame_relay(RelayMsg::kAggregateReport, agg.serialize()),
+                relayed, /*aggregate=*/true);
 }
 
 void RelayNode::drain_one() {

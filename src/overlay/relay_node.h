@@ -94,6 +94,24 @@ struct RelayNodeConfig {
   const energy::DeviceMeter* meter = nullptr;
   /// Cluster-head aggregation (hierarchical collection).
   AggregationConfig aggregation;
+  /// Adversarial compromise of THIS node (src/adversary). A compromised
+  /// relay keeps serving its own requests -- staying a credible tree
+  /// member is the attack's cover -- but turns on the traffic it relays
+  /// for others.
+  struct Compromise {
+    /// Silently discard relayed reports/aggregates (counted
+    /// dropped_adversarial, never conflated with queue overflow).
+    bool drop_relayed = false;
+    /// Scribble relayed frames instead of dropping: the mangled bytes
+    /// still burn queue slots and spacing here, then land in the NEXT
+    /// hop's (or the transport's) malformed_frames accounting.
+    bool corrupt_relayed = false;
+    /// Sybil flood: forged-origin reports injected per first-sight flood.
+    uint32_t sybil_per_flood = 0;
+    /// Forged origins start here. Set >= num_nodes so the transport can
+    /// reject them by range (spoofed_rejected).
+    net::NodeId sybil_origin_base = 0;
+  } compromise;
 };
 
 class RelayNode {
@@ -141,6 +159,13 @@ class RelayNode {
     /// collection through election-time recovery -- their sessions time
     /// out and the retry flood rebuilds the tree around the dark head.
     uint64_t aggregates_dark_purged = 0;
+    // Adversarial relay behaviour (zero on honest nodes). Kept apart from
+    // reports_dropped (queue overflow) and dropped_dark (dead battery):
+    // attack losses must never be conflated with the overlay's own
+    // congestion or energy accounting.
+    uint64_t dropped_adversarial = 0;    // relayed frames discarded on purpose
+    uint64_t corrupted_adversarial = 0;  // relayed frames scribbled
+    uint64_t sybil_injected = 0;         // forged-origin reports originated
   };
   const Stats& stats() const { return stats_; }
   net::NodeId self() const { return self_; }
@@ -171,6 +196,11 @@ class RelayNode {
   /// drops on overflow.
   void enqueue_report(RelayReport report, bool relayed);
   void enqueue_aggregate(AggregateReport agg, bool relayed);
+  /// Shared store-and-forward admission: overflow accounting, occupancy
+  /// sampling, queue push, drain arming. `origin` only labels the drop
+  /// trace.
+  void enqueue_frame(uint32_t flood, net::NodeId origin, Bytes frame,
+                     bool relayed, bool aggregate);
   void drain_one();
   /// Takes the head role for this flood (if the prover can judge, i.e.
   /// has measured at least once) and arms the aggregation window.

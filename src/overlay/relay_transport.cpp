@@ -30,6 +30,7 @@ void RelayTransport::register_instruments() {
   inst_.reports = &reg->counter("overlay", "reports_received");
   inst_.duplicate_reports = &reg->counter("overlay", "duplicate_reports");
   inst_.stale_reports = &reg->counter("overlay", "stale_reports");
+  inst_.spoofed_rejected = &reg->counter("overlay", "spoofed_rejected");
   // Inclusive upper bounds on integer relay counts; a report that crossed
   // more than 12 relays lands in the overflow bucket.
   inst_.hops = &reg->histogram("overlay", "hop_count",
@@ -243,6 +244,17 @@ void RelayTransport::on_datagram(const net::Datagram& dgram) {
   const auto report = RelayReport::deserialize(framed->second);
   if (!report || !valid_msg_type(report->inner_type)) {
     ++stats_.malformed_frames;
+    return;
+  }
+  if (report->origin >= num_nodes_) {
+    // Claimed origin does not exist on this network: a Sybil/spoofed
+    // report. Rejected BEFORE the congestion sample and route-cache
+    // refresh below -- forged traffic must not poison either.
+    ++stats_.spoofed_rejected;
+    if (inst_.spoofed_rejected) inst_.spoofed_rejected->add();
+    trace_overlay("spoofed_rejected",
+                  {{"flood", static_cast<uint64_t>(report->flood)},
+                   {"origin", static_cast<uint64_t>(report->origin)}});
     return;
   }
   // Any well-formed report carries live routing and congestion evidence,

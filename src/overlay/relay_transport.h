@@ -125,6 +125,11 @@ class RelayTransport : public attest::Transport {
     uint64_t duplicate_reports = 0;  // same (flood, origin) via another path
     uint64_t stale_reports = 0;      // flood id outside the dedup window
     uint64_t malformed_frames = 0;
+    /// Reports whose claimed origin is not a node that exists on this
+    /// network (Sybil / spoofed-origin injection). Rejected before any
+    /// route-cache or congestion state is touched, and counted apart
+    /// from malformed_frames: the frame parsed fine -- its identity lied.
+    uint64_t spoofed_rejected = 0;
     // Hierarchical collection:
     uint64_t aggregates_received = 0;   // accepted aggregate frames
     uint64_t duplicate_aggregates = 0;  // same (flood, head) again
@@ -197,6 +202,7 @@ class RelayTransport : public attest::Transport {
     obs::Counter* reports = nullptr;
     obs::Counter* duplicate_reports = nullptr;
     obs::Counter* stale_reports = nullptr;
+    obs::Counter* spoofed_rejected = nullptr;
     obs::Histogram* hops = nullptr;
   } inst_;
 };

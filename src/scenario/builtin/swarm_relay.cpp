@@ -14,6 +14,7 @@
 // metrics to `threads=1`: provers advance on shard queues between
 // barriers, while every packet of the overlay runs on the single-threaded
 // coordinator clock.
+#include "adversary/adversary.h"
 #include "scenario/scenario.h"
 #include "scenario/sharded_runner.h"
 
@@ -79,6 +80,25 @@ class SwarmRelayScenario : public Scenario {
                         "500mJ, 2J); devices that exhaust it go dark. "
                         "Empty = unmetered; 0J = metered but unlimited "
                         "(joule accounting only)"},
+        {"adversary", "off", "attacker family: off | roaming (mobile "
+                             "malware hopping hosts) | relay (compromised "
+                             "relays drop/corrupt relayed frames) | sybil "
+                             "(compromised relays flood forged-origin "
+                             "reports)"},
+        {"adversary_dwell", "12m", "useful-work time the roaming malware "
+                                   "needs on one host (REQUIRED unit; the "
+                                   "paper's T_M-vs-dwell lever)"},
+        {"migration", "aware", "roaming strategy: random | aware "
+                               "(measurement-schedule aware) | dwell "
+                               "(random host, randomized dwell)"},
+        {"adversary_chains", "2", "independent roaming infection chains"},
+        {"adversary_at", "5m", "earliest first-infection time into the run"},
+        {"compromised", "0.15", "relay/sybil: fraction of relay nodes "
+                                "compromised (at least one)"},
+        {"sybil_reports", "4", "sybil: forged-origin reports injected per "
+                               "first-sight flood"},
+        {"relay_corrupt", "off", "relay: corrupt relayed frames instead of "
+                                 "dropping them (on|off)"},
     };
   }
 
@@ -149,6 +169,24 @@ class SwarmRelayScenario : public Scenario {
       cfg.energy.metered = true;
       cfg.energy.battery = params.get_energy("battery", {});
     }
+    // Adversary knobs go through the loud parsers: `adversary=banana` and
+    // a unitless `adversary_dwell=12` both throw with the offending value.
+    cfg.adversary.mode =
+        adversary::parse_mode(params.get_str("adversary", "off"));
+    cfg.adversary.migration =
+        adversary::parse_migration(params.get_str("migration", "aware"));
+    cfg.adversary.dwell =
+        params.get_duration("adversary_dwell", Duration::minutes(12));
+    cfg.adversary.chains =
+        static_cast<size_t>(params.get_u64("adversary_chains", 2));
+    cfg.adversary.first_infection =
+        params.get_duration("adversary_at", Duration::minutes(5));
+    cfg.adversary.seed = params.get_u64("seed", 2024);
+    cfg.adversary.compromised_fraction =
+        params.get_double("compromised", 0.15);
+    cfg.adversary.sybil_per_flood =
+        static_cast<uint32_t>(params.get_u64("sybil_reports", 4));
+    cfg.adversary.corrupt_frames = params.get_bool("relay_corrupt", false);
 
     sink.note("devices", static_cast<uint64_t>(cfg.plan.devices()));
     sink.note("seed", params.get_u64("seed", 2024));
@@ -160,6 +198,7 @@ class SwarmRelayScenario : public Scenario {
     sink.note("window", params.get_str("window", "default"));
     sink.note("scoped_retries", params.get_bool("scoped_retries", false));
     sink.note("aggregate", agg);
+    sink.note("adversary", params.get_str("adversary", "off"));
 
     ShardedFleetRunner runner(cfg);
 
@@ -215,6 +254,23 @@ class SwarmRelayScenario : public Scenario {
       sink.note("demand_fetches_total", runner.service().stats().demand_fetches);
       sink.note("aggregated_sessions_total",
                 runner.service().stats().aggregated_sessions);
+    }
+    // Campaign outcome: how the configured attacker actually fared.
+    if (const adversary::Engine* engine = runner.adversary_engine()) {
+      sink.note("chains_planned",
+                static_cast<uint64_t>(engine->chain_count()));
+      sink.note("chains_detected",
+                static_cast<uint64_t>(engine->detected_chains()));
+      sink.note("detection_probability", engine->detection_probability());
+      sink.note("detection_latency_min",
+                engine->mean_detection_latency().to_seconds() / 60.0);
+      sink.note("migrations_total", engine->migrations_total());
+      sink.note("evasions_total", engine->evasions_total());
+      sink.note("captures_total", engine->captures_total());
+      sink.note("dropped_adversarial_total", totals.dropped_adversarial);
+      sink.note("corrupted_adversarial_total", totals.corrupted_adversarial);
+      sink.note("sybil_injected_total", totals.sybil_injected);
+      sink.note("spoofed_rejected_total", totals.spoofed_rejected);
     }
     uint64_t weighted = 0;
     uint64_t reports = 0;

@@ -122,6 +122,7 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
   // before the scenario runs) so scenario signatures stay unchanged.
   trace_ = obs::global_trace();
   if (trace_) trace_->attach_shards(shards_.size());
+  build_adversary();
   if (config_.energy.metered) build_energy_meter();
   attach_device_observers();
 
@@ -133,6 +134,18 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
   attest::Transport* transport = &direct_transport_;
   if (config_.backend == CollectionBackend::kOverlay) {
     build_overlay();
+    // Loss bursts ride the coordinator queue (the radio's clock): jump
+    // the loss rate at burst start, restore the configured baseline at
+    // burst end. The RNG stream is untouched, so the schedule is as
+    // deterministic as a fixed rate.
+    for (const adversary::LossBurst& burst : config_.adversary.loss_bursts) {
+      coordinator_queue_.schedule_at(burst.at, [this, loss = burst.loss] {
+        overlay_net_->set_loss_probability(loss);
+      });
+      coordinator_queue_.schedule_at(burst.at + burst.duration, [this] {
+        overlay_net_->set_loss_probability(config_.overlay.net_loss);
+      });
+    }
     transport = relay_transport_.get();
     sc.response_timeout = config_.overlay.response_timeout;
     sc.max_retries = config_.overlay.max_retries;
@@ -144,6 +157,33 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
         [this](const attest::AttestationService::SessionOutcome& outcome) {
           round_outcomes_.push_back(outcome);
         });
+  }
+}
+
+void ShardedFleetRunner::build_adversary() {
+  const adversary::EngineConfig& ac = config_.adversary;
+  if (ac.mode == adversary::Mode::kOff && ac.partitions.empty() &&
+      ac.loss_bursts.empty()) {
+    return;  // inert: no engine, no "adversary" rows, no extra code paths
+  }
+  const sim::Time horizon =
+      sim::Time::zero() + config_.round_interval * config_.rounds;
+  engine_ = std::make_unique<adversary::Engine>(
+      ac, specs_, config_.plan.staggered, config_.root, horizon);
+  engine_->set_trace(trace_);
+  // Itinerary legs run on the owning device's shard queue -- the same
+  // placement schedule_on_device uses -- so enter/leave interleave with
+  // that device's measurements deterministically at any thread count.
+  for (size_t i = 0; i < engine_->legs().size(); ++i) {
+    const adversary::Leg& leg = engine_->legs()[i];
+    attest::Prover* target = stacks_[leg.device].prover.get();
+    sim::EventQueue& queue = *shards_[shard_of(leg.device)].queue;
+    queue.schedule_at(leg.enter,
+                      [this, i, target] { engine_->enter_leg(i, *target); });
+    if (leg.leave <= horizon) {
+      queue.schedule_at(
+          leg.leave, [this, i, target] { engine_->leave_leg(i, *target); });
+    }
   }
 }
 
@@ -201,6 +241,21 @@ void ShardedFleetRunner::build_overlay() {
               1, m.cost().measurement_nj * bytes / attested);
           if (m.charge_cpu(nj, at)) stacks_[id].prover->stop();
         };
+      }
+    }
+    nc.compromise = {};
+    if (engine_ && engine_->relay_compromised(id)) {
+      if (config_.adversary.mode == adversary::Mode::kSybil) {
+        nc.compromise.sybil_per_flood = config_.adversary.sybil_per_flood;
+        // Forged origins live past the last real node id (fleet + verifier),
+        // disjoint per compromised relay, so the transport rejects them by
+        // range and the counts attribute cleanly.
+        nc.compromise.sybil_origin_base = static_cast<net::NodeId>(
+            specs_.size() + 1 + id * config_.adversary.sybil_per_flood);
+      } else if (config_.adversary.corrupt_frames) {
+        nc.compromise.corrupt_relayed = true;
+      } else {
+        nc.compromise.drop_relayed = true;
       }
     }
     relay_nodes_.push_back(std::make_unique<overlay::RelayNode>(
@@ -291,20 +346,25 @@ void ShardedFleetRunner::attach_device_observers() {
   // buffer and its own meter, from its own shard's thread -- the lock-free
   // discipline TraceShard and DeviceMeter both want.
   const bool tracing = trace_ && trace_->shard(0);
-  if (!tracing && !energy_meter_) return;
+  if (!tracing && !energy_meter_ && !engine_) return;
   for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
     obs::TraceShard* shard = tracing ? trace_->shard(shard_of(id)) : nullptr;
     energy::DeviceMeter* meter =
         energy_meter_ ? &energy_meter_->device(id) : nullptr;
     attest::Prover* prover = stacks_[id].prover.get();
+    adversary::Engine* engine = engine_.get();
     const auto actor = static_cast<uint32_t>(id);
     prover->set_measurement_observer(
-        [shard, meter, prover, actor](sim::Time at, uint64_t t_ticks) {
+        [shard, meter, prover, engine, actor](sim::Time at,
+                                              uint64_t t_ticks) {
           if (shard) {
             shard->emit({at, actor, obs::Subsystem::kDevice,
                          obs::TraceKind::kInstant, "measure",
                          {{"t", t_ticks}}});
           }
+          // Resident malware is captured by this measurement (shard-side:
+          // the engine only touches this device's slots).
+          if (engine) engine->on_measurement(actor, at);
           // The measurement that empties the battery is the device's last:
           // stop the schedule shard-side, immediately. The coordinator's
           // barrier sweep handles the trace event and the dark count.
@@ -354,6 +414,12 @@ bool ShardedFleetRunner::link_up(net::NodeId a, net::NodeId b) {
   const swarm::DeviceId da = device(a);
   const swarm::DeviceId db = device(b);
   if (da == db) return true;
+  // Scheduled partitions veto the link before mobility is consulted. The
+  // partition schedule is pure config, so the veto -- and therefore the
+  // mobility RNG draw order -- stays deterministic at any thread count.
+  if (engine_ && !engine_->link_allowed(da, db, coordinator_queue_.now())) {
+    return false;
+  }
   // Single-threaded invariant: the link filter only runs from coordinator
   // events (floods, relays), while every shard queue is parked at the
   // barrier -- so the shared mobility RNG is consumed in deterministic
@@ -459,7 +525,7 @@ FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
   // accumulating one per session per round for the runner's lifetime.
   coordinator_queue_.run_until(at);
 
-  const auto judge = [&result](
+  const auto judge = [this, &result](
       const attest::AttestationService::SessionOutcome& outcome) {
     // An aggregated outcome carries no per-measurement history: the
     // head's healthy bit stands in for freshness (the head judged the
@@ -472,6 +538,9 @@ FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
     } else {
       ++result.flagged;
     }
+    // The engine attributes failed verdicts to campaigns (detection
+    // latency starts its clock at infection, stops here).
+    if (engine_) engine_->on_verdict(outcome.device, healthy, outcome.at);
   };
 
   if (config_.backend == CollectionBackend::kDirect) {
@@ -484,6 +553,15 @@ FleetRoundResult ShardedFleetRunner::collect_round(size_t round,
       if (active(id)) continue;
       for (const swarm::DeviceId nb : topo.neighbors(id)) {
         topo.remove_edge(id, nb);
+      }
+    }
+    if (engine_) {
+      // Scheduled partitions cut the direct backend's tree exactly like
+      // the overlay's link filter: edges across the cut disappear.
+      for (swarm::DeviceId id = 0; id < stacks_.size(); ++id) {
+        for (const swarm::DeviceId nb : topo.neighbors(id)) {
+          if (!engine_->link_allowed(id, nb, at)) topo.remove_edge(id, nb);
+        }
       }
     }
     const auto tree = topo.bfs_tree(config_.root);
@@ -568,6 +646,10 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
     // Barrier: drain the shards' device events BEFORE any coordinator
     // event of this round, so the merged order is partition-independent.
     if (trace_) trace_->merge_shards();
+    // Adversary itinerary instants for the interval just simulated
+    // (timestamps inside it, like the dark sweep's) -- after the shard
+    // merge, before this round's coordinator events.
+    if (engine_) engine_->emit_trace(barrier);
     const auto coord_start = std::chrono::steady_clock::now();
     if (trace_runner) {
       trace_->span_begin(obs::Subsystem::kRunner, barrier, "collect",
@@ -627,6 +709,7 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
       }
     }
     emit_energy_round(sink, round);
+    emit_adversary_round(sink, round, before);
     emit_metrics_round(sink, round);
     phases_.record_coordinator(
         std::chrono::duration<double, std::milli>(
@@ -688,11 +771,15 @@ ShardedFleetRunner::OverlayTotals ShardedFleetRunner::overlay_totals() const {
     totals.aggregates_built += s.aggregates_built;
     totals.aggregates_relayed += s.aggregates_relayed;
     totals.aggregates_dark_purged += s.aggregates_dark_purged;
+    totals.dropped_adversarial += s.dropped_adversarial;
+    totals.corrupted_adversarial += s.corrupted_adversarial;
+    totals.sybil_injected += s.sybil_injected;
   }
   const overlay::RelayTransport::Stats& t = relay_transport_->stats();
   totals.malformed_frames += t.malformed_frames;
   totals.duplicate_reports += t.duplicate_reports;
   totals.stale_reports += t.stale_reports;
+  totals.spoofed_rejected += t.spoofed_rejected;
   totals.scoped_sent += t.scoped_sent;
   totals.aggregates_received += t.aggregates_received;
   totals.duplicate_aggregates += t.duplicate_aggregates;
@@ -785,6 +872,36 @@ void ShardedFleetRunner::emit_energy_round(MetricsSink& sink, size_t round) {
   }
   last_energy_totals_ = now;
   last_dark_ = dark;
+}
+
+void ShardedFleetRunner::emit_adversary_round(MetricsSink& sink, size_t round,
+                                              const OverlayTotals& before) {
+  if (!engine_) return;
+  // Campaign progress as deltas of the engine's cumulative counters;
+  // `active` is a gauge (legs resident right now) and the latency column
+  // is the cumulative mean over detected chains. Columns are fixed --
+  // zeros where a family is off -- so the table's shape never depends on
+  // which attacks fired.
+  const adversary::Engine::Snapshot now = engine_->snapshot();
+  const OverlayTotals totals = overlay_totals();
+  sink.row(
+      "adversary",
+      {{"round", static_cast<uint64_t>(round)},
+       {"infections", now.infections - last_adversary_.infections},
+       {"migrations", now.migrations - last_adversary_.migrations},
+       {"evasions", now.evasions - last_adversary_.evasions},
+       {"captures", now.captures - last_adversary_.captures},
+       {"detections", now.detections - last_adversary_.detections},
+       {"active", now.active},
+       {"detection_latency_ms", now.mean_detection_latency_ms},
+       {"dropped_adversarial",
+        totals.dropped_adversarial - before.dropped_adversarial},
+       {"corrupted_adversarial",
+        totals.corrupted_adversarial - before.corrupted_adversarial},
+       {"sybil_injected", totals.sybil_injected - before.sybil_injected},
+       {"spoofed_rejected",
+        totals.spoofed_rejected - before.spoofed_rejected}});
+  last_adversary_ = now;
 }
 
 void ShardedFleetRunner::emit_metrics_round(MetricsSink& sink, size_t round) {

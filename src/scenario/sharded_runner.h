@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "adversary/adversary.h"
 #include "attest/directory.h"
 #include "attest/service.h"
 #include "attest/transport.h"
@@ -129,6 +130,11 @@ struct ShardedFleetConfig {
     bool metered = false;
     sim::Energy battery{};  // per-device capacity; 0 = unlimited
   } energy;
+  /// Adversary engine (src/adversary): roaming malware itineraries,
+  /// compromised relays, and scheduled partition/loss fault injection.
+  /// Mode kOff with empty fault lists leaves every code path -- and every
+  /// byte of output -- exactly as without the engine.
+  adversary::EngineConfig adversary;
 };
 
 struct FleetRoundResult {
@@ -204,6 +210,11 @@ class ShardedFleetRunner {
     uint64_t aggregates_dark_purged = 0;
     uint64_t aggregates_received = 0;   // transport: accepted frames
     uint64_t duplicate_aggregates = 0;  // transport: dedup'd frames
+    // Adversarial relay behaviour (zero without compromised relays):
+    uint64_t dropped_adversarial = 0;    // relays: frames discarded on purpose
+    uint64_t corrupted_adversarial = 0;  // relays: frames scribbled
+    uint64_t sybil_injected = 0;         // relays: forged reports originated
+    uint64_t spoofed_rejected = 0;       // transport: forged origins rejected
     std::vector<uint64_t> hops;  // transport hop histogram
   };
   OverlayTotals overlay_totals() const;
@@ -223,6 +234,9 @@ class ShardedFleetRunner {
   const energy::FleetMeter* energy_meter() const {
     return energy_meter_.get();
   }
+  /// The adversary engine (nullptr when adversary.mode is kOff and no
+  /// fault events are scheduled) -- detection stats for scenarios/benches.
+  const adversary::Engine* adversary_engine() const { return engine_.get(); }
   /// Wall-clock phase profile of run(): shard work vs barrier wait vs
   /// coordinator drain. Host-dependent -- report, never gate.
   const obs::PhaseProfiler& phases() const { return phases_; }
@@ -283,6 +297,15 @@ class ShardedFleetRunner {
   /// Per-round "energy" row (per-bucket mJ deltas, dark counts) plus the
   /// energy gauges/histogram snapshotted by emit_metrics_round.
   void emit_energy_round(MetricsSink& sink, size_t round);
+  /// Builds the adversary engine (when configured) and schedules its
+  /// itinerary legs on the owning shards plus fault events on the
+  /// coordinator queue.
+  void build_adversary();
+  /// Per-round "adversary" row: campaign deltas (infections, migrations,
+  /// evasions, captures, detections), current residency, the cumulative
+  /// mean detection latency, and the round's adversarial relay losses.
+  void emit_adversary_round(MetricsSink& sink, size_t round,
+                            const OverlayTotals& before);
 
   ShardedFleetConfig config_;
   std::vector<swarm::DeviceSpec> specs_;  // indexed by global DeviceId
@@ -299,6 +322,12 @@ class ShardedFleetRunner {
   size_t last_dark_ = 0;
   std::function<void(ShardedFleetRunner&, size_t, sim::Time)> round_hook_;
   bool started_ = false;
+  /// Adversary engine (nullptr when inert). Planned at construction;
+  /// shard-side hooks touch only per-device slots, coordinator hooks run
+  /// at barriers -- see adversary/adversary.h for the determinism
+  /// contract.
+  std::unique_ptr<adversary::Engine> engine_;
+  adversary::Engine::Snapshot last_adversary_;  // previous round's row
 
   // Verifier side: one shared service over the whole fleet. Collection at
   // barriers is single-threaded on the coordinator, whose own queue (the

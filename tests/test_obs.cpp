@@ -31,7 +31,8 @@ TEST(TraceFilter, ParsesKnownNames) {
   EXPECT_EQ(parse_subsystem_filter("service"),
             1u << static_cast<uint8_t>(Subsystem::kService));
   EXPECT_EQ(
-      parse_subsystem_filter("runner,service,window,overlay,device,energy"),
+      parse_subsystem_filter(
+          "runner,service,window,overlay,device,energy,adversary"),
       all_subsystems());
 }
 

@@ -172,6 +172,46 @@ def main():
         elif fetches:
             print(f"  demand fetches: {len(fetches)}")
 
+    # Adversary digest: campaign itinerary (infections, hops, evasions),
+    # what self-measurement captured, and the detection outcomes with
+    # their latencies.
+    adv = [(ts, name, a) for ts, cat, _, name, _, a in events
+           if cat == "adversary"]
+    if adv:
+        kinds = Counter(name for _, name, _ in adv)
+        print("\nadversary campaign:")
+        print(f"  infections: {kinds.get('infect', 0)}, "
+              f"migrations: {kinds.get('migrate', 0)}, "
+              f"evasive hops: {kinds.get('evade', 0)}, "
+              f"clean departures: {kinds.get('leave', 0)}")
+        captured = kinds.get("captured", 0)
+        if captured:
+            print(f"  captured by self-measurement: {captured}")
+        detections = [(ts, a) for ts, name, a in adv if name == "detected"]
+        if detections:
+            latencies = [a.get("latency_ms", 0.0) for _, a in detections]
+            chains = {a.get("chain") for _, a in detections}
+            print(f"  detected: {len(detections)} chains "
+                  f"({sorted(chains)}), latency "
+                  f"{min(latencies) / 6e4:.1f}..{max(latencies) / 6e4:.1f} "
+                  f"min (mean "
+                  f"{sum(latencies) / len(latencies) / 6e4:.1f} min)")
+    # Relay-layer attacks surface in the overlay category (they are relay
+    # behavior, just malicious): show them alongside the campaign digest.
+    relay_kinds = Counter(name for _, cat, _, name, _, _ in events
+                          if cat == "overlay" and name in
+                          ("adversarial_drop", "adversarial_corrupt",
+                           "sybil_inject", "spoofed_rejected"))
+    if relay_kinds:
+        if not adv:
+            print("\nadversary campaign:")
+        print(f"  relay layer: {relay_kinds.get('adversarial_drop', 0)} "
+              f"adversarial drops, "
+              f"{relay_kinds.get('adversarial_corrupt', 0)} corruptions, "
+              f"{relay_kinds.get('sybil_inject', 0)} sybil floods, "
+              f"{relay_kinds.get('spoofed_rejected', 0)} spoofed origins "
+              f"rejected")
+
     # Energy digest: planner decisions (with their reason codes) and the
     # battery-exhaustion timeline recorded by the runtime meter.
     decisions = [(ts, a) for ts, cat, ph, name, _, a in events
