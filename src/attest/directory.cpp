@@ -178,9 +178,14 @@ DeviceId DeviceDirectory::add(net::NodeId node, DeviceRecord record) {
   validate_record(record);
   Entry entry;
   entry.node = node;
-  entry.owned = std::make_unique<DeviceRecord>(std::move(record));
-  entry.record = entry.owned.get();
-  return insert(std::move(entry));
+  entry.owned = &arena_.emplace_back(std::move(record));
+  entry.record = entry.owned;
+  try {
+    return insert(std::move(entry));
+  } catch (...) {
+    arena_.pop_back();  // duplicate node: don't leak the arena slot
+    throw;
+  }
 }
 
 DeviceId DeviceDirectory::link(net::NodeId node, const DeviceRecord* live) {
@@ -211,7 +216,7 @@ const DeviceRecord& DeviceDirectory::record(DeviceId id) const {
 
 DeviceRecord& DeviceDirectory::owned_record(DeviceId id) {
   Entry& entry = entries_.at(id);
-  if (!entry.owned) {
+  if (entry.owned == nullptr) {
     throw std::logic_error(
         "DeviceDirectory: linked record; mutate the live source");
   }

@@ -14,7 +14,7 @@
 // directory aliases it).
 #pragma once
 
-#include <memory>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -106,12 +106,18 @@ class DeviceDirectory {
  private:
   struct Entry {
     net::NodeId node = 0;
-    std::unique_ptr<DeviceRecord> owned;  // null for linked entries
+    DeviceRecord* owned = nullptr;  // arena slot; null for linked entries
     const DeviceRecord* record = nullptr;  // always valid
   };
 
   DeviceId insert(Entry entry);
 
+  /// Owned records live in one arena instead of N heap allocations -- a
+  /// fleet enrolls devices in id order, so the verifier core's record
+  /// lookups walk contiguous(ish) memory during a batched verify pass.
+  /// A deque never relocates on push_back, so Entry::owned pointers and
+  /// record() references stay valid across enrollment.
+  std::deque<DeviceRecord> arena_;
   std::vector<Entry> entries_;
   std::unordered_map<net::NodeId, DeviceId> by_node_;
 };

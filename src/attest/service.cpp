@@ -87,6 +87,7 @@ void AttestationService::stop() {
     retry_flush_event_.reset();
   }
   retry_batch_.clear();
+  verify_intake_.clear();
   active_.clear();
   pending_.clear();
   in_flight_ = 0;
@@ -263,8 +264,15 @@ void AttestationService::pump() {
       }
       const Bytes body = CollectRequest{round_k_}.serialize();
       // Synchronous transports deliver responses (and erase sessions)
-      // during this call; the outer loop then re-checks the window.
+      // during this call; the outer loop then re-checks the window. With
+      // a verify executor those deliveries are only TAKEN IN here and
+      // bulk-verified right after the broadcast returns -- same verdicts,
+      // same completion order, one parallel MAC pass instead of N inline
+      // ones.
+      defer_verify_ = config_.verify_executor != nullptr;
       transport_.broadcast(batch, MsgType::kCollectRequest, body);
+      defer_verify_ = false;
+      flush_deferred_verifies();
       // Arm timeouts only for sessions the broadcast did not already
       // complete: the all-synchronous hot path (Fleet over a
       // DirectTransport) then never touches the event queue at all.
@@ -345,7 +353,12 @@ void AttestationService::flush_retries() {
   }
   const Bytes body = CollectRequest{round_k_}.serialize();
   transport_.hint_retry_wave();
+  // Same deferral as pump()'s dispatch: responses a synchronous backend
+  // loops back during this broadcast verify in one bulk pass after it.
+  defer_verify_ = config_.verify_executor != nullptr;
   transport_.broadcast(batch, MsgType::kCollectRequest, body);
+  defer_verify_ = false;
+  flush_deferred_verifies();
   for (const net::NodeId node : batch) {
     const auto it = active_.find(node);
     if (it != active_.end()) arm_timeout(it->second);
@@ -386,6 +399,21 @@ void AttestationService::on_receive(net::NodeId src, MsgType type,
     if (!resp) {
       ++stats_.stray_datagrams;
       if (inst_.stray_datagrams != nullptr) inst_.stray_datagrams->add();
+      return;
+    }
+    if (defer_verify_) {
+      // A broadcast is on the stack: park the response for the bulk MAC
+      // pass instead of judging it here. The session stays in active_ so
+      // its slot still counts against the window; intaken guards against
+      // a second response landing before the flush (a duplicate, counted
+      // exactly as the inline path would count it after completion).
+      if (session.intaken) {
+        ++stats_.stray_datagrams;
+        if (inst_.stray_datagrams != nullptr) inst_.stray_datagrams->add();
+        return;
+      }
+      session.intaken = true;
+      verify_intake_.push_back({src, session.device, std::move(*resp)});
       return;
     }
     CollectionReport report = verify_collection(
@@ -498,6 +526,47 @@ void AttestationService::on_timeout(net::NodeId node) {
   // unattended prover this itself is a QoA event worth logging.
   complete(node, /*reachable=*/false, CollectionReport{},
            /*fresh_valid=*/false);
+}
+
+void AttestationService::flush_deferred_verifies() {
+  if (verify_intake_.empty()) return;
+  const size_t n = verify_intake_.size();
+  // Bulk MAC pass: verify_collection is a pure function of (record,
+  // response, now, k), so every intaken response can be judged
+  // concurrently into its own report slot. Chunks are grouped by MAC
+  // algorithm first (stable sort, so within an algorithm intake order is
+  // kept) -- on a heterogeneous fleet each worker then stays on one arch
+  // family's crypto code path instead of ping-ponging between them.
+  std::vector<CollectionReport> reports(n);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return directory_.record(verify_intake_[a].device).algo <
+           directory_.record(verify_intake_[b].device).algo;
+  });
+  const sim::Time now = queue_.now();
+  constexpr size_t kChunk = 8;
+  const size_t chunks = (n + kChunk - 1) / kChunk;
+  config_.verify_executor->run(chunks, [&](size_t c) {
+    const size_t lo = c * kChunk;
+    const size_t hi = std::min(lo + kChunk, n);
+    for (size_t j = lo; j < hi; ++j) {
+      const size_t idx = order[j];
+      const PendingVerify& pv = verify_intake_[idx];
+      reports[idx] = verify_collection(directory_.record(pv.device), pv.resp,
+                                       now, round_k_);
+    }
+  });
+  // Completion is sequential, in INTAKE order -- the order the inline
+  // path judged responses as the transport delivered them -- so stats,
+  // window moves, traces and streamed outcomes are byte-identical.
+  // Swap first: complete() can re-enter pump() and start a new intake.
+  std::vector<PendingVerify> intake;
+  intake.swap(verify_intake_);
+  for (size_t i = 0; i < n; ++i) {
+    complete(intake[i].node, /*reachable=*/true, std::move(reports[i]),
+             /*fresh_valid=*/false);
+  }
 }
 
 void AttestationService::complete(net::NodeId node, bool reachable,

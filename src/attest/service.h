@@ -37,6 +37,7 @@
 #include "attest/directory.h"
 #include "attest/transport.h"
 #include "attest/window.h"
+#include "common/parallel.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
@@ -70,6 +71,17 @@ struct ServiceConfig {
   /// per-device response-latency histogram under subsystem "service" (the
   /// window trajectory gauge under "window"). Not owned; nullptr = off.
   obs::Registry* metrics = nullptr;
+  /// Verifier-core executor for batched report verification (kCollect
+  /// rounds). Responses a broadcast delivers synchronously are taken in
+  /// without judging, their MACs verified in bulk after the broadcast
+  /// returns -- chunked per MAC algorithm, so each worker runs one arch
+  /// family's code path -- and the sessions then completed in intake
+  /// order. Verdicts, stats and traces are byte-identical to the inline
+  /// per-session path (verification is a pure function; only its wall
+  /// placement moves). Asynchronous transports are unaffected: their
+  /// responses arrive outside any broadcast and verify inline as before.
+  /// Not owned; nullptr = always verify inline.
+  common::ParallelExecutor* verify_executor = nullptr;
 };
 
 class AttestationService {
@@ -214,6 +226,10 @@ class AttestationService {
     /// judged against it so a slow answer to attempt 1 arriving after a
     /// retry is still fresh-since-we-asked, not "tampering".
     uint64_t treq = 0;
+    /// Batched verify: a response for this session sits in verify_intake_
+    /// awaiting the bulk MAC pass; a second response meanwhile is a
+    /// duplicate (stray), exactly as the inline path would count it.
+    bool intaken = false;
     std::optional<sim::EventId> timeout;
   };
 
@@ -248,6 +264,11 @@ class AttestationService {
   void trace_window(const char* name, const char* reason);
   void complete(net::NodeId node, bool reachable, CollectionReport report,
                 bool fresh_valid, bool aggregated = false);
+  /// Bulk-verifies everything in verify_intake_ on the verify executor
+  /// (chunked, grouped by MAC algorithm) and completes the sessions in
+  /// intake order -- the exact order the inline path would have judged
+  /// them. Runs after a broadcast returns, inside the pump's guard.
+  void flush_deferred_verifies();
   void finish_round();
 
   sim::EventQueue& queue_;
@@ -263,6 +284,16 @@ class AttestationService {
 
   std::deque<DeviceId> pending_;
   uint32_t round_k_ = 0;  // one uniform k per round, by construction
+  /// Batched verify (kCollect over synchronous transports): responses
+  /// delivered DURING a broadcast are parked here instead of being judged
+  /// inline, then flushed through the verify executor in one bulk pass.
+  struct PendingVerify {
+    net::NodeId node = 0;
+    DeviceId device = 0;
+    CollectResponse resp;
+  };
+  std::vector<PendingVerify> verify_intake_;
+  bool defer_verify_ = false;  // true only while a broadcast is on the stack
   std::vector<net::NodeId> retry_batch_;
   std::optional<sim::EventId> retry_flush_event_;
   std::unordered_map<net::NodeId, Session> active_;

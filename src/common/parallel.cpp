@@ -1,0 +1,91 @@
+#include "common/parallel.h"
+
+#include <stdexcept>
+
+namespace erasmus::common {
+
+ParallelExecutor::ParallelExecutor(size_t threads) {
+  if (threads == 0) {
+    throw std::invalid_argument("ParallelExecutor: threads must be >= 1");
+  }
+  workers_.reserve(threads - 1);
+  for (size_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  phase_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ParallelExecutor::run(size_t jobs, const std::function<void(size_t)>& fn) {
+  if (jobs == 0) return;
+  if (workers_.empty() || jobs == 1) {
+    for (size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    jobs_ = jobs;
+    next_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    error_ = nullptr;
+    ++phase_;
+  }
+  phase_cv_.notify_all();
+  work_phase();  // the calling thread is a worker too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return workers_done_ == workers_.size(); });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ParallelExecutor::work_phase() {
+  const std::function<void(size_t)>& fn = *fn_;
+  const size_t jobs = jobs_;
+  for (;;) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= jobs) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      // Abandon unclaimed jobs: the phase is already lost, and run() will
+      // rethrow as soon as every in-flight job drains.
+      next_.store(jobs, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ParallelExecutor::worker_loop() {
+  uint64_t seen_phase = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      phase_cv_.wait(lock, [this, seen_phase] {
+        return stopping_ || phase_ != seen_phase;
+      });
+      if (stopping_) return;
+      seen_phase = phase_;
+    }
+    work_phase();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace erasmus::common

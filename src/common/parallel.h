@@ -1,0 +1,66 @@
+// ParallelExecutor: a persistent worker pool for barrier-phase fan-out.
+//
+// The sharded runner's determinism argument never depends on WHICH thread
+// runs a job -- only on jobs being pure functions that write disjoint
+// slots, with all cross-slot reading happening after run() returns (the
+// join is the barrier). This pool exists so those fan-outs stop paying a
+// thread spawn per phase: workers are created once and parked on a
+// condition variable between phases.
+//
+// Contract:
+//  * run(jobs, fn) invokes fn(0..jobs-1), each index exactly once, on the
+//    calling thread and/or the workers, and returns only when every index
+//    has finished. Job-to-thread assignment is load-stealing and
+//    unspecified -- jobs must not care (disjoint slots, no shared RNG).
+//  * threads == 1 builds no workers at all: run() is a plain loop on the
+//    calling thread, so a single-threaded configuration executes the same
+//    code with zero synchronization.
+//  * The first exception a job throws is rethrown from run() after the
+//    phase drains; remaining unclaimed jobs are abandoned.
+//  * run() is not reentrant (a job must not call run() on its executor).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace erasmus::common {
+
+class ParallelExecutor {
+ public:
+  /// `threads` >= 1: the calling thread plus threads-1 pooled workers.
+  explicit ParallelExecutor(size_t threads);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  size_t threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, jobs), returning after all complete.
+  void run(size_t jobs, const std::function<void(size_t)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claims and runs jobs of the current phase until none remain.
+  void work_phase();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable phase_cv_;  // workers wait for a new phase
+  std::condition_variable done_cv_;   // run() waits for workers to finish
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t jobs_ = 0;
+  std::atomic<size_t> next_{0};
+  size_t workers_done_ = 0;
+  uint64_t phase_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace erasmus::common

@@ -1,0 +1,58 @@
+#include "net/shard_channels.h"
+
+#include <stdexcept>
+
+namespace erasmus::net {
+
+ShardChannels::ShardChannels(size_t domains) : domains_(domains) {
+  if (domains == 0) {
+    throw std::invalid_argument("ShardChannels: need >= 1 domain");
+  }
+  channels_.resize(domains_ * domains_);
+}
+
+void ShardChannels::push(size_t src_domain, size_t dst_domain,
+                         ChannelFrame frame) {
+  if (src_domain >= domains_ || dst_domain >= domains_) {
+    throw std::out_of_range("ShardChannels: domain out of range");
+  }
+  Channel& channel = channels_[index(src_domain, dst_domain)];
+  frame.seq = channel.next_seq++;
+  channel.frames.push_back(std::move(frame));
+}
+
+void ShardChannels::drain(size_t dst_domain,
+                          const std::function<void(const ChannelFrame&)>& fn) {
+  if (dst_domain >= domains_) {
+    throw std::out_of_range("ShardChannels: domain out of range");
+  }
+  bool any = false;
+  for (size_t src = 0; src < domains_; ++src) {
+    Channel& channel = channels_[index(src, dst_domain)];
+    if (channel.frames.empty()) continue;
+    any = true;
+    for (const ChannelFrame& frame : channel.frames) {
+      if (src == dst_domain) {
+        ++counters_.frames_local;
+      } else {
+        ++counters_.frames_cross;
+      }
+      fn(frame);
+    }
+    channel.frames.clear();  // capacity retained for the next phase
+  }
+  if (any) ++counters_.drains;
+}
+
+size_t ShardChannels::pending(size_t dst_domain) const {
+  if (dst_domain >= domains_) {
+    throw std::out_of_range("ShardChannels: domain out of range");
+  }
+  size_t n = 0;
+  for (size_t src = 0; src < domains_; ++src) {
+    n += channels_[index(src, dst_domain)].frames.size();
+  }
+  return n;
+}
+
+}  // namespace erasmus::net

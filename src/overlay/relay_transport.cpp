@@ -14,6 +14,7 @@ bool valid_msg_type(uint8_t raw) {
 RelayTransport::RelayTransport(net::Network& network, net::NodeId self,
                                size_t num_nodes, RelayTransportConfig config)
     : network_(network), self_(self), num_nodes_(num_nodes), config_(config) {
+  routes_.resize(num_nodes_);  // one slot per node; valid gates occupancy
   network_.set_handler(self_,
                        [this](const net::Datagram& d) { on_datagram(d); });
   register_instruments();
@@ -107,9 +108,10 @@ void RelayTransport::launch_scoped(CachedRoute& route, attest::MsgType type,
 }
 
 bool RelayTransport::has_fresh_route(net::NodeId peer) const {
-  const auto it = routes_.find(peer);
-  return it != routes_.end() && !it->second.used &&
-         network_.now() - it->second.learned_at <= config_.route_ttl;
+  if (peer >= routes_.size()) return false;
+  const CachedRoute& route = routes_[peer];
+  return route.valid && !route.used &&
+         network_.now() - route.learned_at <= config_.route_ttl;
 }
 
 void RelayTransport::send(net::NodeId peer, attest::MsgType type,
@@ -126,7 +128,7 @@ void RelayTransport::send(net::NodeId peer, attest::MsgType type,
       // next retry re-floods.
       ++stats_.scoped_sent;
       if (inst_.scoped_sent) inst_.scoped_sent->add();
-      launch_scoped(routes_.at(peer), type, body);
+      launch_scoped(routes_[peer], type, body);
       return;
     }
     ++stats_.scoped_fallbacks;
@@ -158,7 +160,7 @@ void RelayTransport::broadcast(const std::vector<net::NodeId>& peers,
       for (const net::NodeId peer : peers) {
         ++stats_.scoped_sent;
         if (inst_.scoped_sent) inst_.scoped_sent->add();
-        launch_scoped(routes_.at(peer), type, body);
+        launch_scoped(routes_[peer], type, body);
       }
       return;
     }
@@ -232,7 +234,7 @@ void RelayTransport::on_datagram(const net::Datagram& dgram) {
       if (inst_.naks) inst_.naks->add();
       trace_overlay("nak", {{"flood", static_cast<uint64_t>(nak->flood)},
                             {"target", static_cast<uint64_t>(nak->target)}});
-      routes_.erase(nak->target);
+      if (nak->target < routes_.size()) routes_[nak->target].valid = false;
       return;
     }
     case RelayMsg::kAggregateReport:
@@ -276,7 +278,10 @@ void RelayTransport::on_datagram(const net::Datagram& dgram) {
     for (auto hop = report->path.rbegin(); hop != report->path.rend();
          ++hop) {
       route.push_back(*hop);
-      routes_[*hop] = CachedRoute{route, now, /*used=*/false};
+      if (*hop < routes_.size()) {
+        routes_[*hop] = CachedRoute{route, now, /*used=*/false,
+                                    /*valid=*/true};
+      }
     }
   }
   const auto it = delivered_.find(report->flood);
@@ -328,7 +333,10 @@ void RelayTransport::handle_aggregate(ByteView body) {
     route.reserve(env->path.size());
     for (auto hop = env->path.rbegin(); hop != env->path.rend(); ++hop) {
       route.push_back(*hop);
-      routes_[*hop] = CachedRoute{route, now, /*used=*/false};
+      if (*hop < routes_.size()) {
+        routes_[*hop] = CachedRoute{route, now, /*used=*/false,
+                                    /*valid=*/true};
+      }
     }
   }
   if (delivered_.find(env->flood) == delivered_.end()) {

@@ -35,7 +35,6 @@
 
 #include <map>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "aggregate/frame.h"
@@ -156,6 +155,9 @@ class RelayTransport : public attest::Transport {
     /// One scoped attempt per learning: a second retry without a fresh
     /// report in between means the unicast failed silently -- re-flood.
     bool used = false;
+    /// Slot occupancy: the route table is a flat per-node array, so an
+    /// entry exists for every node; only valid ones were ever learned.
+    bool valid = false;
   };
 
   void on_datagram(const net::Datagram& dgram);
@@ -186,7 +188,11 @@ class RelayTransport : public attest::Transport {
   /// tree, so one key space would let whichever arrives first shadow the
   /// other. Staleness still follows delivered_'s flood window.
   std::map<uint32_t, std::set<net::NodeId>> agg_delivered_;
-  std::unordered_map<net::NodeId, CachedRoute> routes_;  // origin -> path
+  /// Flat per-node route table (indexed by origin id). Node ids are dense
+  /// [0, num_nodes), so a vector beats a hash map here: route refreshes
+  /// touch every prefix of every report path, and the flat layout keeps
+  /// those stores on contiguous slots with no rehash churn.
+  std::vector<CachedRoute> routes_;
   std::vector<uint64_t> hops_;
   double pending_congestion_ = 0.0;
   bool next_broadcast_is_retry_ = false;

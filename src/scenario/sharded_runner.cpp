@@ -7,7 +7,6 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
-#include <thread>
 
 namespace erasmus::scenario {
 
@@ -21,6 +20,13 @@ namespace {
 constexpr size_t kDirectRequestBytes = 24;
 constexpr size_t kDirectReportHeaderBytes = 20;
 constexpr size_t kDirectRecordBytes = 73;
+
+// Virtual radio domains for the kDirect batch serve. A property of the
+// FLEET, deliberately independent of the thread count: channel traffic
+// counters must be byte-identical at 1/2/8 threads, so the partition can
+// never follow the executor's width. 16 keeps the job pool wide enough
+// for any shard count this runner targets.
+constexpr size_t kVirtualDomains = 16;
 }  // namespace
 
 WindowSpec WindowSpec::parse(const std::string& text) {
@@ -62,11 +68,13 @@ attest::WindowConfig WindowSpec::resolve(CollectionBackend backend,
   attest::WindowConfig wc;
   switch (mode) {
     case Mode::kBackendDefault:
-      // kDirect keeps the service default (fixed 64: sessions complete
-      // synchronously inside the dispatch loop, the window only bounds
-      // transient state). kOverlay historically floods the whole swarm in
-      // one batch.
-      if (backend == CollectionBackend::kOverlay) wc.fixed = fleet;
+      // Both backends default to a fleet-sized window. Under kDirect every
+      // session completes synchronously inside the dispatch loop, so the
+      // window only bounds transient state -- and a fleet-wide batch lets
+      // the batched serve/verify path fan the whole round out once instead
+      // of in window-sized slices. kOverlay floods the whole swarm in one
+      // batch as it always did.
+      wc.fixed = fleet;
       break;
     case Mode::kFleet:
       wc.fixed = fleet;
@@ -104,6 +112,11 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
   for (auto& shard : shards_) {
     shard.queue = std::make_unique<sim::EventQueue>();
   }
+  // One pool for every parallel phase (shard advance, batch serve, batched
+  // verify, adjacency rows). With one shard it degenerates to inline
+  // execution on the calling thread.
+  executor_ = std::make_unique<common::ParallelExecutor>(shards_.size());
+  mobility_.set_executor(executor_.get());
 
   // Build in global id order: stack construction is partition-independent,
   // only the owning queue differs.
@@ -116,6 +129,18 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
     if (config_.backend == CollectionBackend::kDirect) {
       direct_transport_.attach(id, *stacks_[id].prover);
     }
+  }
+
+  if (config_.backend == CollectionBackend::kDirect) {
+    // Shard-local radio domains: collect broadcasts are served
+    // domain-parallel on the pool, responses crossing domains over SPSC
+    // channels drained in deterministic (domain, sequence) order. The
+    // domain count follows the fleet, never the thread count.
+    direct_transport_.enable_batch_serve(
+        *executor_, std::min(kVirtualDomains, specs_.size()), config_.root);
+    channel_inst_.frames_local = &metrics_.counter("channels", "frames_local");
+    channel_inst_.frames_cross = &metrics_.counter("channels", "frames_cross");
+    channel_inst_.drains = &metrics_.counter("channels", "drains");
   }
 
   // The flight recorder is process-global (installed by the CLI's --trace
@@ -131,6 +156,11 @@ ShardedFleetRunner::ShardedFleetRunner(ShardedFleetConfig config)
   sc.window = config_.window.resolve(config_.backend, specs_.size());
   sc.trace = trace_;
   sc.metrics = &metrics_;
+  // Batched verifier-core crypto at collection barriers: responses a
+  // broadcast loops back synchronously verify in one parallel pass
+  // (grouped per MAC algorithm), byte-identical to inline verification.
+  // Inert under kOverlay, whose responses arrive asynchronously.
+  sc.verify_executor = executor_.get();
   attest::Transport* transport = &direct_transport_;
   if (config_.backend == CollectionBackend::kOverlay) {
     build_overlay();
@@ -480,6 +510,17 @@ size_t ShardedFleetRunner::present_count() const {
       std::count(present_.begin(), present_.end(), true));
 }
 
+size_t ShardedFleetRunner::shard_of(swarm::DeviceId id) const {
+  // First `rem` blocks carry base+1 devices, the rest carry base.
+  const size_t n = specs_.size();
+  const size_t s = shards_.size();
+  const size_t base = n / s;
+  const size_t rem = n % s;
+  const size_t cut = rem * (base + 1);  // first device id of the base blocks
+  if (id < cut) return id / (base + 1);
+  return rem + (id - cut) / base;
+}
+
 void ShardedFleetRunner::advance_all(sim::Time barrier) {
   using clock = std::chrono::steady_clock;
   const auto wall_start = clock::now();
@@ -493,17 +534,12 @@ void ShardedFleetRunner::advance_all(sim::Time barrier) {
     busy_ms[s] =
         std::chrono::duration<double, std::milli>(clock::now() - t0).count();
   };
-  if (shards_.size() == 1) {
-    advance_shard(0);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(shards_.size() - 1);
-    for (size_t s = 1; s < shards_.size(); ++s) {
-      workers.emplace_back([&advance_shard, s] { advance_shard(s); });
-    }
-    advance_shard(0);
-    for (auto& w : workers) w.join();
-  }
+  // The persistent pool replaces a thread spawn/join per barrier: workers
+  // park on a condition variable between phases, so a 10ms advance no
+  // longer pays thread creation. Which worker runs which shard is
+  // unspecified (job stealing) -- shard queues are independent between
+  // barriers, so it cannot matter.
+  executor_->run(shards_.size(), advance_shard);
   double busy_sum = 0.0;
   for (const double b : busy_ms) busy_sum += b;
   phases_.record_advance(
@@ -710,6 +746,7 @@ std::vector<FleetRoundResult> ShardedFleetRunner::run(MetricsSink& sink) {
     }
     emit_energy_round(sink, round);
     emit_adversary_round(sink, round, before);
+    sync_channel_metrics(barrier);
     emit_metrics_round(sink, round);
     phases_.record_coordinator(
         std::chrono::duration<double, std::milli>(
@@ -902,6 +939,26 @@ void ShardedFleetRunner::emit_adversary_round(MetricsSink& sink, size_t round,
        {"spoofed_rejected",
         totals.spoofed_rejected - before.spoofed_rejected}});
   last_adversary_ = now;
+}
+
+void ShardedFleetRunner::sync_channel_metrics(sim::Time at) {
+  const net::ShardChannels* channels = direct_transport_.channels();
+  if (channels == nullptr || channel_inst_.frames_local == nullptr) return;
+  const net::ShardChannels::Counters& now = channels->counters();
+  const uint64_t local = now.frames_local - last_channel_.frames_local;
+  const uint64_t cross = now.frames_cross - last_channel_.frames_cross;
+  const uint64_t drains = now.drains - last_channel_.drains;
+  channel_inst_.frames_local->add(local);
+  channel_inst_.frames_cross->add(cross);
+  channel_inst_.drains->add(drains);
+  last_channel_ = now;
+  if (trace_ && trace_->enabled(obs::Subsystem::kRunner) &&
+      (local + cross + drains) > 0) {
+    trace_->instant(obs::Subsystem::kRunner, at, "channel_drain",
+                    {{"frames_local", local},
+                     {"frames_cross", cross},
+                     {"drains", drains}});
+  }
 }
 
 void ShardedFleetRunner::emit_metrics_round(MetricsSink& sink, size_t round) {

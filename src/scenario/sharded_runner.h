@@ -7,7 +7,8 @@
 // sim::EventQueue, advancing all shards in parallel between
 // collection-round barriers.
 //
-// Determinism argument (asserted by tests at 1/2/8 threads):
+// Determinism argument (asserted by tests at 1/2/8 threads; the full
+// write-up is docs/DETERMINISM.md):
 //  * Between barriers devices are independent: a prover's events touch only
 //    its own arch/store/timer, and its construction (spec, keys, schedule,
 //    stagger offset) is a pure function of (plan, global id) -- never of
@@ -15,9 +16,16 @@
 //    sequence.
 //  * Everything cross-device -- mobility queries (whose lazy trajectory
 //    extension consumes a shared RNG and is therefore query-order
-//    sensitive), collection, verification, churn, metrics -- happens
-//    single-threaded on the coordinating thread at barrier instants, in
-//    global device-id order.
+//    sensitive), collection, verification, churn, metrics -- runs at
+//    barrier instants under coordinator control, sequenced in global
+//    device-id order.
+//  * Barrier-phase work that IS parallel (the kDirect batch serve, the
+//    batched report verify, mobility's adjacency rows) is restricted to
+//    order-free shapes: pure functions into disjoint per-item slots, or
+//    SPSC channels (net/shard_channels.h) whose drain order is a pure
+//    function of (domain, sequence) -- with domain counts fixed by the
+//    fleet, never by the thread count. Results are then folded back in
+//    sequentially, in the exact order the serial code produced them.
 // Hence metrics output is bit-for-bit identical for a fixed seed regardless
 // of thread count, and `threads` is purely a wall-clock knob.
 #pragma once
@@ -30,8 +38,10 @@
 #include "attest/directory.h"
 #include "attest/service.h"
 #include "attest/transport.h"
+#include "common/parallel.h"
 #include "energy/meter.h"
 #include "net/network.h"
+#include "net/shard_channels.h"
 #include "obs/phase.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -86,9 +96,9 @@ struct OverlayBackendConfig {
 };
 
 /// The service's dispatch window at collection barriers: the backend
-/// default (fixed 64 under kDirect, fleet-sized under kOverlay), a fixed
-/// size, or AIMD-adaptive (attest/window.h). Parsed from the scenario
-/// knob `window=default|fleet|adaptive|N`.
+/// default (fleet-sized under both backends), a fixed size, or
+/// AIMD-adaptive (attest/window.h). Parsed from the scenario knob
+/// `window=default|fleet|adaptive|N`.
 struct WindowSpec {
   enum class Mode : uint8_t { kBackendDefault, kFleet, kFixed, kAdaptive };
   Mode mode = Mode::kBackendDefault;
@@ -246,7 +256,15 @@ class ShardedFleetRunner {
     std::unique_ptr<sim::EventQueue> queue;
   };
 
-  size_t shard_of(swarm::DeviceId id) const { return id % shards_.size(); }
+  /// Contiguous-block partition: device ids [0, n) split into
+  /// shards_.size() nearly-equal runs (the first n % shards blocks get one
+  /// extra device). Blocks, not modulo: per-device work correlates with id
+  /// parity in mixed-T_M plans (cycle_tm alternates by id), so a modulo
+  /// partition hands every shard the same heavy/light mix only by luck --
+  /// blocks average it out. The partition is a pure function of (fleet
+  /// size, shard count) and never leaks into any output: devices are built
+  /// and collected in GLOBAL id order regardless of which shard owns them.
+  size_t shard_of(swarm::DeviceId id) const;
   void advance_all(sim::Time barrier);
   FleetRoundResult collect_round(size_t round, sim::Time at);
   /// Per-round "window" row (both backends) and, with scoped retries on,
@@ -279,6 +297,12 @@ class ShardedFleetRunner {
   /// Snapshot of every registered instrument into the "metrics" table
   /// (histograms additionally into "metrics_hist", one row per bucket).
   void emit_metrics_round(MetricsSink& sink, size_t round);
+  /// Mirrors the DirectTransport's channel drain counters into the
+  /// "channels" obs counters (per-round deltas, kDirect batch serve only)
+  /// and emits a kRunner "channel_drain" trace instant for the round.
+  /// Domain count is fixed by the FLEET (never the thread count), so
+  /// these values are byte-identical at 1/2/8 threads.
+  void sync_channel_metrics(sim::Time at);
   /// Hooks each device's measurement observer: trace emission into its
   /// shard's buffer (kDevice category) and/or the meter's CPU charge. The
   /// observer runs shard-side and touches only shard-local state -- the
@@ -310,6 +334,12 @@ class ShardedFleetRunner {
   ShardedFleetConfig config_;
   std::vector<swarm::DeviceSpec> specs_;  // indexed by global DeviceId
   swarm::RandomWaypointMobility mobility_;
+  /// One persistent worker pool for EVERY parallel phase the runner owns:
+  /// shard advances between barriers, the transport's domain-parallel
+  /// collect serve, the service's batched verify and mobility's adjacency
+  /// rows. Sized to the shard count (1 = all phases inline on the calling
+  /// thread, same code path, zero synchronization).
+  std::unique_ptr<common::ParallelExecutor> executor_;
   std::vector<Shard> shards_;
   std::vector<swarm::DeviceStack> stacks_;  // indexed by global DeviceId
   std::vector<bool> present_;
@@ -356,6 +386,15 @@ class ShardedFleetRunner {
   obs::Registry metrics_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::PhaseProfiler phases_;
+
+  /// Channel traffic instruments (kDirect batch serve only; all null
+  /// otherwise) and the last mirrored cumulative counter values.
+  struct {
+    obs::Counter* frames_local = nullptr;
+    obs::Counter* frames_cross = nullptr;
+    obs::Counter* drains = nullptr;
+  } channel_inst_;
+  net::ShardChannels::Counters last_channel_;
 };
 
 }  // namespace erasmus::scenario

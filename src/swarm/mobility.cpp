@@ -80,7 +80,30 @@ bool RandomWaypointMobility::connected(DeviceId a, DeviceId b, sim::Time t) {
 Topology RandomWaypointMobility::snapshot(sim::Time t) {
   Topology topo(config_.devices);
   std::vector<Point> pos(config_.devices);
+  // Positions are computed sequentially even with an executor: extend()
+  // consumes the SHARED trajectory RNG lazily, and that consumption order
+  // must be a pure function of the query sequence, never of threading.
   for (DeviceId v = 0; v < config_.devices; ++v) pos[v] = position(v, t);
+  if (executor_ != nullptr && config_.devices > 1) {
+    // Each row's neighbor list goes into its own slot; the merge below is
+    // sequential in row order, so the adjacency bits are written in the
+    // exact order the serial loop writes them. The range predicate is the
+    // serial one verbatim (sqrt included): a squared-distance shortcut
+    // would flip borderline edges and diverge every downstream result.
+    const size_t n = config_.devices;
+    std::vector<std::vector<DeviceId>> nbrs(n);
+    executor_->run(n, [&](size_t a) {
+      for (size_t b = a + 1; b < n; ++b) {
+        if (distance(pos[a], pos[b]) <= config_.radio_range) {
+          nbrs[a].push_back(static_cast<DeviceId>(b));
+        }
+      }
+    });
+    for (DeviceId a = 0; a < n; ++a) {
+      for (const DeviceId b : nbrs[a]) topo.add_edge(a, b);
+    }
+    return topo;
+  }
   for (DeviceId a = 0; a < config_.devices; ++a) {
     for (DeviceId b = a + 1; b < config_.devices; ++b) {
       if (distance(pos[a], pos[b]) <= config_.radio_range) {

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "common/parallel.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 #include "swarm/topology.h"
@@ -48,6 +49,16 @@ class RandomWaypointMobility {
   /// Full adjacency snapshot at time t.
   Topology snapshot(sim::Time t);
 
+  /// Parallelizes the O(n^2) range test inside snapshot() (positions and
+  /// trajectory extension stay sequential -- they consume the shared RNG
+  /// in device order). Each worker row computes into its own slot with
+  /// the EXACT same floating-point predicate, and the edges are merged
+  /// sequentially in row order, so the resulting Topology is bit-for-bit
+  /// the serial one. nullptr (the default) keeps the serial loop.
+  void set_executor(common::ParallelExecutor* executor) {
+    executor_ = executor;
+  }
+
   const MobilityConfig& config() const { return config_; }
 
  private:
@@ -62,6 +73,7 @@ class RandomWaypointMobility {
 
   MobilityConfig config_;
   sim::Rng rng_;
+  common::ParallelExecutor* executor_ = nullptr;  // not owned
   std::vector<std::vector<Segment>> segments_;  // per node, time-ordered
 };
 

@@ -1,0 +1,254 @@
+// Cross-domain message channels (net/shard_channels.h) and the kDirect
+// batch serve built on them (attest/transport.h).
+//
+// The property under test is the load-bearing one for the 1/2/8-thread
+// byte-identity invariant: the order a drain replays frames is a pure
+// function of (source domain, per-channel sequence) -- NEVER of the wall
+// order producers pushed in, and never of which worker served which
+// domain. See docs/DETERMINISM.md rule R2.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "attest/directory.h"
+#include "attest/prover.h"
+#include "attest/transport.h"
+#include "common/parallel.h"
+#include "net/shard_channels.h"
+
+namespace erasmus::net {
+namespace {
+
+ChannelFrame frame_from(NodeId src, uint64_t aux = 0) {
+  ChannelFrame f;
+  f.src = src;
+  f.tag = 1;
+  f.aux = aux;
+  f.payload = bytes_of("payload");
+  return f;
+}
+
+/// Replays `pushes` (src_domain, frame) pairs in the given order, then
+/// drains `dst` and returns the delivered (src domain stamp via node id,
+/// seq) order.
+std::vector<std::pair<NodeId, uint64_t>> drained_order(
+    const std::vector<std::pair<size_t, NodeId>>& pushes, size_t domains,
+    size_t dst) {
+  ShardChannels channels(domains);
+  for (const auto& [src_domain, node] : pushes) {
+    channels.push(src_domain, dst, frame_from(node));
+  }
+  std::vector<std::pair<NodeId, uint64_t>> out;
+  channels.drain(dst, [&](const ChannelFrame& f) {
+    out.emplace_back(f.src, f.seq);
+  });
+  return out;
+}
+
+TEST(ShardChannels, DrainOrderIsPureFunctionOfDomainAndSequence) {
+  // Every frame crosses a domain boundary (sink domain 0 never produces).
+  // Two adversarial global push interleavings -- workers racing in
+  // opposite wall orders -- with the SAME per-channel subsequences.
+  const std::vector<std::pair<size_t, NodeId>> schedule_a = {
+      {2, 20}, {1, 10}, {2, 21}, {1, 11}, {2, 22}, {1, 12}};
+  const std::vector<std::pair<size_t, NodeId>> schedule_b = {
+      {1, 10}, {1, 11}, {1, 12}, {2, 20}, {2, 21}, {2, 22}};
+
+  const auto order_a = drained_order(schedule_a, /*domains=*/3, /*dst=*/0);
+  const auto order_b = drained_order(schedule_b, /*domains=*/3, /*dst=*/0);
+
+  // Identical delivery regardless of interleaving: domain 1's frames
+  // first (in its push order: seq 0,1,2), then domain 2's.
+  const std::vector<std::pair<NodeId, uint64_t>> expected = {
+      {10, 0}, {11, 1}, {12, 2}, {20, 0}, {21, 1}, {22, 2}};
+  EXPECT_EQ(order_a, expected);
+  EXPECT_EQ(order_b, expected);
+}
+
+TEST(ShardChannels, SequencesArePerChannelAndDrainClears) {
+  ShardChannels channels(3);
+  // Same source domain, two different destinations: independent lanes,
+  // each sequence starts at 0.
+  channels.push(1, 0, frame_from(100));
+  channels.push(1, 2, frame_from(101));
+  channels.push(1, 0, frame_from(102));
+  EXPECT_EQ(channels.pending(0), 2u);
+  EXPECT_EQ(channels.pending(2), 1u);
+
+  std::vector<uint64_t> seqs;
+  channels.drain(0, [&](const ChannelFrame& f) { seqs.push_back(f.seq); });
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(channels.pending(0), 0u);
+
+  seqs.clear();
+  channels.drain(2, [&](const ChannelFrame& f) { seqs.push_back(f.seq); });
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{0}));
+
+  // A later lane refill continues the lane's sequence (cumulative stamp,
+  // not per-drain).
+  channels.push(1, 0, frame_from(103));
+  seqs.clear();
+  channels.drain(0, [&](const ChannelFrame& f) { seqs.push_back(f.seq); });
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{2}));
+}
+
+TEST(ShardChannels, CountersSplitLocalFromCrossAtDrainTime) {
+  ShardChannels channels(2);
+  channels.push(0, 0, frame_from(1));  // local (src == dst)
+  channels.push(1, 0, frame_from(2));  // cross
+  channels.push(1, 0, frame_from(3));  // cross
+  // Nothing counted until the consumer drains.
+  EXPECT_EQ(channels.counters().frames_local, 0u);
+  EXPECT_EQ(channels.counters().frames_cross, 0u);
+
+  channels.drain(0, [](const ChannelFrame&) {});
+  EXPECT_EQ(channels.counters().frames_local, 1u);
+  EXPECT_EQ(channels.counters().frames_cross, 2u);
+  EXPECT_EQ(channels.counters().drains, 1u);
+
+  // An empty drain is not a drain event.
+  channels.drain(1, [](const ChannelFrame&) {});
+  EXPECT_EQ(channels.counters().drains, 1u);
+}
+
+TEST(ShardChannels, RejectsBadGeometry) {
+  EXPECT_THROW(ShardChannels(0), std::invalid_argument);
+  ShardChannels channels(2);
+  EXPECT_THROW(channels.push(2, 0, frame_from(1)), std::out_of_range);
+  EXPECT_THROW(channels.push(0, 2, frame_from(1)), std::out_of_range);
+  EXPECT_THROW(channels.pending(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace erasmus::net
+
+// --- DirectTransport batch serve over the channels ---------------------------
+
+namespace erasmus::attest {
+namespace {
+
+using sim::Duration;
+using sim::Time;
+
+constexpr size_t kRecordBytes = 1 + 8 + 32 + 32;
+
+Bytes device_key(uint32_t id) {
+  Bytes key = bytes_of("channel-test-key-0123456789abcd");
+  key.push_back(static_cast<uint8_t>(id));
+  return key;
+}
+
+struct Device {
+  hw::SmartPlusArch arch;
+  Prover prover;
+
+  Device(sim::EventQueue& queue, uint32_t id)
+      : arch(device_key(id), 4096, 2048, 32 * kRecordBytes),
+        prover(queue, arch, arch.app_region(), arch.store_region(),
+               std::make_unique<RegularScheduler>(Duration::minutes(10)),
+               ProverConfig{}) {}
+};
+
+struct Delivery {
+  net::NodeId src;
+  MsgType type;
+  Bytes body;
+  bool operator==(const Delivery& o) const {
+    return src == o.src && type == o.type && body == o.body;
+  }
+};
+
+TEST(DirectTransportBatchServe, CrossDomainFleetMatchesSequentialServe) {
+  // 6 devices over 3 radio domains (contiguous blocks of 2), verifier
+  // co-located with device 0 (domain 0). Collecting {2..5} means EVERY
+  // response crosses a domain boundary -- the worst case for ordering.
+  sim::EventQueue queue;
+  common::ParallelExecutor executor(4);
+  std::vector<std::unique_ptr<Device>> devices;
+  DirectTransport batched;
+  DirectTransport sequential;
+  for (uint32_t id = 0; id < 6; ++id) {
+    devices.push_back(std::make_unique<Device>(queue, id));
+    batched.attach(id, devices[id]->prover);
+    sequential.attach(id, devices[id]->prover);
+  }
+  batched.enable_batch_serve(executor, /*domains=*/3, /*sink=*/0);
+  for (auto& d : devices) d->prover.start();
+  queue.run_until(Time::zero() + Duration::minutes(45));
+
+  ASSERT_NE(batched.channels(), nullptr);
+  EXPECT_EQ(batched.domain_of(0), 0u);
+  EXPECT_EQ(batched.domain_of(1), 0u);
+  EXPECT_EQ(batched.domain_of(2), 1u);
+  EXPECT_EQ(batched.domain_of(5), 2u);
+
+  std::vector<Delivery> batched_log;
+  std::vector<Delivery> sequential_log;
+  batched.set_receiver([&](net::NodeId src, MsgType type, ByteView body) {
+    batched_log.push_back({src, type, Bytes(body.begin(), body.end())});
+  });
+  sequential.set_receiver([&](net::NodeId src, MsgType type, ByteView body) {
+    sequential_log.push_back({src, type, Bytes(body.begin(), body.end())});
+  });
+
+  const std::vector<net::NodeId> peers = {2, 3, 4, 5};
+  const Bytes body = CollectRequest{4}.serialize();
+  batched.broadcast(peers, MsgType::kCollectRequest, body);
+  for (const net::NodeId peer : peers) {
+    sequential.send(peer, MsgType::kCollectRequest, body);
+  }
+
+  // Same responses, same id order, byte for byte -- the channel drain
+  // reproduced the sequential delivery exactly.
+  ASSERT_EQ(batched_log.size(), 4u);
+  EXPECT_EQ(batched_log, sequential_log);
+  EXPECT_EQ(batched.last_processing().ns(), sequential.last_processing().ns());
+
+  // All four frames crossed domains (sink domain produced none).
+  const net::ShardChannels::Counters& c = batched.channels()->counters();
+  EXPECT_EQ(c.frames_cross, 4u);
+  EXPECT_EQ(c.frames_local, 0u);
+  EXPECT_EQ(c.drains, 1u);
+
+  // A batch inside the sink's own domain counts as local traffic.
+  batched.broadcast({0, 1}, MsgType::kCollectRequest, body);
+  EXPECT_EQ(batched.channels()->counters().frames_local, 2u);
+  EXPECT_EQ(batched.channels()->counters().frames_cross, 4u);
+  EXPECT_EQ(batched_log.size(), 6u);
+}
+
+TEST(DirectTransportBatchServe, RepeatedRunsAreIdenticalAcrossPoolWidths) {
+  // The same fleet served through 1-wide and 4-wide pools must deliver
+  // identical bytes: worker count is wall-clock only. (This is the
+  // transport-level slice of the CI cmp jobs.)
+  const Bytes body = CollectRequest{3}.serialize();
+  std::vector<std::vector<Delivery>> logs;
+  for (const size_t width : {size_t{1}, size_t{4}}) {
+    sim::EventQueue queue;
+    common::ParallelExecutor executor(width);
+    std::vector<std::unique_ptr<Device>> devices;
+    DirectTransport transport;
+    for (uint32_t id = 0; id < 9; ++id) {
+      devices.push_back(std::make_unique<Device>(queue, id));
+      transport.attach(id, devices[id]->prover);
+    }
+    transport.enable_batch_serve(executor, /*domains=*/3, /*sink=*/0);
+    for (auto& d : devices) d->prover.start();
+    queue.run_until(Time::zero() + Duration::minutes(45));
+
+    std::vector<Delivery>& log = logs.emplace_back();
+    transport.set_receiver([&](net::NodeId src, MsgType type, ByteView b) {
+      log.push_back({src, type, Bytes(b.begin(), b.end())});
+    });
+    transport.broadcast({0, 1, 2, 3, 4, 5, 6, 7, 8},
+                        MsgType::kCollectRequest, body);
+    EXPECT_EQ(transport.channels()->counters().frames_local, 3u);
+    EXPECT_EQ(transport.channels()->counters().frames_cross, 6u);
+  }
+  ASSERT_EQ(logs.size(), 2u);
+  EXPECT_EQ(logs[0], logs[1]);
+}
+
+}  // namespace
+}  // namespace erasmus::attest

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown.
+
+Scans every tracked .md file for [text](target) links, resolves
+relative targets (optionally with #fragments) against the linking
+file's directory, and reports targets that do not exist. External
+(scheme://, mailto:) and pure-fragment links are skipped, as is
+PAPERS.md (retrieved paper notes whose figure assets are not vendored).
+
+Usage: tools/check_doc_links.py [root]
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in {".git", "build", "build-san", "build-werror",
+                         "build-bench"}
+        ]
+        for name in filenames:
+            if name == "PAPERS.md":
+                continue
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    dead = []
+    for path in md_files(root):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), rel))
+            if not os.path.exists(resolved):
+                dead.append((path, target))
+    for path, target in dead:
+        print(f"dead link in {path}: {target}", file=sys.stderr)
+    if dead:
+        return 1
+    print("all relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Checks the README knob-reference table against the live CLI:
+#   tools/check_knob_table.sh <path-to-erasmus_run> [README.md]
+# Fails if a knob `erasmus_run describe swarm_relay` prints is missing
+# from the table, or the table lists a knob the CLI no longer has --
+# the two ways a hand-written reference rots.
+set -eu
+
+run_bin=${1:?usage: check_knob_table.sh <erasmus_run> [README.md]}
+readme=${2:-README.md}
+
+# Knob names straight from the CLI: the first token of each indented
+# parameter line, with any "=VALUE" placeholder stripped (--trace=PATH
+# -> --trace).
+cli_knobs=$("$run_bin" describe swarm_relay |
+  awk '/^  /{sub(/=.*/, "", $1); print $1}' | sort -u)
+[ -n "$cli_knobs" ] || { echo "describe printed no parameters" >&2; exit 1; }
+
+# Knob names from the README table, between the knob-table markers:
+# first cell of each data row, backticks stripped.
+table_knobs=$(sed -n '/knob-table:begin/,/knob-table:end/p' "$readme" |
+  awk -F'|' '/^\| `/{gsub(/[` ]/, "", $2); print $2}' | sort -u)
+[ -n "$table_knobs" ] || { echo "no knob table found in $readme" >&2; exit 1; }
+
+status=0
+for k in $cli_knobs; do
+  echo "$table_knobs" | grep -qx -- "$k" || {
+    echo "knob table missing CLI knob: $k" >&2; status=1; }
+done
+for k in $table_knobs; do
+  echo "$cli_knobs" | grep -qx -- "$k" || {
+    echo "knob table lists unknown knob: $k" >&2; status=1; }
+done
+[ $status -eq 0 ] && echo "knob table matches describe swarm_relay"
+exit $status
